@@ -1,0 +1,34 @@
+//! Re-implementations of the update strategies NXgraph is evaluated
+//! against.
+//!
+//! The paper compares NXgraph with GraphChi, TurboGraph, GridGraph, VENUS
+//! and X-stream. Those systems' binaries are not redistributable (and VENUS
+//! was never released), but every comparison in the paper reduces to the
+//! *update strategy*: how many bytes each system moves per iteration, in
+//! what access pattern, and at what parallelism granularity. This crate
+//! re-implements each strategy on the same storage substrate as NXgraph,
+//! isolating exactly that variable:
+//!
+//! * [`graphchi`] — Parallel Sliding Windows: source-sorted shards,
+//!   edge-attached values (read *and* written every iteration),
+//!   coarse-grained parallelism.
+//! * [`turbograph`] — pin-and-slide: for every destination interval,
+//!   re-read every source interval (`n·P·Ba` interval reads/iteration).
+//! * [`gridgraph`] — 2-level grid: uncompressed, unsorted edge blocks
+//!   streamed with coarse (merge-based) parallelism.
+//! * [`xstream`] — edge-centric scatter/gather: per-edge update records
+//!   spilled to disk and re-read (`m·(Bv+Ba)` both ways).
+//!
+//! All engines execute the same [`VertexProgram`]s as NXgraph and are
+//! tested to produce bit-identical results, so benchmark differences are
+//! attributable to strategy alone.
+//!
+//! [`VertexProgram`]: nxgraph_core::program::VertexProgram
+
+pub mod common;
+pub mod graphchi;
+pub mod gridgraph;
+pub mod turbograph;
+pub mod xstream;
+
+pub use common::BaselineStats;

@@ -1,0 +1,41 @@
+//! Preprocessing throughput: degreeing and sharding (§III-A).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nxgraph_core::prep::{self, PrepConfig};
+use nxgraph_graphgen::rmat::{self, RmatConfig};
+use nxgraph_storage::{Disk, MemDisk};
+
+fn bench_prep(c: &mut Criterion) {
+    let cfg = RmatConfig::graph500(14, 8, 3);
+    let raw: Vec<(u64, u64)> = rmat::generate(&cfg)
+        .into_iter()
+        .map(|e| (e.src, e.dst))
+        .collect();
+
+    let mut group = c.benchmark_group("prep");
+    group.sample_size(20);
+    group.bench_function("degreeing", |b| {
+        b.iter(|| black_box(prep::degree(&raw)))
+    });
+    let deg = prep::degree(&raw);
+    group.bench_function("sharding_p12", |b| {
+        b.iter(|| {
+            let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+            black_box(prep::shard(&deg, "bench", 12, false, disk).unwrap());
+        })
+    });
+    group.bench_function("full_prep_with_reverse", |b| {
+        b.iter(|| {
+            let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+            black_box(prep::preprocess(&raw, &PrepConfig::new("bench", 12), disk).unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prep);
+criterion_main!(benches);

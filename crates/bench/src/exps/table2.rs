@@ -1,0 +1,44 @@
+//! Table II — analytic read/write bounds for every update strategy.
+
+use nxgraph_bench::report::{fmt_bytes, Table};
+use nxgraph_core::iomodel::{self, IoParams};
+
+use crate::Opts;
+
+/// Print Table II evaluated on the Yahoo-web parameters across budgets.
+pub fn run(_opts: &Opts) -> bool {
+    let p = IoParams::yahoo_web();
+    let threshold = p.spu_threshold();
+    let mut t = Table::new(
+        "Table II — amount of read/write per iteration (Yahoo-web parameters)",
+        &["budget", "strategy", "Bread", "Bwrite"],
+    );
+    for frac in [0.125f64, 0.25, 0.5, 0.75, 1.0] {
+        let budget = threshold * frac;
+        let label = format!("{:.0}% of 2nBa", frac * 100.0);
+        let rows: [(&str, f64, f64); 4] = [
+            (
+                "TurboGraph-like",
+                iomodel::turbograph_read(&p, budget),
+                iomodel::turbograph_write(&p, budget),
+            ),
+            ("SPU", iomodel::spu_read(&p, budget), iomodel::spu_write(&p, budget)),
+            ("DPU", iomodel::dpu_read(&p, budget), iomodel::dpu_write(&p, budget)),
+            ("MPU", iomodel::mpu_read(&p, budget), iomodel::mpu_write(&p, budget)),
+        ];
+        for (name, r, w) in rows {
+            t.row(vec![
+                label.clone(),
+                name.into(),
+                fmt_bytes(r as u64),
+                fmt_bytes(w as u64),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "(SPU threshold 2nBa = {}; SPU rows assume intervals fit, so its read shrinks as the budget covers sub-shards.)",
+        fmt_bytes(threshold as u64)
+    );
+    true
+}

@@ -1,0 +1,5 @@
+//! Benchmark-harness library: workloads, runners and table printing shared
+//! by the `nxbench` binary and the Criterion benches.
+
+pub mod report;
+pub mod workloads;

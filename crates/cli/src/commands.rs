@@ -1,0 +1,236 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::sync::Arc;
+
+use nxgraph_core::algo;
+use nxgraph_core::engine::EngineConfig;
+use nxgraph_core::prep::{preprocess, PrepConfig};
+use nxgraph_core::PreparedGraph;
+use nxgraph_graphgen::{er, io as gio, mesh, rmat};
+use nxgraph_storage::{Disk, OsDisk};
+
+use crate::args::Args;
+
+/// Dispatch a subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&args),
+        "prep" => prep(&args),
+        "info" => info(&args),
+        "pagerank" => pagerank(&args),
+        "bfs" => bfs(&args),
+        "sssp" => sssp(&args),
+        "wcc" => wcc(&args),
+        "scc" => scc(&args),
+        "hits" => hits(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let kind = args.pos(0, "generator kind (rmat|mesh|er)")?;
+    let out: String = args.require("out")?;
+    let seed = args.get_or("seed", 42u64)?;
+    let edges = match kind {
+        "rmat" => {
+            let scale = args.get_or("scale", 16u32)?;
+            let ef = args.get_or("edge-factor", 16u32)?;
+            rmat::generate(&rmat::RmatConfig::graph500(scale, ef, seed))
+        }
+        "mesh" => {
+            let scale = args.get_or("scale", 16u32)?;
+            mesh::generate(&mesh::MeshConfig::with_scale(scale))
+        }
+        "er" => {
+            let n = args.get_or("vertices", 1u64 << 16)?;
+            let m = args.get_or("edges", 1usize << 20)?;
+            er::generate(n, m, seed)
+        }
+        other => return Err(format!("unknown generator {other:?}")),
+    };
+    let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    gio::write_text(&mut w, &edges).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} edges to {out}", edges.len());
+    Ok(())
+}
+
+fn prep(args: &Args) -> Result<(), String> {
+    let input = args.pos(0, "input edge-list file")?;
+    let dir = args.pos(1, "output graph directory")?;
+    let p = args.get_or("intervals", 16u32)?;
+    let name: String = args.get_or("name", "graph".to_string())?;
+    let reverse = !args.switch("--no-reverse");
+
+    let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let edges = gio::read_text(file).map_err(|e| format!("parse {input}: {e}"))?;
+    let raw: Vec<(u64, u64)> = edges.iter().map(|e| (e.src, e.dst)).collect();
+
+    let disk: Arc<dyn Disk> = Arc::new(OsDisk::new(dir).map_err(|e| e.to_string())?);
+    let cfg = PrepConfig {
+        name,
+        num_intervals: p,
+        build_reverse: reverse,
+    };
+    let started = std::time::Instant::now();
+    let g = preprocess(&raw, &cfg, disk).map_err(|e| e.to_string())?;
+    println!(
+        "prepared {}: {} vertices, {} edges, P={} ({} sub-shards{}), in {:?}",
+        dir,
+        g.num_vertices(),
+        g.num_edges(),
+        p,
+        p * p,
+        if reverse { " + reverse" } else { "" },
+        started.elapsed()
+    );
+    Ok(())
+}
+
+fn open(args: &Args) -> Result<PreparedGraph, String> {
+    let dir = args.pos(0, "graph directory")?;
+    let disk: Arc<dyn Disk> = Arc::new(OsDisk::new(dir).map_err(|e| e.to_string())?);
+    PreparedGraph::open(disk).map_err(|e| e.to_string())
+}
+
+fn engine_cfg(args: &Args) -> Result<EngineConfig, String> {
+    let mut cfg = EngineConfig::default();
+    if let Some(t) = args.get::<usize>("threads")? {
+        cfg.threads = t;
+    }
+    if let Some(mib) = args.get::<u64>("budget-mib")? {
+        cfg.memory_budget = mib << 20;
+    }
+    Ok(cfg)
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let g = open(args)?;
+    let m = g.manifest();
+    println!("name          : {}", m.name);
+    println!("vertices      : {}", m.num_vertices);
+    println!("edges         : {}", m.num_edges);
+    println!("intervals (P) : {}", m.num_intervals);
+    println!("reverse shards: {}", m.has_reverse);
+    println!(
+        "subshard bytes: {}",
+        g.total_subshard_bytes().map_err(|e| e.to_string())?
+    );
+    let deg = g.out_degrees();
+    let max = deg.iter().max().copied().unwrap_or(0);
+    println!(
+        "out-degree    : mean {:.2}, max {}",
+        m.num_edges as f64 / m.num_vertices as f64,
+        max
+    );
+    Ok(())
+}
+
+fn report(stats: &nxgraph_core::engine::RunStats) {
+    println!(
+        "done: {:?} strategy, {} iterations, {:?}, {:.1} MTEPS, {} read / {} written",
+        stats.strategy,
+        stats.iterations,
+        stats.elapsed,
+        stats.mteps(),
+        stats.io.read_bytes,
+        stats.io.written_bytes
+    );
+}
+
+fn pagerank(args: &Args) -> Result<(), String> {
+    let g = open(args)?;
+    let cfg = engine_cfg(args)?;
+    let iters = args.get_or("iters", 10usize)?;
+    let top = args.get_or("top", 10usize)?;
+    let (ranks, stats) = algo::pagerank(&g, iters, &cfg).map_err(|e| e.to_string())?;
+    report(&stats);
+    let mapping = g.load_reverse_mapping().map_err(|e| e.to_string())?;
+    let mut order: Vec<usize> = (0..ranks.len()).collect();
+    order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
+    println!("top {top} vertices (original index: rank):");
+    for &v in order.iter().take(top) {
+        println!("  {}: {:.8}", mapping[v], ranks[v]);
+    }
+    Ok(())
+}
+
+fn bfs(args: &Args) -> Result<(), String> {
+    let g = open(args)?;
+    let cfg = engine_cfg(args)?;
+    let root: u32 = args.get_or("root", 0u32)?;
+    let (depths, stats) = algo::bfs(&g, root, &cfg).map_err(|e| e.to_string())?;
+    report(&stats);
+    let reached = depths.iter().filter(|&&d| d != u32::MAX).count();
+    println!(
+        "bfs from id {root}: {reached}/{} reachable, max depth {:?}",
+        depths.len(),
+        algo::bfs::max_depth(&depths)
+    );
+    Ok(())
+}
+
+fn sssp(args: &Args) -> Result<(), String> {
+    let g = open(args)?;
+    let mut cfg = engine_cfg(args)?;
+    cfg.max_iterations = g.num_vertices() as usize + 1;
+    let root: u32 = args.get_or("root", 0u32)?;
+    let prog = algo::Sssp::new(root, algo::sssp::hash_weights(1.0, 10.0));
+    let (dist, stats) =
+        nxgraph_core::engine::run(&g, &prog, &cfg).map_err(|e| e.to_string())?;
+    report(&stats);
+    let reached = dist.iter().filter(|d| d.is_finite()).count();
+    let max = dist.iter().filter(|d| d.is_finite()).fold(0.0f64, |a, &b| a.max(b));
+    println!("sssp from id {root} (hash weights 1..10): {reached} reachable, max distance {max:.3}");
+    Ok(())
+}
+
+fn wcc(args: &Args) -> Result<(), String> {
+    let g = open(args)?;
+    let cfg = engine_cfg(args)?;
+    let (labels, stats) = algo::wcc(&g, &cfg).map_err(|e| e.to_string())?;
+    report(&stats);
+    println!(
+        "wcc: {} components, largest {}",
+        algo::wcc::component_count(&labels),
+        algo::wcc::largest_component(&labels)
+    );
+    Ok(())
+}
+
+fn scc(args: &Args) -> Result<(), String> {
+    let g = open(args)?;
+    let cfg = engine_cfg(args)?;
+    let out = algo::scc(&g, &cfg).map_err(|e| e.to_string())?;
+    let mut labels = out.labels.clone();
+    labels.sort_unstable();
+    labels.dedup();
+    println!(
+        "scc: {} components in {} rounds, {} engine iterations, {:?}",
+        labels.len(),
+        out.rounds,
+        out.iterations,
+        out.elapsed
+    );
+    Ok(())
+}
+
+fn hits(args: &Args) -> Result<(), String> {
+    let g = open(args)?;
+    let cfg = engine_cfg(args)?;
+    let iters = args.get_or("iters", 10usize)?;
+    let top = args.get_or("top", 5usize)?;
+    let out = algo::hits(&g, iters, &cfg).map_err(|e| e.to_string())?;
+    let mapping = g.load_reverse_mapping().map_err(|e| e.to_string())?;
+    let mut order: Vec<usize> = (0..out.authorities.len()).collect();
+    order.sort_by(|&a, &b| out.authorities[b].total_cmp(&out.authorities[a]));
+    println!("hits ({} iterations, {:?}): top {top} authorities:", out.iterations, out.elapsed);
+    for &v in order.iter().take(top) {
+        println!("  {}: auth {:.6} hub {:.6}", mapping[v], out.authorities[v], out.hubs[v]);
+    }
+    Ok(())
+}

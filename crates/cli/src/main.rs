@@ -1,0 +1,28 @@
+//! `nxgraph-cli` — generate, preprocess and analyse graphs from the shell.
+//!
+//! ```text
+//! nxgraph-cli generate <rmat|mesh|er> --out edges.txt [--scale N] [--edge-factor N] [--seed N]
+//! nxgraph-cli prep <edges.txt> <graph-dir> [--intervals P] [--no-reverse] [--name NAME]
+//! nxgraph-cli info <graph-dir>
+//! nxgraph-cli pagerank <graph-dir> [--iters N] [--budget-mib N] [--threads N] [--top K]
+//! nxgraph-cli bfs <graph-dir> --root R [--threads N]
+//! nxgraph-cli wcc <graph-dir> [--threads N]
+//! nxgraph-cli scc <graph-dir> [--threads N]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nxgraph-cli: {e}");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

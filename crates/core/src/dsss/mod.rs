@@ -1,0 +1,302 @@
+//! The Destination-Sorted Sub-Shard graph representation.
+//!
+//! [`subshard`] defines the CSR sub-shard; [`PreparedGraph`] is the handle
+//! over a preprocessed graph living on a [`Disk`]: the manifest, the
+//! out-degree table (needed by scatter-style programs such as PageRank) and
+//! typed read/write access to interval, sub-shard and hub files.
+
+pub mod subshard;
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use nxgraph_storage::format::{self, FileKind};
+use nxgraph_storage::manifest::GraphManifest;
+use nxgraph_storage::Disk;
+
+use crate::error::{EngineError, EngineResult};
+use crate::types::{Attr, VertexId};
+
+pub use subshard::SubShard;
+
+/// A preprocessed graph on disk: manifest + degree table + file access.
+pub struct PreparedGraph {
+    disk: Arc<dyn Disk>,
+    manifest: GraphManifest,
+    out_degrees: Arc<Vec<u32>>,
+}
+
+impl PreparedGraph {
+    /// Open a graph previously written by [`crate::prep::preprocess`].
+    pub fn open(disk: Arc<dyn Disk>) -> EngineResult<Self> {
+        let manifest = GraphManifest::load(disk.as_ref())?;
+        let raw = disk.read_all(GraphManifest::degree_file())?;
+        let payload = format::read_blob(
+            &mut raw.as_slice(),
+            FileKind::Degrees,
+            GraphManifest::degree_file(),
+        )?;
+        let out_degrees = format::decode_u32s(&payload)?;
+        if out_degrees.len() as u64 != manifest.num_vertices {
+            return Err(EngineError::Invalid(format!(
+                "degree table has {} entries for {} vertices",
+                out_degrees.len(),
+                manifest.num_vertices
+            )));
+        }
+        Ok(Self {
+            disk,
+            manifest,
+            out_degrees: Arc::new(out_degrees),
+        })
+    }
+
+    /// Construct directly (used by preprocessing, which already holds the
+    /// pieces).
+    pub(crate) fn from_parts(
+        disk: Arc<dyn Disk>,
+        manifest: GraphManifest,
+        out_degrees: Arc<Vec<u32>>,
+    ) -> Self {
+        Self {
+            disk,
+            manifest,
+            out_degrees,
+        }
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &Arc<dyn Disk> {
+        &self.disk
+    }
+
+    /// The graph manifest.
+    pub fn manifest(&self) -> &GraphManifest {
+        &self.manifest
+    }
+
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> u32 {
+        self.manifest.num_vertices as u32
+    }
+
+    /// Number of edges `m`.
+    pub fn num_edges(&self) -> u64 {
+        self.manifest.num_edges
+    }
+
+    /// Number of intervals `P`.
+    pub fn num_intervals(&self) -> u32 {
+        self.manifest.num_intervals
+    }
+
+    /// Whether reverse (transposed) sub-shards exist.
+    pub fn has_reverse(&self) -> bool {
+        self.manifest.has_reverse
+    }
+
+    /// Out-degree table (dense, indexed by vertex id).
+    pub fn out_degrees(&self) -> &Arc<Vec<u32>> {
+        &self.out_degrees
+    }
+
+    /// Vertex-id range of interval `j`.
+    pub fn interval_range(&self, j: u32) -> Range<VertexId> {
+        let (s, e) = self.manifest.interval_range(j);
+        s as VertexId..e as VertexId
+    }
+
+    /// Number of vertices in interval `j`.
+    pub fn interval_len(&self, j: u32) -> usize {
+        let r = self.interval_range(j);
+        (r.end - r.start) as usize
+    }
+
+    /// Load sub-shard `SS(i→j)` (or the transposed `SS'(i→j)` when
+    /// `reverse`).
+    pub fn load_subshard(&self, i: u32, j: u32, reverse: bool) -> EngineResult<SubShard> {
+        let name = if reverse {
+            GraphManifest::rev_subshard_file(i, j)
+        } else {
+            GraphManifest::subshard_file(i, j)
+        };
+        let bytes = self.disk.read_all(&name)?;
+        Ok(SubShard::decode(&bytes, &name)?)
+    }
+
+    /// On-disk size in bytes of a sub-shard file (for cache planning).
+    pub fn subshard_len(&self, i: u32, j: u32, reverse: bool) -> EngineResult<u64> {
+        let name = if reverse {
+            GraphManifest::rev_subshard_file(i, j)
+        } else {
+            GraphManifest::subshard_file(i, j)
+        };
+        Ok(self.disk.len_of(&name)?)
+    }
+
+    /// Write interval `j`'s attribute array.
+    pub fn write_interval<A: Attr>(&self, j: u32, vals: &[A]) -> EngineResult<()> {
+        debug_assert_eq!(vals.len(), self.interval_len(j));
+        let payload = A::encode_slice(vals);
+        let mut buf = Vec::with_capacity(payload.len() + 32);
+        format::write_blob(&mut buf, FileKind::Interval, &payload)
+            .expect("vec write is infallible");
+        self.disk
+            .write_all_to(&GraphManifest::interval_file(j), &buf)?;
+        Ok(())
+    }
+
+    /// Read interval `j`'s attribute array.
+    pub fn read_interval<A: Attr>(&self, j: u32) -> EngineResult<Vec<A>> {
+        let name = GraphManifest::interval_file(j);
+        let bytes = self.disk.read_all(&name)?;
+        let payload = format::read_blob(&mut bytes.as_slice(), FileKind::Interval, &name)?;
+        let vals = A::decode_slice(&payload);
+        if vals.len() != self.interval_len(j) {
+            return Err(EngineError::Invalid(format!(
+                "interval {j} holds {} values, expected {}",
+                vals.len(),
+                self.interval_len(j)
+            )));
+        }
+        Ok(vals)
+    }
+
+    /// Write hub `H(i→j)`: parallel arrays of destination ids and
+    /// accumulators (the "incremental values" of §III-B2).
+    pub fn write_hub<A: Attr>(&self, i: u32, j: u32, dsts: &[VertexId], accs: &[A]) -> EngineResult<()> {
+        debug_assert_eq!(dsts.len(), accs.len());
+        let mut payload = Vec::with_capacity(4 + dsts.len() * (4 + A::SIZE));
+        format::push_u32(&mut payload, dsts.len() as u32);
+        for &d in dsts {
+            format::push_u32(&mut payload, d);
+        }
+        for a in accs {
+            a.write_to(&mut payload);
+        }
+        let mut buf = Vec::with_capacity(payload.len() + 32);
+        format::write_blob(&mut buf, FileKind::Hub, &payload).expect("vec write is infallible");
+        self.disk.write_all_to(&GraphManifest::hub_file(i, j), &buf)?;
+        Ok(())
+    }
+
+    /// Read hub `H(i→j)`. Returns `None` when the hub was never written
+    /// (its source row was skipped as inactive).
+    pub fn read_hub<A: Attr>(&self, i: u32, j: u32) -> EngineResult<Option<(Vec<VertexId>, Vec<A>)>> {
+        let name = GraphManifest::hub_file(i, j);
+        if !self.disk.exists(&name) {
+            return Ok(None);
+        }
+        let bytes = self.disk.read_all(&name)?;
+        let payload = format::read_blob(&mut bytes.as_slice(), FileKind::Hub, &name)?;
+        let mut c = format::Cursor::new(&payload);
+        let count = c.u32()? as usize;
+        let dsts = c.u32s(count)?;
+        let accs = A::decode_slice(c.rest());
+        if accs.len() != count {
+            return Err(EngineError::Invalid(format!(
+                "hub {name} has {count} dsts but {} accumulators",
+                accs.len()
+            )));
+        }
+        Ok(Some((dsts, accs)))
+    }
+
+    /// Remove hub `H(i→j)` if present (between iterations).
+    pub fn remove_hub(&self, i: u32, j: u32) {
+        let _ = self.disk.remove(&GraphManifest::hub_file(i, j));
+    }
+
+    /// Load the reverse mapping table (`id → original index`), sorted
+    /// ascending by construction of the degreeing step.
+    pub fn load_reverse_mapping(&self) -> EngineResult<Vec<u64>> {
+        let name = GraphManifest::reverse_mapping_file();
+        let bytes = self.disk.read_all(name)?;
+        let payload = format::read_blob(&mut bytes.as_slice(), FileKind::Mapping, name)?;
+        let mut c = format::Cursor::new(&payload);
+        let count = payload.len() / 8;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(c.u64()?);
+        }
+        if out.len() as u64 != self.manifest.num_vertices {
+            return Err(EngineError::Invalid(format!(
+                "mapping table has {} entries for {} vertices",
+                out.len(),
+                self.manifest.num_vertices
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Total bytes of all forward sub-shard files (≈ `m · Be`).
+    pub fn total_subshard_bytes(&self) -> EngineResult<u64> {
+        let p = self.num_intervals();
+        let mut total = 0;
+        for i in 0..p {
+            for j in 0..p {
+                total += self.subshard_len(i, j, false)?;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::{preprocess, PrepConfig};
+    use nxgraph_storage::MemDisk;
+
+    fn prepared() -> PreparedGraph {
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let edges: Vec<(u64, u64)> = crate::fig1_example_edges()
+            .into_iter()
+            .map(|(s, d)| (s as u64, d as u64))
+            .collect();
+        preprocess(&edges, &PrepConfig::new("fig1", 4), disk).unwrap()
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let g = prepared();
+        let g2 = PreparedGraph::open(Arc::clone(g.disk())).unwrap();
+        assert_eq!(g2.num_vertices(), 7);
+        assert_eq!(g2.num_edges(), 21);
+        assert_eq!(g2.num_intervals(), 4);
+        assert_eq!(g2.out_degrees().as_slice(), g.out_degrees().as_slice());
+    }
+
+    #[test]
+    fn interval_io_roundtrip() {
+        let g = prepared();
+        let vals: Vec<f64> = (0..g.interval_len(0)).map(|k| k as f64 * 1.5).collect();
+        g.write_interval(0, &vals).unwrap();
+        assert_eq!(g.read_interval::<f64>(0).unwrap(), vals);
+    }
+
+    #[test]
+    fn hub_io_roundtrip_and_missing() {
+        let g = prepared();
+        assert!(g.read_hub::<f64>(1, 2).unwrap().is_none());
+        g.write_hub(1, 2, &[4, 5], &[0.25f64, 0.75]).unwrap();
+        let (dsts, accs) = g.read_hub::<f64>(1, 2).unwrap().unwrap();
+        assert_eq!(dsts, vec![4, 5]);
+        assert_eq!(accs, vec![0.25, 0.75]);
+        g.remove_hub(1, 2);
+        assert!(g.read_hub::<f64>(1, 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn subshard_lengths_sum_to_total() {
+        let g = prepared();
+        let mut sum = 0;
+        for i in 0..4 {
+            for j in 0..4 {
+                sum += g.subshard_len(i, j, false).unwrap();
+            }
+        }
+        assert_eq!(sum, g.total_subshard_bytes().unwrap());
+        assert!(sum > 0);
+    }
+}

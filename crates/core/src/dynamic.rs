@@ -1,0 +1,272 @@
+//! Dynamic graph updates — the paper's stated future work ("NXgraph will
+//! be extended to support dynamic change on graph structure").
+//!
+//! [`DynamicGraph`] wraps a [`PreparedGraph`] and accepts batches of new
+//! edges. Edges between *existing* vertices are merged incrementally: only
+//! the `(i, j)` sub-shard cells they fall into are rewritten (plus the
+//! degree table), preserving all DSSS invariants. A batch that introduces
+//! previously unseen vertex indices changes the dense id space, so it
+//! triggers a full re-preprocessing — reconstructing the raw edge list
+//! from the sub-shards and the mapping table — which is reported in the
+//! [`CommitStats`] so callers can batch accordingly.
+
+use std::collections::BTreeMap;
+
+use nxgraph_storage::manifest::GraphManifest;
+
+use crate::dsss::{PreparedGraph, SubShard};
+use crate::error::EngineResult;
+use crate::prep::{self, PrepConfig};
+use crate::types::VertexId;
+
+/// Result of one [`DynamicGraph::add_edges`] commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Edges added in this batch.
+    pub edges_added: usize,
+    /// Whether the whole graph had to be re-preprocessed (new vertices).
+    pub rebuilt: bool,
+    /// Sub-shard cells rewritten (forward + reverse counted separately);
+    /// zero when `rebuilt`.
+    pub cells_rewritten: usize,
+}
+
+/// A prepared graph accepting structural updates.
+pub struct DynamicGraph {
+    graph: PreparedGraph,
+    /// Sorted original indices; position = dense id.
+    mapping: Vec<u64>,
+}
+
+impl DynamicGraph {
+    /// Wrap a prepared graph (loads the mapping table).
+    pub fn new(graph: PreparedGraph) -> EngineResult<Self> {
+        let mapping = graph.load_reverse_mapping()?;
+        Ok(Self { graph, mapping })
+    }
+
+    /// The current prepared graph (always consistent after each commit).
+    pub fn graph(&self) -> &PreparedGraph {
+        &self.graph
+    }
+
+    /// Dense id of an original index, if known.
+    pub fn id_of(&self, index: u64) -> Option<VertexId> {
+        self.mapping.binary_search(&index).ok().map(|i| i as VertexId)
+    }
+
+    /// Reconstruct the raw edge list (original indices) from disk.
+    pub fn raw_edges(&self) -> EngineResult<Vec<(u64, u64)>> {
+        let p = self.graph.num_intervals();
+        let mut out = Vec::with_capacity(self.graph.num_edges() as usize);
+        for i in 0..p {
+            for j in 0..p {
+                let ss = self.graph.load_subshard(i, j, false)?;
+                out.extend(ss.iter_edges().map(|(s, d)| {
+                    (self.mapping[s as usize], self.mapping[d as usize])
+                }));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Add a batch of edges (original indices) and commit to disk.
+    pub fn add_edges(&mut self, new_raw: &[(u64, u64)]) -> EngineResult<CommitStats> {
+        if new_raw.is_empty() {
+            return Ok(CommitStats {
+                edges_added: 0,
+                rebuilt: false,
+                cells_rewritten: 0,
+            });
+        }
+        let all_known = new_raw
+            .iter()
+            .all(|&(s, d)| self.id_of(s).is_some() && self.id_of(d).is_some());
+        if !all_known {
+            return self.rebuild_with(new_raw);
+        }
+
+        // Incremental path: bucket dense edges by grid cell and rewrite
+        // only the touched sub-shards.
+        let p = self.graph.num_intervals();
+        let interval_len = self.graph.manifest().interval_len() as VertexId;
+        let interval_of = |v: VertexId| (v / interval_len).min(p - 1);
+
+        let mut fwd: BTreeMap<(u32, u32), Vec<(VertexId, VertexId)>> = BTreeMap::new();
+        let mut rev: BTreeMap<(u32, u32), Vec<(VertexId, VertexId)>> = BTreeMap::new();
+        let mut degree_bump: BTreeMap<VertexId, u32> = BTreeMap::new();
+        for &(s, d) in new_raw {
+            let (s, d) = (self.id_of(s).unwrap(), self.id_of(d).unwrap());
+            fwd.entry((interval_of(s), interval_of(d)))
+                .or_default()
+                .push((s, d));
+            if self.graph.has_reverse() {
+                rev.entry((interval_of(d), interval_of(s)))
+                    .or_default()
+                    .push((d, s));
+            }
+            *degree_bump.entry(s).or_default() += 1;
+        }
+
+        let mut cells = 0;
+        for (reverse, buckets) in [(false, &fwd), (true, &rev)] {
+            for (&(i, j), extra) in buckets {
+                let ss = self.graph.load_subshard(i, j, reverse)?;
+                let mut edges: Vec<(VertexId, VertexId)> = ss.iter_edges().collect();
+                edges.extend_from_slice(extra);
+                let merged = SubShard::from_edges(i, j, edges);
+                let name = if reverse {
+                    GraphManifest::rev_subshard_file(i, j)
+                } else {
+                    GraphManifest::subshard_file(i, j)
+                };
+                self.graph.disk().write_all_to(&name, &merged.encode())?;
+                cells += 1;
+            }
+        }
+
+        // Degree table and manifest update.
+        let mut degrees = (**self.graph.out_degrees()).clone();
+        for (v, bump) in degree_bump {
+            degrees[v as usize] += bump;
+        }
+        let mut blob = Vec::new();
+        nxgraph_storage::format::write_blob(
+            &mut blob,
+            nxgraph_storage::format::FileKind::Degrees,
+            &nxgraph_storage::format::encode_u32s(&degrees),
+        )
+        .expect("vec write is infallible");
+        self.graph
+            .disk()
+            .write_all_to(GraphManifest::degree_file(), &blob)?;
+
+        let mut manifest = self.graph.manifest().clone();
+        manifest.num_edges += new_raw.len() as u64;
+        manifest.save(self.graph.disk().as_ref())?;
+
+        // Reopen to refresh the in-memory handle.
+        self.graph = PreparedGraph::open(std::sync::Arc::clone(self.graph.disk()))?;
+        Ok(CommitStats {
+            edges_added: new_raw.len(),
+            rebuilt: false,
+            cells_rewritten: cells,
+        })
+    }
+
+    fn rebuild_with(&mut self, new_raw: &[(u64, u64)]) -> EngineResult<CommitStats> {
+        let mut raw = self.raw_edges()?;
+        raw.extend_from_slice(new_raw);
+        let cfg = PrepConfig {
+            name: self.graph.manifest().name.clone(),
+            num_intervals: self.graph.num_intervals(),
+            build_reverse: self.graph.has_reverse(),
+        };
+        let disk = std::sync::Arc::clone(self.graph.disk());
+        self.graph = prep::preprocess(&raw, &cfg, disk)?;
+        self.mapping = self.graph.load_reverse_mapping()?;
+        Ok(CommitStats {
+            edges_added: new_raw.len(),
+            rebuilt: true,
+            cells_rewritten: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use crate::engine::EngineConfig;
+    use nxgraph_storage::{Disk, MemDisk};
+    use std::sync::Arc;
+
+    fn prepare(raw: &[(u64, u64)]) -> PreparedGraph {
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        prep::preprocess(raw, &PrepConfig::new("dyn", 3), disk).unwrap()
+    }
+
+    /// PageRank after dynamic commits must equal PageRank on a graph
+    /// preprocessed from scratch with the same edges.
+    fn assert_equivalent(dynamic: &DynamicGraph, full_raw: &[(u64, u64)]) {
+        let fresh = prepare(full_raw);
+        let cfg = EngineConfig::default().with_max_iterations(6);
+        let (a, _) = algo::pagerank(dynamic.graph(), 6, &cfg).unwrap();
+        let (b, _) = algo::pagerank(&fresh, 6, &cfg).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn incremental_commit_for_known_vertices() {
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
+        let mut dg = DynamicGraph::new(prepare(&base)).unwrap();
+        let extra = vec![(0u64, 2u64), (3, 1)];
+        let stats = dg.add_edges(&extra).unwrap();
+        assert!(!stats.rebuilt);
+        assert_eq!(stats.edges_added, 2);
+        assert!(stats.cells_rewritten > 0);
+        assert_eq!(dg.graph().num_edges(), 6);
+
+        let mut full = base.clone();
+        full.extend(extra);
+        assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn new_vertices_trigger_rebuild() {
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 0)];
+        let mut dg = DynamicGraph::new(prepare(&base)).unwrap();
+        let extra = vec![(1u64, 99u64)]; // 99 unseen
+        let stats = dg.add_edges(&extra).unwrap();
+        assert!(stats.rebuilt);
+        assert_eq!(dg.graph().num_vertices(), 3);
+        assert_eq!(dg.id_of(99), Some(2));
+
+        let mut full = base.clone();
+        full.extend(extra);
+        assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn degrees_stay_consistent() {
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 0)];
+        let mut dg = DynamicGraph::new(prepare(&base)).unwrap();
+        dg.add_edges(&[(0, 2), (0, 1)]).unwrap();
+        assert_eq!(dg.graph().out_degrees().as_slice(), &[3, 1, 1]);
+    }
+
+    #[test]
+    fn raw_edges_roundtrip() {
+        let base: Vec<(u64, u64)> = vec![(10, 20), (20, 30), (30, 10)];
+        let dg = DynamicGraph::new(prepare(&base)).unwrap();
+        let mut back = dg.raw_edges().unwrap();
+        back.sort_unstable();
+        let mut want = base.clone();
+        want.sort_unstable();
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut dg = DynamicGraph::new(prepare(&[(0, 1)])).unwrap();
+        let stats = dg.add_edges(&[]).unwrap();
+        assert_eq!(stats, CommitStats { edges_added: 0, rebuilt: false, cells_rewritten: 0 });
+    }
+
+    #[test]
+    fn repeated_commits_accumulate() {
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 0)];
+        let mut dg = DynamicGraph::new(prepare(&base)).unwrap();
+        let mut full = base.clone();
+        for k in 0..5u64 {
+            let batch = vec![(k % 3, (k + 1) % 3)];
+            dg.add_edges(&batch).unwrap();
+            full.extend(batch);
+        }
+        assert_eq!(dg.graph().num_edges() as usize, full.len());
+        assert_equivalent(&dg, &full);
+    }
+}

@@ -1,0 +1,286 @@
+//! The NXgraph update engines.
+//!
+//! [`run`] is the single entry point: it resolves the update strategy from
+//! the memory budget (§III-B: SPU when two copies of every interval fit,
+//! DPU when none do, MPU in between), executes Algorithm 1 with the chosen
+//! engine, and reports wall time, iteration count and byte-exact I/O.
+
+pub mod dpu;
+pub mod kernel;
+pub mod mpu;
+pub mod select;
+pub mod spu;
+pub mod state;
+pub mod store;
+
+use std::time::{Duration, Instant};
+
+use nxgraph_storage::IoSnapshot;
+
+use crate::dsss::PreparedGraph;
+use crate::error::{EngineError, EngineResult};
+use crate::program::{Direction, VertexProgram};
+use crate::types::Attr;
+
+pub use select::choose_strategy;
+pub use state::{finalize_interval, AccBuf};
+pub use store::ShardStore;
+
+/// Update strategy (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Pick automatically from the memory budget (MPU semantics: "NXgraph
+    /// uses MPU by default", degrading to SPU/DPU at the extremes).
+    Auto,
+    /// Single-Phase Update: all intervals ping-pong in memory.
+    Spu,
+    /// Double-Phase Update: fully disk-resident, hub-mediated.
+    Dpu,
+    /// Mixed-Phase Update: `Q` resident intervals, hubs for the rest.
+    Mpu,
+}
+
+/// Synchronisation mechanism between worker threads (§IV preamble: the
+/// callback-signal and interval-lock implementations; "either one can
+/// always outperform the other" depending on workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Fine-grained destination-chunk tasks, completion via the pool —
+    /// lock-free on the data path.
+    Callback,
+    /// One task per sub-shard guarded by a per-interval lock.
+    Lock,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Memory budget in bytes (`B_M`). Governs strategy selection, interval
+    /// residency and sub-shard caching.
+    pub memory_budget: u64,
+    /// Update strategy; `Auto` derives SPU/MPU/DPU from the budget.
+    pub strategy: Strategy,
+    /// Thread synchronisation flavour.
+    pub sync: SyncMode,
+    /// Hard iteration cap (PageRank in the paper runs a fixed 10).
+    pub max_iterations: usize,
+    /// Edge direction the program consumes.
+    pub direction: Direction,
+    /// Fine-grained task granularity: target edges per chunk task
+    /// ("several thousands of edges", §III-D).
+    pub edges_per_task: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            memory_budget: u64::MAX,
+            strategy: Strategy::Auto,
+            sync: SyncMode::Callback,
+            max_iterations: 50,
+            direction: Direction::Forward,
+            edges_per_task: 8192,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builder-style thread override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style budget override.
+    pub fn with_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Builder-style strategy override.
+    pub fn with_strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Builder-style sync override.
+    pub fn with_sync(mut self, s: SyncMode) -> Self {
+        self.sync = s;
+        self
+    }
+
+    /// Builder-style iteration cap.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Builder-style direction override.
+    pub fn with_direction(mut self, d: Direction) -> Self {
+        self.direction = d;
+        self
+    }
+}
+
+/// Execution report for one engine run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// The strategy actually executed (never `Auto`).
+    pub strategy: Strategy,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Wall-clock time of the traversal (excludes preprocessing).
+    pub elapsed: Duration,
+    /// Disk traffic during the run (byte-exact).
+    pub io: IoSnapshot,
+    /// Total edges folded by `absorb` across all iterations.
+    pub edges_traversed: u64,
+}
+
+impl RunStats {
+    /// Million traversed edges per second — the paper's Fig 11 metric.
+    pub fn mteps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.edges_traversed as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Run `prog` over `graph` to completion (convergence or the iteration
+/// cap) and return the final per-vertex values plus statistics.
+pub fn run<P: VertexProgram>(
+    graph: &PreparedGraph,
+    prog: &P,
+    cfg: &EngineConfig,
+) -> EngineResult<(Vec<P::Value>, RunStats)> {
+    if cfg.direction != Direction::Forward && !graph.has_reverse() {
+        return Err(EngineError::Invalid(
+            "program needs reverse sub-shards; preprocess with build_reverse".into(),
+        ));
+    }
+    if cfg.max_iterations == 0 {
+        return Err(EngineError::Invalid("max_iterations must be positive".into()));
+    }
+    let strategy = match cfg.strategy {
+        Strategy::Auto => {
+            choose_strategy(
+                graph.num_vertices() as u64,
+                graph.num_intervals(),
+                P::Value::SIZE,
+                cfg.memory_budget,
+            )
+            .0
+        }
+        s => s,
+    };
+    let start_io = graph.disk().counters().snapshot();
+    let start = Instant::now();
+    let (values, iterations, edges) = match strategy {
+        Strategy::Spu => spu::run_spu(graph, prog, cfg)?,
+        Strategy::Dpu => dpu::run_dpu(graph, prog, cfg)?,
+        Strategy::Mpu => mpu::run_mpu(graph, prog, cfg)?,
+        Strategy::Auto => unreachable!("resolved above"),
+    };
+    let elapsed = start.elapsed();
+    let io = graph.disk().counters().snapshot().delta(&start_io);
+    Ok((
+        values,
+        RunStats {
+            strategy,
+            iterations,
+            elapsed,
+            io,
+            edges_traversed: edges,
+        },
+    ))
+}
+
+/// Shared per-iteration bookkeeping: interval activity (§II-B).
+pub(crate) struct Activity {
+    /// Active flag per interval.
+    pub active: Vec<bool>,
+    /// Whether the program ever deactivates intervals (monotone programs
+    /// only; global recompute programs keep everything active).
+    pub tracks: bool,
+}
+
+impl Activity {
+    /// Initial activity from the program's `initially_active`.
+    pub fn init<P: VertexProgram>(graph: &PreparedGraph, prog: &P) -> Self {
+        let p = graph.num_intervals();
+        let tracks = !P::ALWAYS_APPLY;
+        let mut active = vec![false; p as usize];
+        for j in 0..p {
+            let r = graph.interval_range(j);
+            active[j as usize] =
+                !tracks || r.clone().any(|v| prog.initially_active(v));
+        }
+        Self { active, tracks }
+    }
+
+    /// Whether source row `i` may be skipped this iteration.
+    pub fn row_skippable(&self, i: u32) -> bool {
+        self.tracks && !self.active[i as usize]
+    }
+
+    /// Install the next iteration's flags; returns `true` when every
+    /// interval went inactive (global termination for monotone programs).
+    pub fn advance(&mut self, changed: &[bool]) -> bool {
+        if !self.tracks {
+            return false;
+        }
+        for (a, &c) in self.active.iter_mut().zip(changed) {
+            *a = c;
+        }
+        self.active.iter().all(|&a| !a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.threads >= 1);
+        assert_eq!(cfg.strategy, Strategy::Auto);
+        assert_eq!(cfg.sync, SyncMode::Callback);
+        assert!(cfg.edges_per_task > 0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = EngineConfig::default()
+            .with_threads(2)
+            .with_budget(1024)
+            .with_strategy(Strategy::Dpu)
+            .with_sync(SyncMode::Lock)
+            .with_max_iterations(7)
+            .with_direction(Direction::Both);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.memory_budget, 1024);
+        assert_eq!(cfg.strategy, Strategy::Dpu);
+        assert_eq!(cfg.sync, SyncMode::Lock);
+        assert_eq!(cfg.max_iterations, 7);
+        assert_eq!(cfg.direction, Direction::Both);
+    }
+
+    #[test]
+    fn mteps_math() {
+        let stats = RunStats {
+            strategy: Strategy::Spu,
+            iterations: 2,
+            elapsed: Duration::from_secs(2),
+            io: IoSnapshot::default(),
+            edges_traversed: 4_000_000,
+        };
+        assert!((stats.mteps() - 2.0).abs() < 1e-12);
+    }
+}

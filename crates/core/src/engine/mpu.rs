@@ -1,0 +1,311 @@
+//! Mixed-Phase Update (§III-B3) — the default strategy.
+//!
+//! `Q` of the `P` intervals stay memory-resident as ping-pong pairs
+//! (`Q = ⌊B_M/(2·n·Ba)·P⌋`); the remaining `P−Q` live on disk. Of the `P²`
+//! sub-shards only the `(P−Q)²` whose source *and* destination are on disk
+//! need hubs; every other sub-shard updates SPU-style:
+//!
+//! * **Phase A** — resident rows × resident columns, pure SPU order.
+//! * **Phase B** — each on-disk row `i` is loaded once: resident columns
+//!   update in memory, on-disk columns write hubs (ToHub).
+//! * **Phase C** — each on-disk column `j` is assembled: resident rows
+//!   absorb directly from the resident ping-pong values, on-disk rows fold
+//!   their hubs (FromHub); the interval is written back once.
+//!
+//! At `Q = P` this degenerates to SPU, at `Q = 0` to DPU; in between the
+//! I/O amount interpolates Table II's MPU row.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::dsss::{PreparedGraph, SubShard};
+use crate::error::EngineResult;
+use crate::program::VertexProgram;
+use crate::types::{Attr, VertexId};
+
+use super::kernel::{absorb_row, absorb_single};
+use super::select::choose_strategy;
+use super::state::{finalize_interval, AccBuf};
+use super::store::ShardStore;
+use super::{Activity, EngineConfig};
+
+/// Run to convergence under MPU. Returns (values, iterations, edges
+/// traversed).
+pub fn run_mpu<P: VertexProgram>(
+    g: &PreparedGraph,
+    prog: &P,
+    cfg: &EngineConfig,
+) -> EngineResult<(Vec<P::Value>, usize, u64)> {
+    let n = g.num_vertices();
+    let p = g.num_intervals();
+    let (_, plan) = choose_strategy(n as u64, p, P::Value::SIZE, cfg.memory_budget);
+    let q = plan.resident_intervals as u32;
+
+    // Resident vertex prefix [0, res_end).
+    let res_end: VertexId = if q == 0 { 0 } else { g.interval_range(q - 1).end };
+    let mut prev_res: Vec<P::Value> = (0..res_end).map(|v| prog.init(v)).collect();
+    let mut next_res = prev_res.clone();
+
+    // On-disk intervals initialised on disk.
+    for j in q..p {
+        let r = g.interval_range(j);
+        let vals: Vec<P::Value> = r.map(|v| prog.init(v)).collect();
+        g.write_interval(j, &vals)?;
+    }
+
+    // Leftover budget caches sub-shards.
+    let mut store = ShardStore::new(g);
+    store.plan_cache(plan.shard_cache_bytes, cfg.direction)?;
+
+    let mut activity = Activity::init(g, prog);
+
+    // Accumulators for resident destination intervals (reused).
+    let mut accs_res: Vec<Option<Mutex<AccBuf<P>>>> = (0..p)
+        .map(|j| {
+            if j < q {
+                let r = g.interval_range(j);
+                Some(Mutex::new(AccBuf::new(prog, r.start, (r.end - r.start) as usize)))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let mut iterations = 0;
+    let mut edges_traversed = 0u64;
+
+    for _ in 0..cfg.max_iterations {
+        iterations += 1;
+        for a in accs_res.iter_mut().flatten() {
+            a.get_mut().reset(prog);
+        }
+        let mut changed = vec![false; p as usize];
+
+        // ------------------------------------------------------------------
+        // Phase A: resident rows into resident columns (SPU order).
+        // ------------------------------------------------------------------
+        for &reverse in ShardStore::dirs(cfg.direction) {
+            for i in 0..q {
+                if activity.row_skippable(i) {
+                    continue;
+                }
+                let mut shards: Vec<Option<Arc<SubShard>>> = vec![None; p as usize];
+                for j in 0..q {
+                    let ss = store.get(i, j, reverse)?;
+                    edges_traversed += ss.num_edges() as u64;
+                    shards[j as usize] = Some(ss);
+                }
+                let r = g.interval_range(i);
+                absorb_row(
+                    prog,
+                    &shards,
+                    &prev_res[r.start as usize..r.end as usize],
+                    r.start,
+                    &mut accs_res,
+                    cfg.threads,
+                    cfg.edges_per_task,
+                    cfg.sync,
+                );
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase B: on-disk rows; resident columns in memory, on-disk
+        // columns to hubs.
+        // ------------------------------------------------------------------
+        for i in q..p {
+            if activity.row_skippable(i) {
+                continue;
+            }
+            let src_vals: Vec<P::Value> = g.read_interval(i)?;
+            let r_i = g.interval_range(i);
+            for &reverse in ShardStore::dirs(cfg.direction) {
+                // Resident destinations: SPU-like, straight into accs_res.
+                let mut shards: Vec<Option<Arc<SubShard>>> = vec![None; p as usize];
+                for j in 0..q {
+                    let ss = store.get(i, j, reverse)?;
+                    edges_traversed += ss.num_edges() as u64;
+                    shards[j as usize] = Some(ss);
+                }
+                absorb_row(
+                    prog,
+                    &shards,
+                    &src_vals,
+                    r_i.start,
+                    &mut accs_res,
+                    cfg.threads,
+                    cfg.edges_per_task,
+                    cfg.sync,
+                );
+            }
+            // On-disk destinations: ToHub. Both directions fold into the
+            // same hub before writing.
+            for j in q..p {
+                let r_j = g.interval_range(j);
+                let mut buf: AccBuf<P> =
+                    AccBuf::new(prog, r_j.start, (r_j.end - r_j.start) as usize);
+                for &reverse in ShardStore::dirs(cfg.direction) {
+                    let ss = store.get(i, j, reverse)?;
+                    edges_traversed += ss.num_edges() as u64;
+                    absorb_single(
+                        prog,
+                        &ss,
+                        &src_vals,
+                        r_i.start,
+                        &mut buf,
+                        cfg.threads,
+                        cfg.edges_per_task,
+                    );
+                }
+                let (dsts, accs) = buf.compact();
+                if !dsts.is_empty() {
+                    g.write_hub(i, j, &dsts, &accs)?;
+                }
+            }
+        }
+
+        // Finalise resident intervals (all their contributions arrived in
+        // phases A and B). Keep prev_res intact — phase C reads it.
+        for j in 0..q {
+            let r = g.interval_range(j);
+            let guard = accs_res[j as usize].as_ref().expect("resident").lock();
+            let ch = finalize_interval(
+                prog,
+                &guard,
+                &prev_res[r.start as usize..r.end as usize],
+                &mut next_res[r.start as usize..r.end as usize],
+            );
+            changed[j as usize] = ch;
+        }
+
+        // ------------------------------------------------------------------
+        // Phase C: on-disk columns; resident rows absorb directly, on-disk
+        // rows fold hubs.
+        // ------------------------------------------------------------------
+        let mut any_changed = changed.iter().any(|&c| c);
+        for j in q..p {
+            let r_j = g.interval_range(j);
+            let len = (r_j.end - r_j.start) as usize;
+            let old: Vec<P::Value> = if P::APPLY_NEEDS_OLD {
+                g.read_interval(j)?
+            } else {
+                r_j.clone().map(|v| prog.init(v)).collect()
+            };
+            let mut buf: AccBuf<P> = AccBuf::new(prog, r_j.start, len);
+            for &reverse in ShardStore::dirs(cfg.direction) {
+                for i in 0..q {
+                    if activity.row_skippable(i) {
+                        continue;
+                    }
+                    let ss = store.get(i, j, reverse)?;
+                    edges_traversed += ss.num_edges() as u64;
+                    let r_i = g.interval_range(i);
+                    absorb_single(
+                        prog,
+                        &ss,
+                        &prev_res[r_i.start as usize..r_i.end as usize],
+                        r_i.start,
+                        &mut buf,
+                        cfg.threads,
+                        cfg.edges_per_task,
+                    );
+                }
+            }
+            for i in q..p {
+                if let Some((dsts, accs)) = g.read_hub::<P::Accum>(i, j)? {
+                    buf.merge_hub(prog, &dsts, &accs);
+                    g.remove_hub(i, j);
+                }
+            }
+            let mut new_vals = old.clone();
+            let ch = finalize_interval(prog, &buf, &old, &mut new_vals);
+            g.write_interval(j, &new_vals)?;
+            changed[j as usize] = ch;
+            any_changed |= ch;
+        }
+
+        std::mem::swap(&mut prev_res, &mut next_res);
+
+        let all_inactive = activity.advance(&changed);
+        let done = if P::ALWAYS_APPLY {
+            // Resident intervals have real old values; disk intervals only
+            // when APPLY_NEEDS_OLD. Early termination is sound only when
+            // every change flag is trustworthy.
+            (q == p || P::APPLY_NEEDS_OLD) && !any_changed
+        } else {
+            all_inactive
+        };
+        if done {
+            break;
+        }
+    }
+
+    // Gather: resident prefix + on-disk intervals.
+    let mut out = prev_res;
+    out.truncate(res_end as usize);
+    for j in q..p {
+        out.extend(g.read_interval::<P::Value>(j)?);
+    }
+    Ok((out, iterations, edges_traversed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SyncMode;
+    use crate::algo::pagerank::PageRank;
+    use crate::engine::spu::run_spu;
+    use crate::prep::{preprocess, PrepConfig};
+    use nxgraph_storage::{Disk, MemDisk};
+
+    fn graph(p: u32) -> PreparedGraph {
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let edges: Vec<(u64, u64)> = crate::fig1_example_edges()
+            .into_iter()
+            .map(|(s, d)| (s as u64, d as u64))
+            .collect();
+        preprocess(&edges, &PrepConfig::new("fig1", p), disk).unwrap()
+    }
+
+    /// Budget that yields Q resident intervals out of P for the Fig 1
+    /// graph with f64 values.
+    fn budget_for_q(g: &PreparedGraph, q: u32) -> u64 {
+        let n = g.num_vertices() as u64;
+        let p = g.num_intervals() as u64;
+        // effective = q/p * 2*n*Ba (+ degree table 4n).
+        4 * n + (2 * n * 8) * q as u64 / p + 1
+    }
+
+    #[test]
+    fn mpu_equals_spu_at_every_q() {
+        let cfg0 = EngineConfig::default().with_max_iterations(6);
+        let g = graph(4);
+        let prog = PageRank::new(g.num_vertices(), Arc::clone(g.out_degrees()));
+        let (want, _, want_edges) = run_spu(&g, &prog, &cfg0).unwrap();
+        for q in 0..=4u32 {
+            let g = graph(4);
+            let prog = PageRank::new(g.num_vertices(), Arc::clone(g.out_degrees()));
+            let cfg = cfg0.clone().with_budget(budget_for_q(&g, q));
+            let (vals, _, edges) = run_mpu(&g, &prog, &cfg).unwrap();
+            assert_eq!(edges, want_edges, "q={q}");
+            for (a, b) in vals.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-12, "q={q}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mpu_lock_mode_agrees() {
+        let g = graph(4);
+        let prog = PageRank::new(g.num_vertices(), Arc::clone(g.out_degrees()));
+        let cfg = EngineConfig::default()
+            .with_max_iterations(5)
+            .with_budget(budget_for_q(&g, 2));
+        let (cb, _, _) = run_mpu(&g, &prog, &cfg).unwrap();
+        let (lk, _, _) = run_mpu(&g, &prog, &cfg.clone().with_sync(SyncMode::Lock)).unwrap();
+        for (a, b) in cb.iter().zip(&lk) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+}

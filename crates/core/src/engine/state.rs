@@ -1,0 +1,235 @@
+//! Per-interval accumulator state shared by all three update strategies.
+
+use crate::program::VertexProgram;
+use crate::types::VertexId;
+
+/// Accumulators (and has-message flags) for one destination interval.
+///
+/// `acc[k]` belongs to vertex `base + k`. In SPU these live for the whole
+/// run; in DPU they are compacted into hubs after each `(i, j)` sub-shard
+/// pass; in MPU both uses coexist.
+pub struct AccBuf<P: VertexProgram> {
+    /// First vertex id of the interval.
+    pub base: VertexId,
+    /// One accumulator per vertex of the interval.
+    pub acc: Vec<P::Accum>,
+    /// 1 when the vertex received at least one message this pass.
+    pub has: Vec<u8>,
+}
+
+impl<P: VertexProgram> AccBuf<P> {
+    /// Fresh zeroed buffer for an interval of `len` vertices starting at
+    /// `base`.
+    pub fn new(prog: &P, base: VertexId, len: usize) -> Self {
+        Self {
+            base,
+            acc: vec![prog.zero(); len],
+            has: vec![0u8; len],
+        }
+    }
+
+    /// Reset to the zero state (reused across iterations to avoid
+    /// reallocation — the "workhorse collection" pattern).
+    pub fn reset(&mut self, prog: &P) {
+        self.acc.fill(prog.zero());
+        self.has.fill(0);
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Whether the buffer covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// Compact into hub form: the (global id, accumulator) pairs of
+    /// vertices that received messages. Destination ids come out sorted
+    /// because the buffer is id-ordered.
+    pub fn compact(&self) -> (Vec<VertexId>, Vec<P::Accum>) {
+        let mut dsts = Vec::new();
+        let mut accs = Vec::new();
+        for k in 0..self.acc.len() {
+            if self.has[k] != 0 {
+                dsts.push(self.base + k as VertexId);
+                accs.push(self.acc[k]);
+            }
+        }
+        (dsts, accs)
+    }
+
+    /// Merge a hub (written by [`AccBuf::compact`]) back in via the
+    /// program's `combine`.
+    pub fn merge_hub(&mut self, prog: &P, dsts: &[VertexId], accs: &[P::Accum]) {
+        debug_assert_eq!(dsts.len(), accs.len());
+        for (&d, a) in dsts.iter().zip(accs) {
+            let k = (d - self.base) as usize;
+            if self.has[k] == 0 {
+                self.acc[k] = *a;
+                self.has[k] = 1;
+            } else {
+                prog.combine(&mut self.acc[k], a);
+            }
+        }
+    }
+}
+
+/// Finalise one destination interval: fold accumulators into new values.
+///
+/// `old` and `out` both cover the interval (`out` may alias a ping-pong
+/// "next" buffer). Returns whether any vertex changed, which drives the
+/// interval activity of §II-B.
+pub fn finalize_interval<P: VertexProgram>(
+    prog: &P,
+    buf: &AccBuf<P>,
+    old: &[P::Value],
+    out: &mut [P::Value],
+) -> bool {
+    debug_assert_eq!(old.len(), buf.len());
+    debug_assert_eq!(out.len(), buf.len());
+    let mut any = false;
+    for k in 0..buf.len() {
+        let v = buf.base + k as VertexId;
+        let got = buf.has[k] != 0;
+        let new = if got || P::ALWAYS_APPLY {
+            prog.apply(v, &old[k], &buf.acc[k], got)
+        } else {
+            old[k]
+        };
+        if prog.changed(&old[k], &new) {
+            any = true;
+        }
+        out[k] = new;
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::VertexProgram;
+
+    struct Sum;
+
+    impl VertexProgram for Sum {
+        type Value = f64;
+        type Accum = f64;
+        const APPLY_NEEDS_OLD: bool = false;
+        const ALWAYS_APPLY: bool = true;
+
+        fn init(&self, _v: VertexId) -> f64 {
+            0.0
+        }
+
+        fn zero(&self) -> f64 {
+            0.0
+        }
+
+        fn absorb(&self, _s: VertexId, sv: &f64, _d: VertexId, acc: &mut f64) -> bool {
+            *acc += sv;
+            true
+        }
+
+        fn combine(&self, a: &mut f64, b: &f64) {
+            *a += b;
+        }
+
+        fn apply(&self, _v: VertexId, _old: &f64, acc: &f64, _got: bool) -> f64 {
+            *acc
+        }
+    }
+
+    #[test]
+    fn compact_and_merge_roundtrip() {
+        let p = Sum;
+        let mut a = AccBuf::<Sum>::new(&p, 10, 5);
+        a.acc[1] = 2.5;
+        a.has[1] = 1;
+        a.acc[4] = 7.0;
+        a.has[4] = 1;
+        let (dsts, accs) = a.compact();
+        assert_eq!(dsts, vec![11, 14]);
+        assert_eq!(accs, vec![2.5, 7.0]);
+
+        let mut b = AccBuf::<Sum>::new(&p, 10, 5);
+        b.acc[4] = 1.0;
+        b.has[4] = 1;
+        b.merge_hub(&p, &dsts, &accs);
+        assert_eq!(b.acc[1], 2.5);
+        assert_eq!(b.acc[4], 8.0);
+        assert_eq!(b.has, vec![0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let p = Sum;
+        let mut a = AccBuf::<Sum>::new(&p, 0, 3);
+        a.acc[0] = 9.0;
+        a.has[0] = 1;
+        a.reset(&p);
+        assert_eq!(a.acc, vec![0.0; 3]);
+        assert_eq!(a.has, vec![0; 3]);
+    }
+
+    #[test]
+    fn finalize_reports_changes() {
+        let p = Sum;
+        let mut buf = AccBuf::<Sum>::new(&p, 0, 2);
+        buf.acc[0] = 3.0;
+        buf.has[0] = 1;
+        let old = vec![3.0, 0.0];
+        let mut out = vec![0.0; 2];
+        // Vertex 0: 3.0 → 3.0 unchanged; vertex 1: ALWAYS_APPLY applies
+        // acc 0.0 over old 0.0, unchanged.
+        assert!(!finalize_interval(&p, &buf, &old, &mut out));
+        assert_eq!(out, vec![3.0, 0.0]);
+
+        buf.acc[1] = 5.0;
+        buf.has[1] = 1;
+        assert!(finalize_interval(&p, &buf, &old, &mut out));
+        assert_eq!(out, vec![3.0, 5.0]);
+    }
+
+    /// A monotone min program to exercise the !ALWAYS_APPLY path.
+    struct Min;
+
+    impl VertexProgram for Min {
+        type Value = u32;
+        type Accum = u32;
+        const APPLY_NEEDS_OLD: bool = true;
+        const ALWAYS_APPLY: bool = false;
+
+        fn init(&self, _v: VertexId) -> u32 {
+            u32::MAX
+        }
+
+        fn zero(&self) -> u32 {
+            u32::MAX
+        }
+
+        fn absorb(&self, _s: VertexId, sv: &u32, _d: VertexId, acc: &mut u32) -> bool {
+            *acc = (*acc).min(sv.saturating_add(1));
+            true
+        }
+
+        fn combine(&self, a: &mut u32, b: &u32) {
+            *a = (*a).min(*b);
+        }
+
+        fn apply(&self, _v: VertexId, old: &u32, acc: &u32, _got: bool) -> u32 {
+            (*old).min(*acc)
+        }
+    }
+
+    #[test]
+    fn finalize_keeps_old_without_messages() {
+        let p = Min;
+        let buf = AccBuf::<Min>::new(&p, 0, 2);
+        let old = vec![4u32, 9];
+        let mut out = vec![0u32; 2];
+        assert!(!finalize_interval(&p, &buf, &old, &mut out));
+        assert_eq!(out, old);
+    }
+}

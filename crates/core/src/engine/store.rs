@@ -1,0 +1,166 @@
+//! Sub-shard access with optional in-memory caching.
+//!
+//! "If there are still memory budget left, sub-shards will also be actively
+//! loaded from disk to memory" (§III-B1). [`ShardStore`] plans a cache from
+//! the leftover budget in row-major traversal order, then serves sub-shards
+//! either from memory (no I/O counted — the bytes never move again) or by
+//! streaming from disk (counted by the disk's [`IoCounters`]).
+//!
+//! [`IoCounters`]: nxgraph_storage::IoCounters
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::dsss::{PreparedGraph, SubShard};
+use crate::error::EngineResult;
+use crate::program::Direction;
+
+/// Cached or streamed access to the sub-shards of one prepared graph.
+pub struct ShardStore<'g> {
+    graph: &'g PreparedGraph,
+    cache: HashMap<(u32, u32, bool), Arc<SubShard>>,
+    cached_bytes: u64,
+}
+
+impl<'g> ShardStore<'g> {
+    /// A store with an empty cache (pure streaming).
+    pub fn new(graph: &'g PreparedGraph) -> Self {
+        Self {
+            graph,
+            cache: HashMap::new(),
+            cached_bytes: 0,
+        }
+    }
+
+    /// Directions a program needs, as (reverse?) flags.
+    pub fn dirs(direction: Direction) -> &'static [bool] {
+        match direction {
+            Direction::Forward => &[false],
+            Direction::Reverse => &[true],
+            Direction::Both => &[false, true],
+        }
+    }
+
+    /// Greedily cache sub-shards (row-major, forward before reverse) until
+    /// `budget` bytes are used. Returns the bytes actually cached.
+    ///
+    /// The initial loads count as disk reads (they are the "initial load
+    /// from disk" of §III-B1); subsequent `get`s of cached shards are free.
+    pub fn plan_cache(&mut self, budget: u64, direction: Direction) -> EngineResult<u64> {
+        let p = self.graph.num_intervals();
+        'outer: for &reverse in Self::dirs(direction) {
+            for i in 0..p {
+                for j in 0..p {
+                    let len = self.graph.subshard_len(i, j, reverse)?;
+                    if self.cached_bytes + len > budget {
+                        break 'outer;
+                    }
+                    let ss = Arc::new(self.graph.load_subshard(i, j, reverse)?);
+                    self.cache.insert((i, j, reverse), ss);
+                    self.cached_bytes += len;
+                }
+            }
+        }
+        Ok(self.cached_bytes)
+    }
+
+    /// Bytes held by the cache.
+    pub fn cached_bytes(&self) -> u64 {
+        self.cached_bytes
+    }
+
+    /// Number of cached sub-shards.
+    pub fn cached_count(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Fetch sub-shard `(i, j)`; cached copies are returned without I/O,
+    /// anything else streams from disk.
+    pub fn get(&self, i: u32, j: u32, reverse: bool) -> EngineResult<Arc<SubShard>> {
+        if let Some(ss) = self.cache.get(&(i, j, reverse)) {
+            return Ok(Arc::clone(ss));
+        }
+        Ok(Arc::new(self.graph.load_subshard(i, j, reverse)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::{preprocess, PrepConfig};
+    use nxgraph_storage::{Disk, MemDisk};
+
+    fn graph() -> PreparedGraph {
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let edges: Vec<(u64, u64)> = crate::fig1_example_edges()
+            .into_iter()
+            .map(|(s, d)| (s as u64, d as u64))
+            .collect();
+        preprocess(&edges, &PrepConfig::new("fig1", 4), disk).unwrap()
+    }
+
+    #[test]
+    fn zero_budget_streams_everything() {
+        let g = graph();
+        let mut store = ShardStore::new(&g);
+        assert_eq!(store.plan_cache(0, Direction::Forward).unwrap(), 0);
+        let before = g.disk().counters().read_bytes();
+        store.get(2, 1, false).unwrap();
+        assert!(g.disk().counters().read_bytes() > before);
+    }
+
+    #[test]
+    fn full_budget_caches_everything_and_gets_are_free() {
+        let g = graph();
+        let mut store = ShardStore::new(&g);
+        let cached = store.plan_cache(u64::MAX, Direction::Forward).unwrap();
+        assert_eq!(cached, g.total_subshard_bytes().unwrap());
+        assert_eq!(store.cached_count(), 16);
+        let before = g.disk().counters().read_bytes();
+        for i in 0..4 {
+            for j in 0..4 {
+                store.get(i, j, false).unwrap();
+            }
+        }
+        assert_eq!(g.disk().counters().read_bytes(), before);
+    }
+
+    #[test]
+    fn partial_budget_caches_prefix() {
+        let g = graph();
+        let total = g.total_subshard_bytes().unwrap();
+        let mut store = ShardStore::new(&g);
+        let cached = store.plan_cache(total / 2, Direction::Forward).unwrap();
+        assert!(cached <= total / 2);
+        assert!(store.cached_count() > 0);
+        assert!(store.cached_count() < 16);
+    }
+
+    #[test]
+    fn both_directions_cached_in_order() {
+        let g = graph();
+        let mut store = ShardStore::new(&g);
+        store.plan_cache(u64::MAX, Direction::Both).unwrap();
+        assert_eq!(store.cached_count(), 32);
+        // Reverse shard served from cache.
+        let before = g.disk().counters().read_bytes();
+        store.get(0, 0, true).unwrap();
+        assert_eq!(g.disk().counters().read_bytes(), before);
+    }
+
+    #[test]
+    fn streamed_shard_equals_cached_shard() {
+        let g = graph();
+        let mut cached_store = ShardStore::new(&g);
+        cached_store.plan_cache(u64::MAX, Direction::Forward).unwrap();
+        let streaming = ShardStore::new(&g);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    *cached_store.get(i, j, false).unwrap(),
+                    *streaming.get(i, j, false).unwrap()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Engine error type.
+
+use std::fmt;
+
+use nxgraph_storage::StorageError;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors surfaced by preprocessing and the update engines.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Failure in the storage substrate (disk I/O, corrupt files, budget).
+    Storage(StorageError),
+    /// The graph/config combination is invalid (e.g. P = 0, vertex id out
+    /// of range, SPU requested without enough memory).
+    Invalid(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Invalid(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EngineError::Invalid("P must be positive".into());
+        assert!(e.to_string().contains("P must be positive"));
+        let e: EngineError = StorageError::NotFound("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

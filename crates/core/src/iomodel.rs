@@ -1,0 +1,228 @@
+//! The analytic I/O model — Table II and Fig 6 of the paper.
+//!
+//! Closed-form per-iteration disk traffic for each update strategy, in the
+//! paper's notation: `n` vertices, `m` edges, `Ba` bytes per attribute,
+//! `Bv` bytes per vertex id, `Be` bytes per edge, `d` the average in-degree
+//! of the destinations inside hub-bearing sub-shards, and `B_M` the memory
+//! budget.
+//!
+//! | strategy         | `Bread`                                            | `Bwrite` |
+//! |------------------|----------------------------------------------------|----------|
+//! | TurboGraph-like  | `m·Be + 2(n·Ba)²/B_M + n·Ba`                       | `n·Ba`   |
+//! | SPU              | `max(0, m·Be + 2n·Ba − B_M)`                       | `0`      |
+//! | DPU              | `m·Be + m(Ba+Bv)/d + n·Ba`                         | `m(Ba+Bv)/d + n·Ba` |
+//! | MPU              | interpolates SPU ↔ DPU with `x = 1 − B_M/(2n·Ba)`  | see below |
+//!
+//! These functions power the `table2` and `fig6` benchmark targets and are
+//! property-tested for the paper's claims: MPU ≤ TurboGraph-like
+//! everywhere, MPU → SPU as `B_M → 2n·Ba`, MPU → DPU as `B_M → 0`.
+
+/// Model parameters (all in bytes / counts; `f64` for closed-form math).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoParams {
+    /// Number of vertices `n`.
+    pub n: f64,
+    /// Number of edges `m`.
+    pub m: f64,
+    /// Bytes per vertex attribute `Ba`.
+    pub ba: f64,
+    /// Bytes per vertex id `Bv`.
+    pub bv: f64,
+    /// Bytes per edge `Be`.
+    pub be: f64,
+    /// Average in-degree of hub destinations `d`.
+    pub d: f64,
+}
+
+impl IoParams {
+    /// The Yahoo-web configuration used for Fig 6 (§III-C): n = 7.2×10⁸,
+    /// m = 6.63×10⁹, 8-byte attributes, 4-byte ids, ~4-byte edges, d = 15.
+    pub fn yahoo_web() -> Self {
+        Self {
+            n: 7.2e8,
+            m: 6.63e9,
+            ba: 8.0,
+            bv: 4.0,
+            be: 4.0,
+            d: 15.0,
+        }
+    }
+
+    /// `2·n·Ba`: the budget at which SPU becomes valid and MPU ≡ SPU.
+    pub fn spu_threshold(&self) -> f64 {
+        2.0 * self.n * self.ba
+    }
+
+    /// Hub traffic term `m·(Ba+Bv)/d`.
+    fn hub_bytes(&self) -> f64 {
+        self.m * (self.ba + self.bv) / self.d
+    }
+
+    /// The residency fraction shortfall `1 − B_M/(2n·Ba)`, clamped to
+    /// `[0, 1]`.
+    fn shortfall(&self, budget: f64) -> f64 {
+        (1.0 - budget / self.spu_threshold()).clamp(0.0, 1.0)
+    }
+}
+
+/// SPU bytes read per iteration.
+pub fn spu_read(p: &IoParams, budget: f64) -> f64 {
+    (p.m * p.be + p.spu_threshold() - budget).max(0.0)
+}
+
+/// SPU bytes written per iteration (none — intervals never leave memory).
+pub fn spu_write(_p: &IoParams, _budget: f64) -> f64 {
+    0.0
+}
+
+/// DPU bytes read per iteration.
+pub fn dpu_read(p: &IoParams, _budget: f64) -> f64 {
+    p.m * p.be + p.hub_bytes() + p.n * p.ba
+}
+
+/// DPU bytes written per iteration.
+pub fn dpu_write(p: &IoParams, _budget: f64) -> f64 {
+    p.hub_bytes() + p.n * p.ba
+}
+
+/// MPU bytes read per iteration (§III-B3).
+pub fn mpu_read(p: &IoParams, budget: f64) -> f64 {
+    let x = p.shortfall(budget);
+    p.m * p.be + x * x * p.hub_bytes() + x * p.n * p.ba
+}
+
+/// MPU bytes written per iteration.
+pub fn mpu_write(p: &IoParams, budget: f64) -> f64 {
+    let x = p.shortfall(budget);
+    x * x * p.hub_bytes() + x * p.n * p.ba
+}
+
+/// TurboGraph-like bytes read per iteration (§III-C): the strategy reloads
+/// every source interval for every destination interval, with the optimal
+/// partitioning `P = 2n·Ba/B_M`.
+pub fn turbograph_read(p: &IoParams, budget: f64) -> f64 {
+    let budget = budget.max(1.0);
+    p.m * p.be + 2.0 * (p.n * p.ba) * (p.n * p.ba) / budget + p.n * p.ba
+}
+
+/// TurboGraph-like bytes written per iteration.
+pub fn turbograph_write(p: &IoParams, _budget: f64) -> f64 {
+    p.n * p.ba
+}
+
+/// Total (read + write) traffic for a strategy by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelStrategy {
+    /// Single-Phase Update.
+    Spu,
+    /// Double-Phase Update.
+    Dpu,
+    /// Mixed-Phase Update.
+    Mpu,
+    /// The TurboGraph/GridGraph-style alternative.
+    TurboGraphLike,
+}
+
+/// Total modeled traffic per iteration.
+pub fn total(strategy: ModelStrategy, p: &IoParams, budget: f64) -> f64 {
+    match strategy {
+        ModelStrategy::Spu => spu_read(p, budget) + spu_write(p, budget),
+        ModelStrategy::Dpu => dpu_read(p, budget) + dpu_write(p, budget),
+        ModelStrategy::Mpu => mpu_read(p, budget) + mpu_write(p, budget),
+        ModelStrategy::TurboGraphLike => {
+            turbograph_read(p, budget) + turbograph_write(p, budget)
+        }
+    }
+}
+
+/// The Fig 6 curve: ratio of MPU total I/O to TurboGraph-like total I/O at
+/// a given budget. Always ≤ 1 ("MPU always outperforms TurboGraph-like
+/// strategy").
+pub fn mpu_vs_turbograph_ratio(p: &IoParams, budget: f64) -> f64 {
+    total(ModelStrategy::Mpu, p, budget) / total(ModelStrategy::TurboGraphLike, p, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn yahoo() -> IoParams {
+        IoParams::yahoo_web()
+    }
+
+    #[test]
+    fn mpu_interpolates_spu_and_dpu() {
+        let p = yahoo();
+        // At zero budget MPU ≡ DPU.
+        assert!((mpu_read(&p, 0.0) - dpu_read(&p, 0.0)).abs() < 1.0);
+        assert!((mpu_write(&p, 0.0) - dpu_write(&p, 0.0)).abs() < 1.0);
+        // At the SPU threshold MPU sheds all hub/interval traffic.
+        let t = p.spu_threshold();
+        assert!((mpu_read(&p, t) - p.m * p.be).abs() < 1.0);
+        assert_eq!(mpu_write(&p, t), 0.0);
+    }
+
+    #[test]
+    fn spu_read_hits_zero_with_enough_memory() {
+        let p = yahoo();
+        let everything = p.m * p.be + p.spu_threshold();
+        assert_eq!(spu_read(&p, everything), 0.0);
+        assert!(spu_read(&p, everything - 10.0) > 0.0);
+    }
+
+    #[test]
+    fn dpu_is_budget_independent() {
+        let p = yahoo();
+        assert_eq!(dpu_read(&p, 0.0), dpu_read(&p, 1e12));
+        assert_eq!(dpu_write(&p, 0.0), dpu_write(&p, 1e12));
+    }
+
+    #[test]
+    fn fig6_mpu_always_beats_turbograph() {
+        // The paper's claim: across the whole 0‥2nBa budget range the
+        // ratio stays below 1.
+        let p = yahoo();
+        let t = p.spu_threshold();
+        for k in 1..=100 {
+            let budget = t * k as f64 / 100.0;
+            let r = mpu_vs_turbograph_ratio(&p, budget);
+            assert!(r < 1.0, "budget {budget}: ratio {r}");
+            assert!(r > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig6_ratio_decreases_then_recovers() {
+        // Fig 6 shows the ratio dipping well below 1 in the mid-range.
+        let p = yahoo();
+        let t = p.spu_threshold();
+        let mid = mpu_vs_turbograph_ratio(&p, t * 0.3);
+        assert!(mid < 0.8, "mid-range ratio should dip: {mid}");
+    }
+
+    #[test]
+    fn mpu_monotone_decreasing_in_budget() {
+        let p = yahoo();
+        let t = p.spu_threshold();
+        let mut last = f64::INFINITY;
+        for k in 0..=50 {
+            let total = total(ModelStrategy::Mpu, &p, t * k as f64 / 50.0);
+            assert!(total <= last + 1.0);
+            last = total;
+        }
+    }
+
+    #[test]
+    fn spu_dominates_everyone_when_valid() {
+        let p = yahoo();
+        let budget = p.spu_threshold() * 1.1;
+        let spu = total(ModelStrategy::Spu, &p, budget);
+        for s in [
+            ModelStrategy::Dpu,
+            ModelStrategy::Mpu,
+            ModelStrategy::TurboGraphLike,
+        ] {
+            assert!(spu <= total(s, &p, budget), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Multi-threading substrate.
+//!
+//! NXgraph's parallel model (§III-D) is *task*-shaped: an update pass
+//! produces a list of independent tasks (a destination range of one
+//! sub-shard plus the exclusive accumulator slice it writes), and a fixed
+//! set of worker threads drains them. [`pool`] implements that substrate on
+//! scoped threads and a crossbeam channel — no work item ever shares a
+//! mutable destination, so the data path is lock-free by construction.
+
+pub mod pool;
+
+pub use pool::{run_tasks, split_ranges};

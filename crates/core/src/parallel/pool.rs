@@ -1,0 +1,352 @@
+//! Persistent worker pool with scoped batch execution.
+//!
+//! NXgraph's engines issue a *batch* of independent tasks per row/phase and
+//! barrier on completion — hundreds of batches per run. Spawning OS threads
+//! per batch costs more than many batches' work, so a process-wide pool of
+//! `available_parallelism() − 1` workers is created lazily and reused; the
+//! submitting thread always participates, so `threads = 1` runs entirely
+//! inline.
+//!
+//! Tasks may borrow the submitter's stack: [`run_tasks`] does not return
+//! until every task finished, which is the safety contract that lets the
+//! type-erased batch pointer cross thread boundaries (see the `Safety`
+//! notes inline).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Execute `tasks` using up to `threads` workers (including the calling
+/// thread); `f` consumes each task.
+///
+/// Order of execution is unspecified. A panic inside `f` is re-raised on
+/// the calling thread after the batch drains (worker threads survive).
+pub fn run_tasks<T, F>(threads: usize, tasks: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let threads = threads.max(1);
+    if tasks.is_empty() {
+        return;
+    }
+    if threads == 1 || tasks.len() == 1 {
+        for t in tasks {
+            f(t);
+        }
+        return;
+    }
+    global_pool().run(threads, tasks, &f);
+}
+
+/// Split the range `0..len` into at most `parts` contiguous sub-ranges of
+/// near-equal length. Used to slice destination intervals into per-task
+/// chunks.
+///
+/// Returns an empty vector when `len == 0`.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for k in 0..parts {
+        let sz = base + usize::from(k < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+/// Type-erased batch: a function pointer plus a context pointer into the
+/// submitter's stack frame.
+#[derive(Clone, Copy)]
+struct BatchRef {
+    run: unsafe fn(*const ()),
+    ctx: *const (),
+}
+
+// Safety: the context outlives the batch because `Pool::run` blocks until
+// every worker finished with it.
+unsafe impl Send for BatchRef {}
+
+struct PoolState {
+    /// Currently published batch, if any.
+    batch: Option<BatchRef>,
+    /// Monotone batch counter; workers use it to detect new work.
+    epoch: u64,
+    /// Workers still inside the current batch.
+    active: usize,
+    /// Pool shutdown flag (used only by tests tearing down).
+    shutdown: bool,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    workers: usize,
+}
+
+/// The process-wide pool, created on first use and kept for the process
+/// lifetime (worker threads are detached; the allocation is intentionally
+/// leaked).
+fn global_pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .saturating_sub(1)
+            .max(1);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            state: Mutex::new(PoolState {
+                batch: None,
+                epoch: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            workers,
+        }));
+        for _ in 0..pool.workers {
+            std::thread::Builder::new()
+                .name("nxgraph-worker".into())
+                .spawn(move || pool.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+struct Ctx<'f, T> {
+    tasks: Vec<Mutex<Option<T>>>,
+    cursor: AtomicUsize,
+    /// Worker participation permits (the submitter is not counted).
+    permits: AtomicIsize,
+    f: &'f (dyn Fn(T) + Sync),
+    panicked: AtomicBool,
+}
+
+impl Pool {
+    fn worker_loop(&self) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let batch = {
+                let mut st = self.state.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.batch.is_some() && st.epoch != seen_epoch {
+                        seen_epoch = st.epoch;
+                        st.active += 1;
+                        break st.batch.unwrap();
+                    }
+                    self.work_cv.wait(&mut st);
+                }
+            };
+            // Safety: `Pool::run` keeps the context alive until `active`
+            // returns to zero, which we signal below.
+            unsafe { (batch.run)(batch.ctx) };
+            let mut st = self.state.lock();
+            st.active -= 1;
+            if st.active == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn run<T: Send>(&self, threads: usize, tasks: Vec<T>, f: &(dyn Fn(T) + Sync)) {
+        let ctx = Ctx {
+            tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            cursor: AtomicUsize::new(0),
+            permits: AtomicIsize::new(threads as isize - 1),
+            f,
+            panicked: AtomicBool::new(false),
+        };
+
+        unsafe fn drain<T: Send>(p: *const ()) {
+            // Safety: p was created from a live `Ctx` in `run` below and
+            // `run` blocks until all workers exit this function.
+            let ctx = unsafe { &*(p as *const Ctx<'_, T>) };
+            if ctx.permits.fetch_sub(1, Ordering::AcqRel) <= 0 {
+                return; // concurrency limit reached for this batch
+            }
+            drain_inline(ctx);
+        }
+
+        fn drain_inline<T: Send>(ctx: &Ctx<'_, T>) {
+            loop {
+                let i = ctx.cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= ctx.tasks.len() {
+                    return;
+                }
+                let task = ctx.tasks[i].lock().take();
+                if let Some(task) = task {
+                    let r = catch_unwind(AssertUnwindSafe(|| (ctx.f)(task)));
+                    if r.is_err() {
+                        ctx.panicked.store(true, Ordering::Release);
+                    }
+                }
+            }
+        }
+
+        // Publish the batch.
+        {
+            let mut st = self.state.lock();
+            // Wait for any other submitter's batch to finish first.
+            while st.batch.is_some() || st.active > 0 {
+                self.done_cv.wait(&mut st);
+            }
+            st.batch = Some(BatchRef {
+                run: drain::<T>,
+                ctx: &ctx as *const Ctx<'_, T> as *const (),
+            });
+            st.epoch += 1;
+            self.work_cv.notify_all();
+        }
+
+        // The submitter always participates (without consuming a permit).
+        drain_inline(&ctx);
+
+        // Barrier: retract the batch and wait for stragglers.
+        {
+            let mut st = self.state.lock();
+            st.batch = None;
+            while st.active > 0 {
+                self.done_cv.wait(&mut st);
+            }
+            self.done_cv.notify_all();
+        }
+
+        if ctx.panicked.load(Ordering::Acquire) {
+            panic!("worker task panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_once() {
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<usize> = (0..1000).collect();
+        run_tasks(8, tasks, |t| {
+            counter.fetch_add(t + 1, Ordering::Relaxed);
+        });
+        // Σ (t+1) for t in 0..1000 = 500500.
+        assert_eq!(counter.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let counter = AtomicUsize::new(0);
+        run_tasks(1, vec![1, 2, 3], |t| {
+            counter.fetch_add(t, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn empty_tasks_is_noop() {
+        run_tasks(4, Vec::<usize>::new(), |_| panic!("should not run"));
+    }
+
+    #[test]
+    fn tasks_may_borrow_mutable_disjoint_slices() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(8).collect();
+        run_tasks(4, chunks, |chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker task panicked")]
+    fn worker_panics_propagate() {
+        run_tasks(2, (0..64).collect(), |t: i32| {
+            if t == 33 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn many_sequential_batches_are_cheap() {
+        // Regression guard for the per-batch overhead that motivated the
+        // persistent pool: 1000 barriers must complete quickly.
+        let counter = AtomicUsize::new(0);
+        let start = std::time::Instant::now();
+        for _ in 0..1000 {
+            run_tasks(4, vec![1usize, 2, 3, 4, 5, 6, 7, 8], |t| {
+                counter.fetch_add(t, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 36_000);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "1000 batches took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_serialise_safely() {
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        run_tasks(3, vec![1usize; 16], |t| {
+                            total.fetch_add(t, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 16);
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for (len, parts) in [(10, 3), (10, 10), (10, 20), (1, 1), (7, 2)] {
+            let ranges = split_ranges(len, parts);
+            assert!(ranges.len() <= parts);
+            let mut cursor = 0;
+            for r in &ranges {
+                assert_eq!(r.start, cursor);
+                assert!(!r.is_empty());
+                cursor = r.end;
+            }
+            assert_eq!(cursor, len);
+        }
+        assert!(split_ranges(0, 5).is_empty());
+    }
+
+    #[test]
+    fn split_ranges_is_balanced() {
+        let ranges = split_ranges(100, 7);
+        let sizes: Vec<_> = ranges.iter().map(|r| r.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Degreeing — the first preprocessing step (§III-A).
+//!
+//! Raw inputs identify vertices by *indices*: arbitrary, possibly sparse
+//! numbers (the real Yahoo-web crawl has far more indices than connected
+//! vertices). Degreeing maps every index that actually appears in an edge
+//! to a dense, contiguous *id* `0..n`, eliminates isolated indices, and
+//! computes in/out degree tables. Ids are assigned in ascending index
+//! order, preserving whatever locality the input numbering had.
+
+use crate::types::VertexId;
+
+/// Output of the degreeing step: the "pre-shard" plus mapping tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degreeing {
+    /// Number of non-isolated vertices `n`.
+    pub num_vertices: u32,
+    /// Edges rewritten to dense ids (the paper's *pre-shard*).
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Out-degree per id.
+    pub out_degrees: Vec<u32>,
+    /// In-degree per id.
+    pub in_degrees: Vec<u32>,
+    /// Reverse mapping: `index_of[id]` is the original index (the paper's
+    /// "reverse-mapping file"). Sorted ascending by construction.
+    pub index_of: Vec<u64>,
+}
+
+impl Degreeing {
+    /// Forward lookup: original index → dense id (the "mapping file"
+    /// direction). `None` for isolated/unknown indices. O(log n) via
+    /// binary search over the sorted reverse mapping.
+    pub fn id_of(&self, index: u64) -> Option<VertexId> {
+        self.index_of.binary_search(&index).ok().map(|i| i as VertexId)
+    }
+}
+
+/// Run degreeing over raw index pairs.
+///
+/// Panics if the input would exceed the `u32` id space.
+pub fn degree(raw_edges: &[(u64, u64)]) -> Degreeing {
+    // Collect every endpoint index, sort, dedup → dense id assignment.
+    let mut indices = Vec::with_capacity(raw_edges.len() * 2);
+    for &(s, d) in raw_edges {
+        indices.push(s);
+        indices.push(d);
+    }
+    indices.sort_unstable();
+    indices.dedup();
+    assert!(
+        indices.len() <= u32::MAX as usize,
+        "graph exceeds u32 id space"
+    );
+    let n = indices.len() as u32;
+
+    let id_of = |index: u64| -> VertexId {
+        indices
+            .binary_search(&index)
+            .expect("endpoint index must be present") as VertexId
+    };
+
+    let mut edges = Vec::with_capacity(raw_edges.len());
+    let mut out_degrees = vec![0u32; n as usize];
+    let mut in_degrees = vec![0u32; n as usize];
+    for &(s, d) in raw_edges {
+        let (s, d) = (id_of(s), id_of(d));
+        out_degrees[s as usize] += 1;
+        in_degrees[d as usize] += 1;
+        edges.push((s, d));
+    }
+
+    Degreeing {
+        num_vertices: n,
+        edges,
+        out_degrees,
+        in_degrees,
+        index_of: indices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compacts_sparse_indices() {
+        // Indices 100, 5000, 77 — with everything between isolated.
+        let raw = vec![(100u64, 5000u64), (77, 100), (5000, 77)];
+        let d = degree(&raw);
+        assert_eq!(d.num_vertices, 3);
+        assert_eq!(d.index_of, vec![77, 100, 5000]);
+        // id order follows index order: 77→0, 100→1, 5000→2.
+        assert_eq!(d.edges, vec![(1, 2), (0, 1), (2, 0)]);
+        assert_eq!(d.out_degrees, vec![1, 1, 1]);
+        assert_eq!(d.in_degrees, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn mapping_is_a_bijection() {
+        let raw: Vec<(u64, u64)> = (0..100).map(|k| (k * 13 % 61, k * 7 % 61)).collect();
+        let d = degree(&raw);
+        for (id, &index) in d.index_of.iter().enumerate() {
+            assert_eq!(d.id_of(index), Some(id as VertexId));
+        }
+        assert_eq!(d.id_of(999_999), None);
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count() {
+        let raw: Vec<(u64, u64)> = (0..500).map(|k| (k % 17, (k * 3) % 23)).collect();
+        let d = degree(&raw);
+        assert_eq!(d.out_degrees.iter().sum::<u32>() as usize, raw.len());
+        assert_eq!(d.in_degrees.iter().sum::<u32>() as usize, raw.len());
+    }
+
+    #[test]
+    fn duplicate_edges_kept() {
+        let raw = vec![(1u64, 2u64), (1, 2), (1, 2)];
+        let d = degree(&raw);
+        assert_eq!(d.edges.len(), 3);
+        assert_eq!(d.out_degrees[0], 3);
+    }
+
+    #[test]
+    fn self_loops_counted_both_ways() {
+        let d = degree(&[(4u64, 4u64)]);
+        assert_eq!(d.num_vertices, 1);
+        assert_eq!(d.out_degrees, vec![1]);
+        assert_eq!(d.in_degrees, vec![1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = degree(&[]);
+        assert_eq!(d.num_vertices, 0);
+        assert!(d.edges.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Sharding — the second preprocessing step (§III-A).
+//!
+//! Divides the dense id space into `P` equal-sized intervals and the
+//! pre-shard edges into `P²` destination-sorted sub-shards, writing each to
+//! the target disk together with the degree table, mapping tables and the
+//! manifest. Optionally also writes the transposed sub-shards (needed by
+//! reverse-direction programs: WCC's undirected traversal and SCC's
+//! backward phase).
+
+use std::sync::Arc;
+
+use nxgraph_storage::format::{self, FileKind};
+use nxgraph_storage::manifest::GraphManifest;
+use nxgraph_storage::Disk;
+
+use crate::dsss::{PreparedGraph, SubShard};
+use crate::error::{EngineError, EngineResult};
+use crate::types::VertexId;
+
+use super::degree::Degreeing;
+
+/// Write the full DSSS representation of `deg` onto `disk`.
+pub fn shard(
+    deg: &Degreeing,
+    name: &str,
+    num_intervals: u32,
+    build_reverse: bool,
+    disk: Arc<dyn Disk>,
+) -> EngineResult<PreparedGraph> {
+    if num_intervals == 0 {
+        return Err(EngineError::Invalid("P must be positive".into()));
+    }
+    if deg.num_vertices == 0 {
+        return Err(EngineError::Invalid(
+            "cannot shard an empty graph (no edges)".into(),
+        ));
+    }
+    let p = num_intervals;
+    let manifest = GraphManifest::new(
+        name,
+        deg.num_vertices as u64,
+        deg.edges.len() as u64,
+        p,
+        build_reverse,
+    );
+    let interval_len = manifest.interval_len() as VertexId;
+    let interval_of = |v: VertexId| (v / interval_len).min(p - 1);
+
+    // Bucket edges into the P×P grid, then build each sub-shard.
+    write_grid(&deg.edges, p, interval_of, false, disk.as_ref())?;
+    if build_reverse {
+        let transposed: Vec<(VertexId, VertexId)> =
+            deg.edges.iter().map(|&(s, d)| (d, s)).collect();
+        write_grid(&transposed, p, interval_of, true, disk.as_ref())?;
+    }
+
+    // Degree table.
+    let mut blob = Vec::new();
+    format::write_blob(
+        &mut blob,
+        FileKind::Degrees,
+        &format::encode_u32s(&deg.out_degrees),
+    )
+    .expect("vec write is infallible");
+    disk.write_all_to(GraphManifest::degree_file(), &blob)?;
+
+    // Reverse mapping (id → original index), u64 little-endian array.
+    let mut payload = Vec::with_capacity(deg.index_of.len() * 8);
+    for &idx in &deg.index_of {
+        format::push_u64(&mut payload, idx);
+    }
+    let mut blob = Vec::new();
+    format::write_blob(&mut blob, FileKind::Mapping, &payload).expect("vec write is infallible");
+    disk.write_all_to(GraphManifest::reverse_mapping_file(), &blob)?;
+
+    manifest.save(disk.as_ref())?;
+    Ok(PreparedGraph::from_parts(
+        disk,
+        manifest,
+        Arc::new(deg.out_degrees.clone()),
+    ))
+}
+
+/// Bucket `edges` by (source interval, destination interval) and write one
+/// sub-shard file per cell.
+fn write_grid(
+    edges: &[(VertexId, VertexId)],
+    p: u32,
+    interval_of: impl Fn(VertexId) -> u32,
+    reverse: bool,
+    disk: &dyn Disk,
+) -> EngineResult<()> {
+    let cells = (p as usize) * (p as usize);
+    let mut buckets: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); cells];
+    for &(s, d) in edges {
+        let cell = interval_of(s) as usize * p as usize + interval_of(d) as usize;
+        buckets[cell].push((s, d));
+    }
+    for i in 0..p {
+        for j in 0..p {
+            let cell = i as usize * p as usize + j as usize;
+            let ss = SubShard::from_edges(i, j, std::mem::take(&mut buckets[cell]));
+            let name = if reverse {
+                GraphManifest::rev_subshard_file(i, j)
+            } else {
+                GraphManifest::subshard_file(i, j)
+            };
+            disk.write_all_to(&name, &ss.encode())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::degree::degree;
+    use nxgraph_storage::MemDisk;
+    use std::collections::HashSet;
+
+    fn fig1_raw() -> Vec<(u64, u64)> {
+        crate::fig1_example_edges()
+            .into_iter()
+            .map(|(s, d)| (s as u64, d as u64))
+            .collect()
+    }
+
+    #[test]
+    fn every_edge_lands_in_exactly_one_subshard() {
+        let deg = degree(&fig1_raw());
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let g = shard(&deg, "fig1", 4, false, disk).unwrap();
+        let mut collected = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                let ss = g.load_subshard(i, j, false).unwrap();
+                for (s, d) in ss.iter_edges() {
+                    // Membership invariant.
+                    assert!(g.interval_range(i).contains(&s));
+                    assert!(g.interval_range(j).contains(&d));
+                    collected.push((s, d));
+                }
+            }
+        }
+        let mut want = deg.edges.clone();
+        want.sort_unstable();
+        collected.sort_unstable();
+        assert_eq!(collected, want);
+    }
+
+    #[test]
+    fn matches_paper_fig1_grid() {
+        // P=4 with 7 vertices → intervals {0,1},{2,3},{4,5},{6}: exactly
+        // the paper's Fig 1 layout.
+        let deg = degree(&fig1_raw());
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let g = shard(&deg, "fig1", 4, false, disk).unwrap();
+        // SS3.2 (paper 1-based) = our (2,1): edges 5→2, 4→3, 5→3.
+        let ss = g.load_subshard(2, 1, false).unwrap();
+        let edges: Vec<_> = ss.iter_edges().collect();
+        assert_eq!(edges, vec![(5, 2), (4, 3), (5, 3)]);
+        // SS1.1 = our (0,0): empty.
+        assert!(g.load_subshard(0, 0, false).unwrap().is_empty());
+        // SS4.4 = our (3,3): empty (no 6→6 edge).
+        assert!(g.load_subshard(3, 3, false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reverse_shards_are_the_transpose() {
+        let deg = degree(&fig1_raw());
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let g = shard(&deg, "fig1", 3, true, disk).unwrap();
+        let mut fwd = HashSet::new();
+        let mut rev = HashSet::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                fwd.extend(g.load_subshard(i, j, false).unwrap().iter_edges());
+                rev.extend(
+                    g.load_subshard(i, j, true)
+                        .unwrap()
+                        .iter_edges()
+                        .map(|(s, d)| (d, s)),
+                );
+            }
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn rejects_empty_graph_and_zero_p() {
+        let deg = degree(&[]);
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        assert!(shard(&deg, "e", 4, false, Arc::clone(&disk)).is_err());
+        let deg = degree(&[(0, 1)]);
+        assert!(shard(&deg, "e", 0, false, disk).is_err());
+    }
+
+    #[test]
+    fn p_larger_than_n_works() {
+        let deg = degree(&[(0u64, 1u64), (1, 2)]);
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let g = shard(&deg, "tiny", 8, false, disk).unwrap();
+        assert_eq!(g.num_intervals(), 8);
+        let mut total = 0;
+        for i in 0..8 {
+            for j in 0..8 {
+                total += g.load_subshard(i, j, false).unwrap().num_edges();
+            }
+        }
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Fundamental types: vertex ids and fixed-size attribute encoding.
+
+/// Dense vertex identifier, produced by degreeing (§III-A).
+///
+/// Ids are contiguous `0..n`; the paper stores an interval as "only
+/// attributes of vertices and an offset of the first vertex", which requires
+/// exactly this density. `u32` bounds graphs at ~4.2 B vertices — beyond
+/// Yahoo-web, the paper's largest dataset.
+pub type VertexId = u32;
+
+/// A fixed-size, plain-old-data vertex attribute.
+///
+/// Interval and hub files store attributes as flat little-endian arrays;
+/// this trait supplies the encoding without any `unsafe` transmutes. All
+/// engine data paths are generic over `Attr`, so a program may use `f64`
+/// ranks, `u32` labels, or packed structs.
+pub trait Attr: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Encoded size in bytes (`Ba` in the paper's notation).
+    const SIZE: usize;
+
+    /// Append the little-endian encoding of `self` to `buf`.
+    fn write_to(&self, buf: &mut Vec<u8>);
+
+    /// Decode from exactly [`Self::SIZE`] bytes.
+    fn read_from(bytes: &[u8]) -> Self;
+
+    /// Encode a slice of attributes into a byte vector.
+    fn encode_slice(vals: &[Self]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(vals.len() * Self::SIZE);
+        for v in vals {
+            v.write_to(&mut buf);
+        }
+        buf
+    }
+
+    /// Decode a byte vector into attributes. Panics if `bytes` is not a
+    /// whole number of attributes (file headers are checksummed upstream,
+    /// so a mismatch here is a logic error, not bad input).
+    fn decode_slice(bytes: &[u8]) -> Vec<Self> {
+        assert!(
+            bytes.len().is_multiple_of(Self::SIZE),
+            "byte length {} not a multiple of attr size {}",
+            bytes.len(),
+            Self::SIZE
+        );
+        bytes.chunks_exact(Self::SIZE).map(Self::read_from).collect()
+    }
+}
+
+impl Attr for u32 {
+    const SIZE: usize = 4;
+
+    fn write_to(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_from(bytes: &[u8]) -> Self {
+        u32::from_le_bytes(bytes[..4].try_into().unwrap())
+    }
+}
+
+impl Attr for u64 {
+    const SIZE: usize = 8;
+
+    fn write_to(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_from(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes[..8].try_into().unwrap())
+    }
+}
+
+impl Attr for f64 {
+    const SIZE: usize = 8;
+
+    fn write_to(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_from(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes[..8].try_into().unwrap())
+    }
+}
+
+impl Attr for f32 {
+    const SIZE: usize = 4;
+
+    fn write_to(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_from(bytes: &[u8]) -> Self {
+        f32::from_le_bytes(bytes[..4].try_into().unwrap())
+    }
+}
+
+impl Attr for (u32, u32) {
+    const SIZE: usize = 8;
+
+    fn write_to(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0.to_le_bytes());
+        buf.extend_from_slice(&self.1.to_le_bytes());
+    }
+
+    fn read_from(bytes: &[u8]) -> Self {
+        (
+            u32::from_le_bytes(bytes[..4].try_into().unwrap()),
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        )
+    }
+}
+
+impl Attr for (f64, u32) {
+    const SIZE: usize = 12;
+
+    fn write_to(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0.to_le_bytes());
+        buf.extend_from_slice(&self.1.to_le_bytes());
+    }
+
+    fn read_from(bytes: &[u8]) -> Self {
+        (
+            f64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<A: Attr>(vals: Vec<A>) {
+        let bytes = A::encode_slice(&vals);
+        assert_eq!(bytes.len(), vals.len() * A::SIZE);
+        assert_eq!(A::decode_slice(&bytes), vals);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        roundtrip(vec![0u32, 1, u32::MAX]);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        roundtrip(vec![0u64, u64::MAX, 42]);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        roundtrip(vec![0.0f64, -1.5, f64::INFINITY, 1e-300]);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        roundtrip(vec![0.0f32, 3.25, f32::NEG_INFINITY]);
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        roundtrip(vec![(0u32, 5u32), (u32::MAX, 0)]);
+        roundtrip(vec![(1.5f64, 7u32)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn decode_rejects_ragged() {
+        let _ = u32::decode_slice(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Dataset presets mirroring the paper's Table III at reduced scale.
+//!
+//! | Paper dataset | Vertices | Edges  | Stand-in                                    |
+//! |---------------|----------|--------|---------------------------------------------|
+//! | LiveJournal   | 4.85 M   | 69 M   | R-MAT, scale 16, ef 14 (same m/n ≈ 14)      |
+//! | Twitter       | 41.7 M   | 1.47 B | R-MAT, scale 18, ef 35 (same m/n ≈ 35)      |
+//! | Yahoo-web     | 720 M    | 6.64 B | R-MAT, scale 20, ef 9, sparse index space   |
+//! | delaunay_nXX  | 2^XX     | ~3·2^XX| grid mesh with the same scale               |
+//!
+//! The default scales keep every experiment runnable in seconds on a laptop;
+//! the benchmark harness accepts `--scale-shift` to grow them toward the
+//! paper's sizes on bigger machines. The Yahoo-like preset spreads its
+//! vertices over a 64× larger *index* space so that, as with the real
+//! Yahoo-web crawl, most indices are isolated and degreeing must compact
+//! them away (the paper: "the vertex number here is less than the number of
+//! vertex indices").
+
+use crate::rmat::{self, RmatConfig};
+use crate::{mesh, RawEdge};
+
+/// A named synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name (used in benchmark output rows).
+    pub name: String,
+    /// The generated raw edges.
+    pub edges: Vec<RawEdge>,
+}
+
+/// LiveJournal-like: small social graph, m/n ≈ 14.
+pub fn livejournal_like(scale_shift: i32, seed: u64) -> Dataset {
+    let scale = shift(14, scale_shift);
+    Dataset {
+        name: "livejournal".into(),
+        edges: rmat::generate(&RmatConfig::graph500(scale, 14, seed)),
+    }
+}
+
+/// Twitter-like: large power-law graph, m/n ≈ 35.
+pub fn twitter_like(scale_shift: i32, seed: u64) -> Dataset {
+    let scale = shift(16, scale_shift);
+    Dataset {
+        name: "twitter".into(),
+        edges: rmat::generate(&RmatConfig::graph500(scale, 35, seed)),
+    }
+}
+
+/// Yahoo-web-like: very many vertices, sparse (m/n ≈ 9), sparse index space
+/// with isolated indices.
+pub fn yahoo_like(scale_shift: i32, seed: u64) -> Dataset {
+    let scale = shift(18, scale_shift);
+    let mut edges = rmat::generate(&RmatConfig::graph500(scale, 9, seed));
+    // Spread indices: multiply by a constant stride so the index space is
+    // sparse and degreeing has isolated indices to eliminate, like the real
+    // Yahoo crawl where |indices| >> |connected vertices|.
+    const STRIDE: u64 = 64;
+    for e in &mut edges {
+        e.src *= STRIDE;
+        e.dst *= STRIDE;
+    }
+    Dataset {
+        name: "yahoo".into(),
+        edges,
+    }
+}
+
+/// Delaunay-like mesh at `2^scale` vertices (paper: delaunay_n20 … n24).
+pub fn delaunay_like(scale: u32) -> Dataset {
+    Dataset {
+        name: format!("delaunay_n{scale}"),
+        edges: mesh::generate(&mesh::MeshConfig::with_scale(scale)),
+    }
+}
+
+/// The three "real-world-like" datasets, in paper order.
+pub fn real_world_suite(scale_shift: i32, seed: u64) -> Vec<Dataset> {
+    vec![
+        livejournal_like(scale_shift, seed),
+        twitter_like(scale_shift, seed + 1),
+        yahoo_like(scale_shift, seed + 2),
+    ]
+}
+
+fn shift(base: u32, scale_shift: i32) -> u32 {
+    let s = base as i64 + scale_shift as i64;
+    s.clamp(4, 30) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn ratios_match_paper_shape() {
+        let lj = livejournal_like(-4, 1);
+        let tw = twitter_like(-4, 1);
+        let ya = yahoo_like(-4, 1);
+        let r = |d: &Dataset| {
+            let s = stats(&d.edges);
+            s.num_edges as f64 / s.num_touched_vertices as f64
+        };
+        // Twitter-like must be the densest; Yahoo-like the sparsest.
+        assert!(r(&tw) > r(&lj), "twitter {} lj {}", r(&tw), r(&lj));
+        assert!(r(&lj) > r(&ya), "lj {} yahoo {}", r(&lj), r(&ya));
+    }
+
+    #[test]
+    fn yahoo_index_space_is_sparse() {
+        let ya = yahoo_like(-6, 3);
+        let max_idx = ya.edges.iter().map(|e| e.src.max(e.dst)).max().unwrap();
+        let touched = stats(&ya.edges).num_touched_vertices as u64;
+        assert!(
+            max_idx > touched * 8,
+            "index space {max_idx} should dwarf touched {touched}"
+        );
+    }
+
+    #[test]
+    fn delaunay_names_match_scale() {
+        let d = delaunay_like(10);
+        assert_eq!(d.name, "delaunay_n10");
+        assert!(!d.edges.is_empty());
+    }
+
+    #[test]
+    fn suite_has_three_graphs() {
+        let suite = real_world_suite(-6, 0);
+        let names: Vec<_> = suite.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["livejournal", "twitter", "yahoo"]);
+    }
+
+    #[test]
+    fn shift_clamps() {
+        // Extreme shifts must not underflow/overflow the scale.
+        let tiny = livejournal_like(-100, 0);
+        assert!(!tiny.edges.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Erdős–Rényi style uniform random graphs.
+//!
+//! `G(n, m)`: `m` directed edges drawn uniformly (with replacement) over an
+//! `n × n` adjacency matrix. Used as a structurally "boring" workload in
+//! tests and as the randomness source for property-based testing of the
+//! engines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::RawEdge;
+
+/// Generate `m` uniform random directed edges over `n` vertices.
+///
+/// Self-loops are permitted (NXgraph handles them; PageRank treats them as
+/// ordinary edges). Duplicates are permitted, matching raw crawl data.
+pub fn generate(n: u64, m: usize, seed: u64) -> Vec<RawEdge> {
+    assert!(n > 0, "need at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| RawEdge::new(rng.random_range(0..n), rng.random_range(0..n)))
+        .collect()
+}
+
+/// Generate a uniform random graph with no self-loops and no duplicate
+/// edges; `m` is a target and may be reduced if it exceeds `n·(n-1)`.
+pub fn generate_simple(n: u64, m: usize, seed: u64) -> Vec<RawEdge> {
+    assert!(n > 1, "need at least two vertices for a simple graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = (n * (n - 1)) as usize;
+    let m = m.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let src = rng.random_range(0..n);
+        let dst = rng.random_range(0..n);
+        if src != dst && seen.insert((src, dst)) {
+            edges.push(RawEdge::new(src, dst));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_ranges() {
+        let edges = generate(100, 500, 9);
+        assert_eq!(edges.len(), 500);
+        assert!(edges.iter().all(|e| e.src < 100 && e.dst < 100));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(50, 100, 1), generate(50, 100, 1));
+        assert_ne!(generate(50, 100, 1), generate(50, 100, 2));
+    }
+
+    #[test]
+    fn simple_graph_has_no_loops_or_dups() {
+        let edges = generate_simple(30, 200, 5);
+        assert_eq!(edges.len(), 200);
+        let mut seen = std::collections::HashSet::new();
+        for e in &edges {
+            assert_ne!(e.src, e.dst);
+            assert!(seen.insert((e.src, e.dst)));
+        }
+    }
+
+    #[test]
+    fn simple_graph_caps_at_complete() {
+        let edges = generate_simple(5, 1000, 5);
+        assert_eq!(edges.len(), 20); // 5 * 4
+    }
+}

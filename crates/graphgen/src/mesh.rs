@@ -1,0 +1,142 @@
+//! Grid-triangulation meshes — the `delaunay_n*` stand-in.
+//!
+//! The paper's scalability experiment (Fig 11) sweeps Delaunay
+//! triangulations `delaunay_n20 … n24`: planar graphs with average degree
+//! ≈ 6 and vertex counts doubling per step. What the experiment measures is
+//! throughput (MTEPS) as a *constant-degree* graph grows, so any
+//! triangulated planar mesh reproduces the workload. We triangulate a
+//! `rows × cols` grid: each interior cell contributes its two triangle
+//! diagonally-split edges, giving exactly the 6-regular interior structure
+//! of a Delaunay mesh without a computational-geometry dependency.
+
+use crate::RawEdge;
+
+/// Configuration for a triangulated grid mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshConfig {
+    /// Number of grid rows.
+    pub rows: u64,
+    /// Number of grid columns.
+    pub cols: u64,
+}
+
+impl MeshConfig {
+    /// A roughly square mesh with ~`2^scale` vertices (mirrors the
+    /// `delaunay_n{scale}` naming).
+    pub fn with_scale(scale: u32) -> Self {
+        let n = 1u64 << scale;
+        let rows = (n as f64).sqrt().round() as u64;
+        let cols = n.div_ceil(rows.max(1));
+        Self { rows, cols }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Number of *directed* edges the generator will emit
+    /// (each undirected mesh edge is emitted in both directions).
+    pub fn num_edges(&self) -> u64 {
+        let r = self.rows;
+        let c = self.cols;
+        if r == 0 || c == 0 {
+            return 0;
+        }
+        // Horizontal: r·(c−1); vertical: (r−1)·c; diagonal: (r−1)·(c−1).
+        let undirected = r * (c - 1) + (r - 1) * c + (r - 1) * (c - 1);
+        2 * undirected
+    }
+}
+
+/// Generate the directed edge list of a triangulated grid.
+///
+/// Vertex `(i, j)` has index `i * cols + j`. Each undirected edge appears in
+/// both directions, matching how the paper ingests undirected benchmark
+/// graphs (§II-A: "Undirected graph is supported by adding two opposite
+/// edges").
+pub fn generate(cfg: &MeshConfig) -> Vec<RawEdge> {
+    let mut edges = Vec::with_capacity(cfg.num_edges() as usize);
+    let id = |i: u64, j: u64| i * cfg.cols + j;
+    let both = |a: u64, b: u64, edges: &mut Vec<RawEdge>| {
+        edges.push(RawEdge::new(a, b));
+        edges.push(RawEdge::new(b, a));
+    };
+    for i in 0..cfg.rows {
+        for j in 0..cfg.cols {
+            if j + 1 < cfg.cols {
+                both(id(i, j), id(i, j + 1), &mut edges);
+            }
+            if i + 1 < cfg.rows {
+                both(id(i, j), id(i + 1, j), &mut edges);
+            }
+            if i + 1 < cfg.rows && j + 1 < cfg.cols {
+                // Diagonal of the triangulation.
+                both(id(i, j), id(i + 1, j + 1), &mut edges);
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn edge_count_matches_formula() {
+        for (r, c) in [(1u64, 1u64), (2, 2), (3, 5), (10, 10), (1, 7)] {
+            let cfg = MeshConfig { rows: r, cols: c };
+            let edges = generate(&cfg);
+            assert_eq!(edges.len() as u64, cfg.num_edges(), "rows={r} cols={c}");
+        }
+    }
+
+    #[test]
+    fn interior_degree_is_six_ish() {
+        let cfg = MeshConfig { rows: 32, cols: 32 };
+        let edges = generate(&cfg);
+        let s = stats(&edges);
+        // Average (out-)degree of a large triangulated grid tends to 6.
+        assert!(
+            (s.mean_degree - 6.0).abs() < 1.0,
+            "mean degree {}",
+            s.mean_degree
+        );
+        assert_eq!(s.self_loops, 0);
+        assert_eq!(s.num_touched_vertices as u64, cfg.num_vertices());
+    }
+
+    #[test]
+    fn symmetric_edges() {
+        let cfg = MeshConfig { rows: 4, cols: 4 };
+        let edges = generate(&cfg);
+        let set: std::collections::HashSet<_> =
+            edges.iter().map(|e| (e.src, e.dst)).collect();
+        for e in &edges {
+            assert!(set.contains(&(e.dst, e.src)), "missing reverse of {e:?}");
+        }
+    }
+
+    #[test]
+    fn scale_targets_vertex_count() {
+        for scale in [10u32, 12, 14] {
+            let cfg = MeshConfig::with_scale(scale);
+            let want = 1u64 << scale;
+            let got = cfg.num_vertices();
+            // Within 5% of the target (rounding a square).
+            assert!(
+                (got as f64 - want as f64).abs() / want as f64 <= 0.05,
+                "scale {scale}: got {got}, want ≈{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_meshes() {
+        assert!(generate(&MeshConfig { rows: 1, cols: 1 }).is_empty());
+        let line = generate(&MeshConfig { rows: 1, cols: 4 });
+        assert_eq!(line.len(), 6); // 3 undirected * 2
+    }
+}

@@ -1,0 +1,177 @@
+//! R-MAT (Recursive MATrix) graph generator.
+//!
+//! R-MAT [Chakrabarti et al., SDM 2004] recursively subdivides the adjacency
+//! matrix into quadrants with probabilities `(a, b, c, d)`; skewed
+//! probabilities produce the power-law in/out-degree distributions of web
+//! and social graphs — the property that drives sub-shard imbalance and hub
+//! in-degree `d` in the NXgraph evaluation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::RawEdge;
+
+/// R-MAT generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Edges per vertex (the generated edge count is `edge_factor << scale`).
+    pub edge_factor: u32,
+    /// Quadrant probability `a` (top-left).
+    pub a: f64,
+    /// Quadrant probability `b` (top-right).
+    pub b: f64,
+    /// Quadrant probability `c` (bottom-left).
+    pub c: f64,
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+    /// Perturbation noise applied to quadrant probabilities per level,
+    /// avoiding exact self-similarity artifacts (0.0 disables).
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// The classic "graph500"-style skew: a=0.57, b=0.19, c=0.19.
+    pub fn graph500(scale: u32, edge_factor: u32, seed: u64) -> Self {
+        Self {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+            noise: 0.05,
+        }
+    }
+
+    /// Quadrant probability `d` (derived).
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    /// Number of vertices in the id space (`2^scale`).
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of edges to generate.
+    pub fn num_edges(&self) -> u64 {
+        self.edge_factor as u64 * self.num_vertices()
+    }
+}
+
+/// Generate the full edge list for `cfg`.
+pub fn generate(cfg: &RmatConfig) -> Vec<RawEdge> {
+    assert!(cfg.scale > 0 && cfg.scale < 40, "scale out of range");
+    assert!(
+        cfg.a > 0.0 && cfg.b >= 0.0 && cfg.c >= 0.0 && cfg.d() >= 0.0,
+        "invalid quadrant probabilities"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = cfg.num_edges() as usize;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        edges.push(sample_edge(cfg, &mut rng));
+    }
+    edges
+}
+
+/// Sample a single R-MAT edge.
+fn sample_edge(cfg: &RmatConfig, rng: &mut StdRng) -> RawEdge {
+    let mut src = 0u64;
+    let mut dst = 0u64;
+    let (mut a, mut b, mut c) = (cfg.a, cfg.b, cfg.c);
+    for level in 0..cfg.scale {
+        let r: f64 = rng.random();
+        let bit = 1u64 << (cfg.scale - 1 - level);
+        if r < a {
+            // top-left: no bits set
+        } else if r < a + b {
+            dst |= bit;
+        } else if r < a + b + c {
+            src |= bit;
+        } else {
+            src |= bit;
+            dst |= bit;
+        }
+        if cfg.noise > 0.0 {
+            // Multiplicative noise, renormalised, keeps expected skew.
+            let na = a * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.random::<f64>());
+            let nb = b * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.random::<f64>());
+            let nc = c * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.random::<f64>());
+            let nd = (1.0 - a - b - c)
+                * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.random::<f64>());
+            let sum = na + nb + nc + nd;
+            a = na / sum;
+            b = nb / sum;
+            c = nc / sum;
+        }
+    }
+    RawEdge::new(src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RmatConfig::graph500(10, 8, 42);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&RmatConfig::graph500(10, 8, 1));
+        let b = generate(&RmatConfig::graph500(10, 8, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn edge_count_and_id_range() {
+        let cfg = RmatConfig::graph500(8, 4, 7);
+        let edges = generate(&cfg);
+        assert_eq!(edges.len(), 4 << 8);
+        let n = cfg.num_vertices();
+        assert!(edges.iter().all(|e| e.src < n && e.dst < n));
+    }
+
+    #[test]
+    fn produces_skewed_degrees() {
+        // With graph500 skew the max degree should far exceed the mean.
+        let cfg = RmatConfig::graph500(12, 16, 3);
+        let edges = generate(&cfg);
+        let s = stats(&edges);
+        assert!(
+            s.max_out_degree as f64 > 8.0 * s.mean_degree,
+            "max {} vs mean {}",
+            s.max_out_degree,
+            s.mean_degree
+        );
+    }
+
+    #[test]
+    fn uniform_probabilities_are_not_skewed() {
+        let cfg = RmatConfig {
+            scale: 12,
+            edge_factor: 16,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            seed: 3,
+            noise: 0.0,
+        };
+        let edges = generate(&cfg);
+        let s = stats(&edges);
+        // Uniform quadrants ≈ Erdős–Rényi: max degree stays close to mean.
+        assert!((s.max_out_degree as f64) < 5.0 * s.mean_degree);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale out of range")]
+    fn rejects_zero_scale() {
+        generate(&RmatConfig::graph500(0, 1, 0));
+    }
+}

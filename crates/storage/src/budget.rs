@@ -1,0 +1,242 @@
+//! Explicit memory-budget accounting.
+//!
+//! The paper's experiments vary the machine's physical memory at boot time;
+//! the effect of that knob on NXgraph is entirely mediated by two decisions:
+//! how many intervals `Q` (out of `P`) may be resident as ping-pong pairs,
+//! and whether left-over budget may cache sub-shards. [`MemoryBudget`]
+//! models the knob directly so every experiment is deterministic and
+//! runnable on any host.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{StorageError, StorageResult};
+
+/// A fixed byte budget with live allocation tracking.
+///
+/// Engines `reserve` bytes before materialising a structure in memory and
+/// `release` them when the structure is dropped/evicted. Reservations are
+/// advisory (the engine decides its residency plan from the budget up
+/// front), but tracking them catches planning bugs in tests.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    total: u64,
+    used: AtomicU64,
+}
+
+impl MemoryBudget {
+    /// A budget of `total` bytes.
+    pub fn new(total: u64) -> Self {
+        Self {
+            total,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Budget expressed in mebibytes.
+    pub fn from_mib(mib: u64) -> Self {
+        Self::new(mib << 20)
+    }
+
+    /// Total budget in bytes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.total.saturating_sub(self.used())
+    }
+
+    /// Whether a structure of `bytes` would fit right now.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Reserve `bytes`, failing if the budget would be exceeded.
+    pub fn reserve(&self, bytes: u64) -> StorageResult<()> {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_add(bytes);
+            if new > self.total {
+                return Err(StorageError::BudgetExceeded {
+                    requested: bytes,
+                    available: self.total - cur,
+                });
+            }
+            match self
+                .used
+                .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Release a previous reservation.
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Residency plan derived from a budget, following §III-B3 of the paper.
+///
+/// Given `n` vertices split into `P` intervals with `attr_bytes`-byte
+/// attributes, SPU needs ping-pong copies of *all* intervals
+/// (`2 · n · Ba` bytes). If the budget is smaller, only
+/// `Q = ⌊BM / (2·n·Ba) · P⌋` intervals may stay resident and the remaining
+/// rows/columns fall back to hub-mediated (DPU-style) updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencyPlan {
+    /// Number of intervals kept in memory as ping-pong pairs (`Q`).
+    pub resident_intervals: usize,
+    /// Total interval count (`P`).
+    pub total_intervals: usize,
+    /// Bytes of budget left after interval residency, available for caching
+    /// sub-shards in memory.
+    pub shard_cache_bytes: u64,
+}
+
+impl ResidencyPlan {
+    /// Compute the plan for a graph of `n` vertices, `p` intervals and
+    /// `attr_bytes` bytes per vertex attribute under `budget` bytes.
+    pub fn compute(n: u64, p: usize, attr_bytes: u64, budget: u64) -> Self {
+        assert!(p > 0, "interval count must be positive");
+        let ping_pong_all = 2 * n * attr_bytes;
+        if ping_pong_all == 0 {
+            return Self {
+                resident_intervals: p,
+                total_intervals: p,
+                shard_cache_bytes: budget,
+            };
+        }
+        if budget >= ping_pong_all {
+            // Pure SPU; everything resident, leftover caches shards.
+            return Self {
+                resident_intervals: p,
+                total_intervals: p,
+                shard_cache_bytes: budget - ping_pong_all,
+            };
+        }
+        // Q = floor(BM / (2 n Ba) * P) as in §III-B3.
+        let q = ((budget as u128 * p as u128) / ping_pong_all as u128) as usize;
+        let q = q.min(p);
+        // Bytes actually consumed by the Q resident ping-pong intervals
+        // (intervals are equal-sized up to rounding).
+        let per_interval = 2 * attr_bytes * n.div_ceil(p as u64);
+        let consumed = per_interval * q as u64;
+        Self {
+            resident_intervals: q,
+            total_intervals: p,
+            shard_cache_bytes: budget.saturating_sub(consumed),
+        }
+    }
+
+    /// True when the plan degenerates to pure SPU (everything resident).
+    pub fn is_spu(&self) -> bool {
+        self.resident_intervals == self.total_intervals
+    }
+
+    /// True when the plan degenerates to pure DPU (nothing resident).
+    pub fn is_dpu(&self) -> bool {
+        self.resident_intervals == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let b = MemoryBudget::new(100);
+        assert!(b.fits(100));
+        b.reserve(60).unwrap();
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.available(), 40);
+        assert!(b.reserve(50).is_err());
+        b.release(60);
+        assert!(b.reserve(100).is_ok());
+    }
+
+    #[test]
+    fn release_never_underflows() {
+        let b = MemoryBudget::new(10);
+        b.release(999);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn unlimited_accepts_everything() {
+        let b = MemoryBudget::unlimited();
+        b.reserve(u64::MAX / 2).unwrap();
+        assert!(b.fits(u64::MAX / 4));
+    }
+
+    #[test]
+    fn plan_full_budget_is_spu() {
+        // n=1000, Ba=8 → ping-pong = 16_000 bytes.
+        let plan = ResidencyPlan::compute(1000, 8, 8, 20_000);
+        assert!(plan.is_spu());
+        assert_eq!(plan.resident_intervals, 8);
+        assert_eq!(plan.shard_cache_bytes, 4_000);
+    }
+
+    #[test]
+    fn plan_zero_budget_is_dpu() {
+        let plan = ResidencyPlan::compute(1000, 8, 8, 0);
+        assert!(plan.is_dpu());
+        assert_eq!(plan.shard_cache_bytes, 0);
+    }
+
+    #[test]
+    fn plan_partial_budget_is_mixed() {
+        // ping-pong all = 16_000; budget 8_000 → Q = 4 of 8.
+        let plan = ResidencyPlan::compute(1000, 8, 8, 8_000);
+        assert_eq!(plan.resident_intervals, 4);
+        assert!(!plan.is_spu());
+        assert!(!plan.is_dpu());
+    }
+
+    #[test]
+    fn plan_q_monotone_in_budget() {
+        let mut last = 0;
+        for budget in (0..=20_000).step_by(500) {
+            let plan = ResidencyPlan::compute(1000, 16, 8, budget);
+            assert!(plan.resident_intervals >= last);
+            last = plan.resident_intervals;
+        }
+        assert_eq!(last, 16);
+    }
+
+    #[test]
+    fn plan_handles_empty_graph() {
+        let plan = ResidencyPlan::compute(0, 4, 8, 0);
+        assert!(plan.is_spu());
+    }
+
+    #[test]
+    fn from_mib_scales() {
+        assert_eq!(MemoryBudget::from_mib(2).total(), 2 * 1024 * 1024);
+    }
+}

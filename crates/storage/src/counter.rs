@@ -1,0 +1,198 @@
+//! Byte-exact I/O accounting.
+//!
+//! Every read and write that crosses the [`Disk`](crate::disk::Disk)
+//! boundary is recorded here. The NXgraph paper derives closed-form bounds
+//! for the bytes moved per iteration by each update strategy (Table II);
+//! these counters let the test-suite and the benchmark harness verify those
+//! bounds empirically rather than by trusting wall-clock proxies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O counters for one logical disk.
+///
+/// Counters are monotonically increasing; use [`IoCounters::snapshot`] and
+/// [`IoSnapshot::delta`] to measure a region of execution.
+#[derive(Debug, Default)]
+pub struct IoCounters {
+    read_bytes: AtomicU64,
+    written_bytes: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    /// Number of times a *new* sequential stream was opened (≈ disk seeks).
+    seeks: AtomicU64,
+}
+
+impl IoCounters {
+    /// Create a fresh, zeroed set of counters behind an [`Arc`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record `n` bytes read in one operation.
+    #[inline]
+    pub fn record_read(&self, n: u64) {
+        self.read_bytes.fetch_add(n, Ordering::Relaxed);
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` bytes written in one operation.
+    #[inline]
+    pub fn record_write(&self, n: u64) {
+        self.written_bytes.fetch_add(n, Ordering::Relaxed);
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the start of a new sequential stream (an approximate seek).
+    #[inline]
+    pub fn record_seek(&self) {
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes read since creation.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written since creation.
+    pub fn written_bytes(&self) -> u64 {
+        self.written_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total read operations since creation.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops.load(Ordering::Relaxed)
+    }
+
+    /// Total write operations since creation.
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops.load(Ordering::Relaxed)
+    }
+
+    /// Total stream-open events (approximate seeks) since creation.
+    pub fn seeks(&self) -> u64 {
+        self.seeks.load(Ordering::Relaxed)
+    }
+
+    /// Capture the current values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            read_bytes: self.read_bytes(),
+            written_bytes: self.written_bytes(),
+            read_ops: self.read_ops(),
+            write_ops: self.write_ops(),
+            seeks: self.seeks(),
+        }
+    }
+
+    /// Reset all counters to zero. Intended for benchmark harness phases.
+    pub fn reset(&self) {
+        self.read_bytes.store(0, Ordering::Relaxed);
+        self.written_bytes.store(0, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoCounters`], supporting deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Bytes read at snapshot time.
+    pub read_bytes: u64,
+    /// Bytes written at snapshot time.
+    pub written_bytes: u64,
+    /// Read operations at snapshot time.
+    pub read_ops: u64,
+    /// Write operations at snapshot time.
+    pub write_ops: u64,
+    /// Stream-open events at snapshot time.
+    pub seeks: u64,
+}
+
+impl IoSnapshot {
+    /// The traffic that happened between `earlier` and `self`.
+    ///
+    /// Counters are monotone, so all fields of the result are
+    /// non-negative as long as `earlier` was truly taken earlier.
+    pub fn delta(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            read_bytes: self.read_bytes - earlier.read_bytes,
+            written_bytes: self.written_bytes - earlier.written_bytes,
+            read_ops: self.read_ops - earlier.read_ops,
+            write_ops: self.write_ops - earlier.write_ops,
+            seeks: self.seeks - earlier.seeks,
+        }
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.written_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn records_and_snapshots() {
+        let c = IoCounters::new();
+        c.record_read(100);
+        c.record_write(50);
+        c.record_seek();
+        let s = c.snapshot();
+        assert_eq!(s.read_bytes, 100);
+        assert_eq!(s.written_bytes, 50);
+        assert_eq!(s.read_ops, 1);
+        assert_eq!(s.write_ops, 1);
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.total_bytes(), 150);
+    }
+
+    #[test]
+    fn delta_between_snapshots() {
+        let c = IoCounters::new();
+        c.record_read(10);
+        let a = c.snapshot();
+        c.record_read(7);
+        c.record_write(3);
+        let b = c.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.read_bytes, 7);
+        assert_eq!(d.written_bytes, 3);
+        assert_eq!(d.read_ops, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = IoCounters::new();
+        c.record_read(10);
+        c.record_write(10);
+        c.record_seek();
+        c.reset();
+        assert_eq!(c.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = IoCounters::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_read(1);
+                        c.record_write(2);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.read_bytes(), 8 * 1000);
+        assert_eq!(c.written_bytes(), 2 * 8 * 1000);
+    }
+}

@@ -1,0 +1,593 @@
+//! Disk abstraction with byte-exact accounting.
+//!
+//! All NXgraph engines (and the baseline engines) move data exclusively
+//! through [`Disk`], so every byte of graph traffic is observable via the
+//! disk's [`IoCounters`]. Three implementations are provided:
+//!
+//! * [`OsDisk`] — a directory of real files, buffered sequential streams.
+//! * [`MemDisk`] — an in-memory file map, used by the test-suite and to run
+//!   experiments on a "RAM disk" profile without touching the filesystem.
+//! * [`FaultyDisk`] — wraps another disk and injects failures after a
+//!   configurable number of bytes, for failure-path testing.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::counter::IoCounters;
+use crate::error::{StorageError, StorageResult};
+
+/// A sequential reader handed out by a [`Disk`].
+pub trait DiskRead: Read + Send {
+    /// Total length of the underlying file in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the underlying file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read the remainder of the stream into a vector.
+    fn read_to_vec(&mut self) -> StorageResult<Vec<u8>> {
+        let mut buf = Vec::with_capacity(self.len() as usize);
+        self.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// A sequential writer handed out by a [`Disk`].
+pub trait DiskWrite: Write + Send {
+    /// Flush and durably commit the file. Must be called; dropping without
+    /// finishing may discard buffered data on some implementations.
+    fn finish(self: Box<Self>) -> StorageResult<()>;
+}
+
+/// A named collection of sequentially-accessed files with shared I/O
+/// accounting.
+///
+/// The trait is object-safe; engines hold `Arc<dyn Disk>` so the same code
+/// runs against real files, memory, or a fault injector.
+pub trait Disk: Send + Sync {
+    /// Create (or truncate) a file and return a sequential writer over it.
+    fn create(&self, name: &str) -> StorageResult<Box<dyn DiskWrite>>;
+
+    /// Open an existing file for sequential reading from the start.
+    fn open(&self, name: &str) -> StorageResult<Box<dyn DiskRead>>;
+
+    /// Whether a file with this name exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// Length of the named file in bytes.
+    fn len_of(&self, name: &str) -> StorageResult<u64>;
+
+    /// Delete a file.
+    fn remove(&self, name: &str) -> StorageResult<()>;
+
+    /// Names of all files currently on the disk, in unspecified order.
+    fn list(&self) -> Vec<String>;
+
+    /// The shared traffic counters for this disk.
+    fn counters(&self) -> &Arc<IoCounters>;
+
+    /// Convenience: read an entire file into memory.
+    fn read_all(&self, name: &str) -> StorageResult<Vec<u8>> {
+        self.open(name)?.read_to_vec()
+    }
+
+    /// Convenience: write an entire buffer as a file.
+    fn write_all_to(&self, name: &str, data: &[u8]) -> StorageResult<()> {
+        let mut w = self.create(name)?;
+        w.write_all(data).map_err(StorageError::from)?;
+        w.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OsDisk
+// ---------------------------------------------------------------------------
+
+/// A [`Disk`] backed by a directory of real files.
+pub struct OsDisk {
+    root: PathBuf,
+    counters: Arc<IoCounters>,
+}
+
+impl OsDisk {
+    /// Open (creating if necessary) a disk rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> StorageResult<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self {
+            root,
+            counters: IoCounters::new(),
+        })
+    }
+
+    /// The root directory backing this disk.
+    pub fn root(&self) -> &PathBuf {
+        &self.root
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        // Flatten any path separators so callers cannot escape the root.
+        let safe: String = name
+            .chars()
+            .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+            .collect();
+        self.root.join(safe)
+    }
+}
+
+struct CountingFileRead {
+    inner: BufReader<fs::File>,
+    len: u64,
+    counters: Arc<IoCounters>,
+}
+
+impl Read for CountingFileRead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.counters.record_read(n as u64);
+        Ok(n)
+    }
+}
+
+impl DiskRead for CountingFileRead {
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+struct CountingFileWrite {
+    inner: BufWriter<fs::File>,
+    counters: Arc<IoCounters>,
+}
+
+impl Write for CountingFileWrite {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.counters.record_write(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl DiskWrite for CountingFileWrite {
+    fn finish(mut self: Box<Self>) -> StorageResult<()> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+impl Disk for OsDisk {
+    fn create(&self, name: &str) -> StorageResult<Box<dyn DiskWrite>> {
+        let file = fs::File::create(self.path_of(name))?;
+        self.counters.record_seek();
+        Ok(Box::new(CountingFileWrite {
+            inner: BufWriter::with_capacity(1 << 20, file),
+            counters: Arc::clone(&self.counters),
+        }))
+    }
+
+    fn open(&self, name: &str) -> StorageResult<Box<dyn DiskRead>> {
+        let path = self.path_of(name);
+        let file = fs::File::open(&path)
+            .map_err(|_| StorageError::NotFound(name.to_string()))?;
+        let len = file.metadata()?.len();
+        self.counters.record_seek();
+        Ok(Box::new(CountingFileRead {
+            inner: BufReader::with_capacity(1 << 20, file),
+            len,
+            counters: Arc::clone(&self.counters),
+        }))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path_of(name).exists()
+    }
+
+    fn len_of(&self, name: &str) -> StorageResult<u64> {
+        let md = fs::metadata(self.path_of(name))
+            .map_err(|_| StorageError::NotFound(name.to_string()))?;
+        Ok(md.len())
+    }
+
+    fn remove(&self, name: &str) -> StorageResult<()> {
+        fs::remove_file(self.path_of(name))
+            .map_err(|_| StorageError::NotFound(name.to_string()))
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.root) {
+            for e in entries.flatten() {
+                if let Some(name) = e.file_name().to_str() {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    fn counters(&self) -> &Arc<IoCounters> {
+        &self.counters
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemDisk
+// ---------------------------------------------------------------------------
+
+type FileMap = HashMap<String, Arc<Vec<u8>>>;
+
+/// A [`Disk`] that stores its files in memory.
+///
+/// Reads and writes still go through the counters, so I/O-amount
+/// experiments can run entirely in memory (this is also how the test-suite
+/// validates the Table II byte formulas quickly).
+pub struct MemDisk {
+    files: Arc<Mutex<FileMap>>,
+    counters: Arc<IoCounters>,
+}
+
+impl MemDisk {
+    /// Create an empty in-memory disk.
+    pub fn new() -> Self {
+        Self {
+            files: Arc::new(Mutex::new(HashMap::new())),
+            counters: IoCounters::new(),
+        }
+    }
+
+    /// Number of files currently stored.
+    pub fn file_count(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// Sum of the sizes of all stored files.
+    pub fn total_size(&self) -> u64 {
+        self.files.lock().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl Default for MemDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct MemRead {
+    data: Arc<Vec<u8>>,
+    pos: usize,
+    counters: Arc<IoCounters>,
+}
+
+impl Read for MemRead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = &self.data[self.pos..];
+        let n = remaining.len().min(buf.len());
+        buf[..n].copy_from_slice(&remaining[..n]);
+        self.pos += n;
+        self.counters.record_read(n as u64);
+        Ok(n)
+    }
+}
+
+impl DiskRead for MemRead {
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+struct MemWrite {
+    name: String,
+    buf: Vec<u8>,
+    disk_files: Arc<Mutex<FileMap>>,
+    counters: Arc<IoCounters>,
+    finished: bool,
+}
+
+impl Write for MemWrite {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        self.counters.record_write(buf.len() as u64);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl DiskWrite for MemWrite {
+    fn finish(mut self: Box<Self>) -> StorageResult<()> {
+        let data = std::mem::take(&mut self.buf);
+        self.disk_files
+            .lock()
+            .insert(self.name.clone(), Arc::new(data));
+        self.finished = true;
+        Ok(())
+    }
+}
+
+impl Drop for MemWrite {
+    fn drop(&mut self) {
+        // Commit on drop as well so callers that forget `finish` are not
+        // silently losing data; `finish` remains the explicit, checkable path.
+        if !self.finished && !self.buf.is_empty() {
+            let data = std::mem::take(&mut self.buf);
+            self.disk_files
+                .lock()
+                .insert(self.name.clone(), Arc::new(data));
+        }
+    }
+}
+
+impl Disk for MemDisk {
+    fn create(&self, name: &str) -> StorageResult<Box<dyn DiskWrite>> {
+        // The writer owns its buffer; commit happens on finish/drop.
+        self.counters.record_seek();
+        Ok(Box::new(MemWrite {
+            name: name.to_string(),
+            buf: Vec::new(),
+            disk_files: Arc::clone(&self.files),
+            counters: Arc::clone(&self.counters),
+            finished: false,
+        }))
+    }
+
+    fn open(&self, name: &str) -> StorageResult<Box<dyn DiskRead>> {
+        let files = self.files.lock();
+        let data = files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
+        self.counters.record_seek();
+        Ok(Box::new(MemRead {
+            data,
+            pos: 0,
+            counters: Arc::clone(&self.counters),
+        }))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.files.lock().contains_key(name)
+    }
+
+    fn len_of(&self, name: &str) -> StorageResult<u64> {
+        self.files
+            .lock()
+            .get(name)
+            .map(|v| v.len() as u64)
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))
+    }
+
+    fn remove(&self, name: &str) -> StorageResult<()> {
+        self.files
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.files.lock().keys().cloned().collect()
+    }
+
+    fn counters(&self) -> &Arc<IoCounters> {
+        &self.counters
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyDisk
+// ---------------------------------------------------------------------------
+
+/// A fault-injecting wrapper around another [`Disk`].
+///
+/// After `byte_budget` total bytes of traffic (reads + writes) every further
+/// operation fails with [`StorageError::InjectedFault`] (surfaced through
+/// `io::Error` on the Read/Write traits). Used to test that engines surface
+/// disk failures instead of producing silently wrong results.
+pub struct FaultyDisk {
+    inner: Arc<dyn Disk>,
+    remaining: Arc<AtomicU64>,
+}
+
+impl FaultyDisk {
+    /// Wrap `inner`, allowing `byte_budget` bytes of traffic before failing.
+    pub fn new(inner: Arc<dyn Disk>, byte_budget: u64) -> Self {
+        Self {
+            inner,
+            remaining: Arc::new(AtomicU64::new(byte_budget)),
+        }
+    }
+
+    fn consume(remaining: &AtomicU64, n: u64) -> io::Result<()> {
+        let mut cur = remaining.load(Ordering::Relaxed);
+        loop {
+            if cur < n {
+                return Err(io::Error::other(
+                    "injected disk fault: byte budget exhausted",
+                ));
+            }
+            match remaining.compare_exchange(
+                cur,
+                cur - n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+struct FaultyRead {
+    inner: Box<dyn DiskRead>,
+    remaining: Arc<AtomicU64>,
+}
+
+impl Read for FaultyRead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        FaultyDisk::consume(&self.remaining, n as u64)?;
+        Ok(n)
+    }
+}
+
+impl DiskRead for FaultyRead {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+struct FaultyWrite {
+    inner: Box<dyn DiskWrite>,
+    remaining: Arc<AtomicU64>,
+}
+
+impl Write for FaultyWrite {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        FaultyDisk::consume(&self.remaining, buf.len() as u64)?;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl DiskWrite for FaultyWrite {
+    fn finish(self: Box<Self>) -> StorageResult<()> {
+        self.inner.finish()
+    }
+}
+
+impl Disk for FaultyDisk {
+    fn create(&self, name: &str) -> StorageResult<Box<dyn DiskWrite>> {
+        Ok(Box::new(FaultyWrite {
+            inner: self.inner.create(name)?,
+            remaining: Arc::clone(&self.remaining),
+        }))
+    }
+
+    fn open(&self, name: &str) -> StorageResult<Box<dyn DiskRead>> {
+        Ok(Box::new(FaultyRead {
+            inner: self.inner.open(name)?,
+            remaining: Arc::clone(&self.remaining),
+        }))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn len_of(&self, name: &str) -> StorageResult<u64> {
+        self.inner.len_of(name)
+    }
+
+    fn remove(&self, name: &str) -> StorageResult<()> {
+        self.inner.remove(name)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn counters(&self) -> &Arc<IoCounters> {
+        self.inner.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn Disk) {
+        disk.write_all_to("a.bin", b"hello world").unwrap();
+        assert!(disk.exists("a.bin"));
+        assert_eq!(disk.len_of("a.bin").unwrap(), 11);
+        let data = disk.read_all("a.bin").unwrap();
+        assert_eq!(data, b"hello world");
+        assert!(disk.counters().read_bytes() >= 11);
+        assert!(disk.counters().written_bytes() >= 11);
+        assert_eq!(disk.list(), vec!["a.bin".to_string()]);
+        disk.remove("a.bin").unwrap();
+        assert!(!disk.exists("a.bin"));
+        assert!(matches!(
+            disk.open("a.bin"),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn memdisk_roundtrip() {
+        let disk = MemDisk::new();
+        exercise(&disk);
+    }
+
+    #[test]
+    fn osdisk_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "nxgraph-osdisk-test-{}",
+            std::process::id()
+        ));
+        let disk = OsDisk::new(&dir).unwrap();
+        exercise(&disk);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn osdisk_rejects_path_escape() {
+        let dir = std::env::temp_dir().join(format!(
+            "nxgraph-osdisk-esc-{}",
+            std::process::id()
+        ));
+        let disk = OsDisk::new(&dir).unwrap();
+        disk.write_all_to("../evil", b"x").unwrap();
+        // The file must have been created inside the root, not outside it.
+        assert!(disk.root().join(".._evil").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memdisk_overwrite_replaces() {
+        let disk = MemDisk::new();
+        disk.write_all_to("f", b"one").unwrap();
+        disk.write_all_to("f", b"twothree").unwrap();
+        assert_eq!(disk.read_all("f").unwrap(), b"twothree");
+        assert_eq!(disk.file_count(), 1);
+        assert_eq!(disk.total_size(), 8);
+    }
+
+    #[test]
+    fn faulty_disk_fails_after_limit() {
+        let inner = Arc::new(MemDisk::new());
+        let disk = FaultyDisk::new(inner, 8);
+        let mut w = disk.create("f").unwrap();
+        assert!(w.write_all(b"12345678").is_ok());
+        assert!(w.write_all(b"9").is_err());
+    }
+
+    #[test]
+    fn faulty_disk_read_failure() {
+        let inner = Arc::new(MemDisk::new());
+        inner.write_all_to("f", &[0u8; 64]).unwrap();
+        let disk = FaultyDisk::new(inner, 16);
+        // Writes consumed no budget; reads beyond 16 bytes fail.
+        let mut r = disk.open("f").unwrap();
+        let mut buf = vec![0u8; 64];
+        let res = r.read_exact(&mut buf);
+        assert!(res.is_err());
+    }
+}

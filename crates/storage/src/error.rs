@@ -1,0 +1,87 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used across the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying operating-system I/O failure.
+    Io(io::Error),
+    /// A named file does not exist on the disk.
+    NotFound(String),
+    /// A file exists but its header or checksum is invalid.
+    Corrupt { name: String, reason: String },
+    /// A manifest line could not be parsed.
+    Manifest { line: usize, reason: String },
+    /// An operation was rejected by injected fault (tests only).
+    InjectedFault(String),
+    /// The requested operation would exceed the configured memory budget.
+    BudgetExceeded { requested: u64, available: u64 },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::NotFound(name) => write!(f, "file not found: {name}"),
+            StorageError::Corrupt { name, reason } => {
+                write!(f, "corrupt file {name}: {reason}")
+            }
+            StorageError::Manifest { line, reason } => {
+                write!(f, "manifest parse error at line {line}: {reason}")
+            }
+            StorageError::InjectedFault(what) => write!(f, "injected fault: {what}"),
+            StorageError::BudgetExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "memory budget exceeded: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::NotFound("shard_0_1.bin".into());
+        assert!(e.to_string().contains("shard_0_1.bin"));
+        let e = StorageError::BudgetExceeded {
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = io::Error::other("boom");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,340 @@
+//! Little-endian binary encoding with checksummed headers.
+//!
+//! Intervals, sub-shards and hubs are stored as typed arrays prefixed with a
+//! fixed 32-byte header. The header carries a magic, a format version, a
+//! caller-chosen `kind` tag, the payload length and an FNV-1a checksum of
+//! the payload, so truncated or corrupted files are detected at load time
+//! rather than producing silently wrong graph results.
+
+use std::io::{Read, Write};
+
+use crate::error::{StorageError, StorageResult};
+
+/// Magic bytes identifying NXgraph binary files.
+pub const MAGIC: [u8; 8] = *b"NXGRAPH\0";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Kind tags for the different file types (stored in the header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum FileKind {
+    /// Raw edge list (pre-shard): pairs of u32 (src, dst).
+    EdgeList = 1,
+    /// Interval attribute payload (opaque bytes owned by the program).
+    Interval = 2,
+    /// Sub-shard in destination-sorted CSR form.
+    SubShard = 3,
+    /// DPU hub: destination ids + accumulator payload.
+    Hub = 4,
+    /// Degree table: u32 per vertex.
+    Degrees = 5,
+    /// Id mapping table.
+    Mapping = 6,
+}
+
+impl FileKind {
+    fn from_u32(v: u32) -> Option<Self> {
+        Some(match v {
+            1 => FileKind::EdgeList,
+            2 => FileKind::Interval,
+            3 => FileKind::SubShard,
+            4 => FileKind::Hub,
+            5 => FileKind::Degrees,
+            6 => FileKind::Mapping,
+            _ => return None,
+        })
+    }
+}
+
+/// FNV-1a 64-bit hash, used as a cheap payload checksum.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Write a header + payload to `w`.
+pub fn write_blob(w: &mut dyn Write, kind: FileKind, payload: &[u8]) -> StorageResult<()> {
+    let mut header = [0u8; 32];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&(kind as u32).to_le_bytes());
+    header[16..24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&fnv1a(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read a header + payload from `r`, verifying magic, version, kind and
+/// checksum. `name` is used only for error messages.
+pub fn read_blob(r: &mut dyn Read, expect: FileKind, name: &str) -> StorageResult<Vec<u8>> {
+    let mut header = [0u8; 32];
+    r.read_exact(&mut header).map_err(|e| StorageError::Corrupt {
+        name: name.to_string(),
+        reason: format!("short header: {e}"),
+    })?;
+    if header[0..8] != MAGIC {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: "bad magic".into(),
+        });
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: format!("unsupported version {version}"),
+        });
+    }
+    let kind_raw = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    match FileKind::from_u32(kind_raw) {
+        Some(k) if k == expect => {}
+        Some(k) => {
+            return Err(StorageError::Corrupt {
+                name: name.to_string(),
+                reason: format!("expected {expect:?}, found {k:?}"),
+            })
+        }
+        None => {
+            return Err(StorageError::Corrupt {
+                name: name.to_string(),
+                reason: format!("unknown kind tag {kind_raw}"),
+            })
+        }
+    }
+    let len = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| StorageError::Corrupt {
+        name: name.to_string(),
+        reason: format!("short payload: {e}"),
+    })?;
+    if fnv1a(&payload) != checksum {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: "checksum mismatch".into(),
+        });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Typed array helpers
+// ---------------------------------------------------------------------------
+
+/// Encode a `u32` slice as little-endian bytes.
+pub fn encode_u32s(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into a `u32` vector.
+pub fn decode_u32s(data: &[u8]) -> StorageResult<Vec<u32>> {
+    if !data.len().is_multiple_of(4) {
+        return Err(StorageError::Corrupt {
+            name: "<u32 array>".into(),
+            reason: format!("length {} not a multiple of 4", data.len()),
+        });
+    }
+    Ok(data
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Encode an `f64` slice as little-endian bytes.
+pub fn encode_f64s(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into an `f64` vector.
+pub fn decode_f64s(data: &[u8]) -> StorageResult<Vec<f64>> {
+    if !data.len().is_multiple_of(8) {
+        return Err(StorageError::Corrupt {
+            name: "<f64 array>".into(),
+            reason: format!("length {} not a multiple of 8", data.len()),
+        });
+    }
+    Ok(data
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Append a `u32` in little-endian to a buffer.
+#[inline]
+pub fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian to a buffer.
+#[inline]
+pub fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A cursor for decoding little-endian values from a byte slice.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StorageError::Corrupt {
+                name: "<cursor>".into(),
+                reason: format!("need {n} bytes, have {}", self.remaining()),
+            });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> StorageResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> StorageResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> StorageResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read `n` little-endian `u32`s.
+    pub fn u32s(&mut self, n: usize) -> StorageResult<Vec<u32>> {
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read the remaining bytes as a slice.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let payload = encode_u32s(&[1, 2, 3, 0xdeadbeef]);
+        let mut buf = Vec::new();
+        write_blob(&mut buf, FileKind::SubShard, &payload).unwrap();
+        let mut r = &buf[..];
+        let back = read_blob(&mut r, FileKind::SubShard, "t").unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn blob_detects_corruption() {
+        let payload = encode_u32s(&[7; 16]);
+        let mut buf = Vec::new();
+        write_blob(&mut buf, FileKind::Hub, &payload).unwrap();
+        // Flip a payload byte.
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let mut r = &buf[..];
+        let err = read_blob(&mut r, FileKind::Hub, "t").unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn blob_detects_wrong_kind() {
+        let mut buf = Vec::new();
+        write_blob(&mut buf, FileKind::Hub, b"x").unwrap();
+        let mut r = &buf[..];
+        let err = read_blob(&mut r, FileKind::Interval, "t").unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn blob_detects_truncation() {
+        let mut buf = Vec::new();
+        write_blob(&mut buf, FileKind::Degrees, &[0u8; 100]).unwrap();
+        buf.truncate(50);
+        let mut r = &buf[..];
+        assert!(read_blob(&mut r, FileKind::Degrees, "t").is_err());
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let vals = vec![0, 1, u32::MAX, 42];
+        assert_eq!(decode_u32s(&encode_u32s(&vals)).unwrap(), vals);
+        assert!(decode_u32s(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let vals = vec![0.0, -1.5, f64::MAX, 1e-300];
+        assert_eq!(decode_f64s(&encode_f64s(&vals)).unwrap(), vals);
+        assert!(decode_f64s(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn cursor_reads_sequentially() {
+        let mut buf = Vec::new();
+        push_u32(&mut buf, 5);
+        push_u64(&mut buf, 99);
+        buf.extend_from_slice(&2.5f64.to_le_bytes());
+        push_u32(&mut buf, 1);
+        push_u32(&mut buf, 2);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u32().unwrap(), 5);
+        assert_eq!(c.u64().unwrap(), 99);
+        assert_eq!(c.f64().unwrap(), 2.5);
+        assert_eq!(c.u32s(2).unwrap(), vec![1, 2]);
+        assert_eq!(c.remaining(), 0);
+        assert!(c.u32().is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Storage substrate for NXgraph.
+//!
+//! The NXgraph paper (ICDE 2016) is fundamentally a paper about *disk I/O
+//! discipline*: every update strategy (SPU / DPU / MPU) is characterised by
+//! how many bytes it moves between memory and disk and whether those moves
+//! are sequential. This crate provides the substrate those engines run on:
+//!
+//! * [`disk`] — a [`Disk`] abstraction with byte-exact I/O
+//!   accounting. Implementations: [`OsDisk`] (real files),
+//!   [`MemDisk`] (in-memory, for tests and RAM-disk runs) and
+//!   [`FaultyDisk`] (fault injection for failure tests).
+//! * [`counter`] — atomic [`IoCounters`] shared by all
+//!   files of a disk; engines never bypass them, so the Table II / Fig 6
+//!   byte formulas of the paper can be checked *empirically*.
+//! * [`mod@format`] — little-endian binary encoding of typed arrays with
+//!   checksummed headers; the on-disk representation of intervals,
+//!   sub-shards and hubs.
+//! * [`budget`] — explicit memory-budget accounting. The paper controls the
+//!   memory knob via kernel boot options; we model the budget directly since
+//!   it only ever acts through the engines' residency decisions.
+//! * [`profile`] — device cost models (HDD / SSD / RAID-0 SSD) converting
+//!   counted bytes + seeks into modeled I/O time, used to reproduce the
+//!   paper's HDD-vs-SSD comparisons on arbitrary hardware.
+//! * [`manifest`] — a tiny hand-parsed text manifest describing a prepared
+//!   graph (no serde; the format is line-oriented `key = value`).
+
+pub mod budget;
+pub mod counter;
+pub mod disk;
+pub mod error;
+pub mod format;
+pub mod manifest;
+pub mod profile;
+
+pub use budget::MemoryBudget;
+pub use counter::{IoCounters, IoSnapshot};
+pub use disk::{Disk, DiskRead, DiskWrite, FaultyDisk, MemDisk, OsDisk};
+pub use error::{StorageError, StorageResult};
+pub use profile::DeviceProfile;

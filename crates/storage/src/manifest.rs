@@ -1,0 +1,278 @@
+//! Prepared-graph manifest.
+//!
+//! After preprocessing (degreeing + sharding) a graph lives on a [`Disk`]
+//! as `P` interval slots, `P²` sub-shard files and a handful of tables. The
+//! manifest records the shape so engines can open a prepared graph without
+//! re-deriving anything. The format is a deliberately trivial line-oriented
+//! `key = value` text file — no serde dependency, trivially inspectable
+//! with `cat`.
+//!
+//! [`Disk`]: crate::disk::Disk
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::disk::Disk;
+use crate::error::{StorageError, StorageResult};
+
+/// Name of the manifest file on a prepared-graph disk.
+pub const MANIFEST_FILE: &str = "graph.manifest";
+
+/// Shape and bookkeeping for a prepared graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphManifest {
+    /// Human-readable graph name.
+    pub name: String,
+    /// Number of vertices after degreeing (dense id space, isolated
+    /// vertices removed).
+    pub num_vertices: u64,
+    /// Number of edges.
+    pub num_edges: u64,
+    /// Number of intervals `P`.
+    pub num_intervals: u32,
+    /// Whether transposed (reverse-edge) sub-shards were also generated.
+    pub has_reverse: bool,
+    /// Free-form extra keys (kept sorted for deterministic output).
+    pub extra: BTreeMap<String, String>,
+}
+
+impl GraphManifest {
+    /// Create a manifest with no extra keys.
+    pub fn new(
+        name: impl Into<String>,
+        num_vertices: u64,
+        num_edges: u64,
+        num_intervals: u32,
+        has_reverse: bool,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            num_vertices,
+            num_edges,
+            num_intervals,
+            has_reverse,
+            extra: BTreeMap::new(),
+        }
+    }
+
+    /// Vertices per interval (last interval may be smaller).
+    pub fn interval_len(&self) -> u64 {
+        debug_assert!(self.num_intervals > 0);
+        self.num_vertices.div_ceil(self.num_intervals as u64)
+    }
+
+    /// Vertex-id range `[start, end)` of interval `i`. Intervals past the
+    /// end of the id space (possible when `P > n`) are empty ranges clamped
+    /// to `(n, n)`-safe bounds.
+    pub fn interval_range(&self, i: u32) -> (u64, u64) {
+        let len = self.interval_len();
+        let start = (len * i as u64).min(self.num_vertices);
+        let end = (start + len).min(self.num_vertices);
+        (start, end)
+    }
+
+    /// Interval index owning vertex `v`.
+    pub fn interval_of(&self, v: u64) -> u32 {
+        (v / self.interval_len()) as u32
+    }
+
+    /// Canonical file name of forward sub-shard `SS(i→j)`.
+    pub fn subshard_file(i: u32, j: u32) -> String {
+        format!("ss_{i}_{j}.bin")
+    }
+
+    /// Canonical file name of reverse sub-shard `SS'(i→j)` (edges of the
+    /// transposed graph).
+    pub fn rev_subshard_file(i: u32, j: u32) -> String {
+        format!("rss_{i}_{j}.bin")
+    }
+
+    /// Canonical file name of an interval attribute slot.
+    pub fn interval_file(j: u32) -> String {
+        format!("interval_{j}.bin")
+    }
+
+    /// Canonical file name of hub `H(i→j)`.
+    pub fn hub_file(i: u32, j: u32) -> String {
+        format!("hub_{i}_{j}.bin")
+    }
+
+    /// Canonical file name of the out-degree table.
+    pub fn degree_file() -> &'static str {
+        "degrees.bin"
+    }
+
+    /// Canonical file name of the index→id mapping table.
+    pub fn mapping_file() -> &'static str {
+        "mapping.bin"
+    }
+
+    /// Canonical file name of the id→index reverse mapping table.
+    pub fn reverse_mapping_file() -> &'static str {
+        "reverse_mapping.bin"
+    }
+
+    /// Serialise to the text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# NXgraph prepared-graph manifest");
+        let _ = writeln!(s, "name = {}", self.name);
+        let _ = writeln!(s, "num_vertices = {}", self.num_vertices);
+        let _ = writeln!(s, "num_edges = {}", self.num_edges);
+        let _ = writeln!(s, "num_intervals = {}", self.num_intervals);
+        let _ = writeln!(s, "has_reverse = {}", self.has_reverse);
+        for (k, v) in &self.extra {
+            let _ = writeln!(s, "x.{k} = {v}");
+        }
+        s
+    }
+
+    /// Parse from the text format.
+    pub fn from_text(text: &str) -> StorageResult<Self> {
+        let mut name = None;
+        let mut num_vertices = None;
+        let mut num_edges = None;
+        let mut num_intervals = None;
+        let mut has_reverse = None;
+        let mut extra = BTreeMap::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or(StorageError::Manifest {
+                line: lineno + 1,
+                reason: "missing '='".into(),
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>().map_err(|e| StorageError::Manifest {
+                    line: lineno + 1,
+                    reason: format!("bad integer {v:?}: {e}"),
+                })
+            };
+            match key {
+                "name" => name = Some(value.to_string()),
+                "num_vertices" => num_vertices = Some(parse_u64(value)?),
+                "num_edges" => num_edges = Some(parse_u64(value)?),
+                "num_intervals" => num_intervals = Some(parse_u64(value)? as u32),
+                "has_reverse" => {
+                    has_reverse =
+                        Some(value.parse::<bool>().map_err(|e| StorageError::Manifest {
+                            line: lineno + 1,
+                            reason: format!("bad bool {value:?}: {e}"),
+                        })?)
+                }
+                k if k.starts_with("x.") => {
+                    extra.insert(k[2..].to_string(), value.to_string());
+                }
+                other => {
+                    return Err(StorageError::Manifest {
+                        line: lineno + 1,
+                        reason: format!("unknown key {other:?}"),
+                    })
+                }
+            }
+        }
+
+        let missing = |what: &str| StorageError::Manifest {
+            line: 0,
+            reason: format!("missing required key {what:?}"),
+        };
+        Ok(Self {
+            name: name.ok_or_else(|| missing("name"))?,
+            num_vertices: num_vertices.ok_or_else(|| missing("num_vertices"))?,
+            num_edges: num_edges.ok_or_else(|| missing("num_edges"))?,
+            num_intervals: num_intervals.ok_or_else(|| missing("num_intervals"))?,
+            has_reverse: has_reverse.unwrap_or(false),
+            extra,
+        })
+    }
+
+    /// Write the manifest onto a disk.
+    pub fn save(&self, disk: &dyn Disk) -> StorageResult<()> {
+        disk.write_all_to(MANIFEST_FILE, self.to_text().as_bytes())
+    }
+
+    /// Load the manifest from a disk.
+    pub fn load(disk: &dyn Disk) -> StorageResult<Self> {
+        let data = disk.read_all(MANIFEST_FILE)?;
+        let text = String::from_utf8(data).map_err(|e| StorageError::Manifest {
+            line: 0,
+            reason: format!("manifest is not utf-8: {e}"),
+        })?;
+        Self::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn sample() -> GraphManifest {
+        let mut m = GraphManifest::new("twitter-like", 41_700_000, 1_470_000_000, 24, true);
+        m.extra.insert("generator".into(), "rmat".into());
+        m
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let m = sample();
+        let back = GraphManifest::from_text(&m.to_text()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let disk = MemDisk::new();
+        sample().save(&disk).unwrap();
+        assert_eq!(GraphManifest::load(&disk).unwrap(), sample());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(GraphManifest::from_text("nonsense line").is_err());
+        assert!(GraphManifest::from_text("name = x\nnum_vertices = abc").is_err());
+        assert!(GraphManifest::from_text("wrong_key = 1").is_err());
+        // Missing required keys.
+        assert!(GraphManifest::from_text("name = x").is_err());
+    }
+
+    #[test]
+    fn interval_geometry() {
+        let m = GraphManifest::new("g", 10, 0, 4, false);
+        // ceil(10/4) = 3 per interval: [0,3) [3,6) [6,9) [9,10).
+        assert_eq!(m.interval_len(), 3);
+        assert_eq!(m.interval_range(0), (0, 3));
+        assert_eq!(m.interval_range(3), (9, 10));
+        assert_eq!(m.interval_of(0), 0);
+        assert_eq!(m.interval_of(8), 2);
+        assert_eq!(m.interval_of(9), 3);
+    }
+
+    #[test]
+    fn interval_geometry_exact_division() {
+        let m = GraphManifest::new("g", 12, 0, 4, false);
+        assert_eq!(m.interval_len(), 3);
+        assert_eq!(m.interval_range(3), (9, 12));
+    }
+
+    #[test]
+    fn file_names_are_stable() {
+        assert_eq!(GraphManifest::subshard_file(2, 7), "ss_2_7.bin");
+        assert_eq!(GraphManifest::rev_subshard_file(0, 1), "rss_0_1.bin");
+        assert_eq!(GraphManifest::interval_file(3), "interval_3.bin");
+        assert_eq!(GraphManifest::hub_file(1, 2), "hub_1_2.bin");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hi\n\nname = g\nnum_vertices = 1\nnum_edges = 0\nnum_intervals = 1\n";
+        let m = GraphManifest::from_text(text).unwrap();
+        assert_eq!(m.name, "g");
+        assert!(!m.has_reverse);
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a graph, preprocess it, and run PageRank.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use nxgraph::core::algo;
+use nxgraph::core::engine::EngineConfig;
+use nxgraph::core::prep::{preprocess, PrepConfig};
+use nxgraph::storage::{Disk, MemDisk};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A graph is just (source, destination) index pairs — indices may be
+    //    arbitrary (sparse) numbers; preprocessing compacts them.
+    //    This is the example graph from Fig 1 of the NXgraph paper.
+    let raw_edges: Vec<(u64, u64)> = nxgraph::core::fig1_example_edges()
+        .into_iter()
+        .map(|(s, d)| (s as u64, d as u64))
+        .collect();
+
+    // 2. Preprocess: degreeing (dense ids, degree tables) + sharding
+    //    (P intervals, P² destination-sorted sub-shards) onto a disk.
+    //    MemDisk keeps everything in memory with byte-exact I/O counting;
+    //    use OsDisk for real files.
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let graph = preprocess(&raw_edges, &PrepConfig::new("quickstart", 4), disk)?;
+    println!(
+        "prepared '{}': {} vertices, {} edges, P = {} intervals",
+        graph.manifest().name,
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_intervals()
+    );
+
+    // 3. Run ten iterations of PageRank. The engine picks SPU/MPU/DPU from
+    //    the memory budget automatically (unlimited here → SPU).
+    let cfg = EngineConfig::default();
+    let (ranks, stats) = algo::pagerank(&graph, 10, &cfg)?;
+    println!(
+        "pagerank: {} iterations in {:?} via {:?}, {} edges traversed, {} bytes read",
+        stats.iterations,
+        stats.elapsed,
+        stats.strategy,
+        stats.edges_traversed,
+        stats.io.read_bytes
+    );
+
+    // 4. Inspect the results.
+    let mut order: Vec<usize> = (0..ranks.len()).collect();
+    order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
+    println!("top vertices by rank:");
+    for &v in order.iter().take(3) {
+        println!("  vertex {v}: {:.4}", ranks[v]);
+    }
+
+    // 5. Other algorithms share the same prepared graph.
+    let (depths, _) = algo::bfs(&graph, 0, &cfg)?;
+    println!(
+        "bfs from 0: max finite depth = {:?}",
+        nxgraph::core::algo::bfs::max_depth(&depths)
+    );
+    let (labels, _) = algo::wcc(&graph, &cfg)?;
+    println!(
+        "wcc: {} component(s)",
+        nxgraph::core::algo::wcc::component_count(&labels)
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Road-network style analysis on a triangulated mesh — the constant-degree
+//! planar workload of the paper's scalability experiment (delaunay_n*).
+//!
+//! Runs BFS "routing waves" from a corner, compares the engine's measured
+//! throughput across mesh sizes (the Fig 11 MTEPS story), and checks the
+//! structural facts a planar mesh guarantees (single connected component,
+//! one strongly connected core since every road is bidirectional).
+//!
+//! ```sh
+//! cargo run --release --example road_network [scale]
+//! ```
+
+use std::sync::Arc;
+
+use nxgraph::core::algo;
+use nxgraph::core::engine::EngineConfig;
+use nxgraph::core::prep::{preprocess, PrepConfig};
+use nxgraph::graphgen::mesh::{self, MeshConfig};
+use nxgraph::storage::{Disk, MemDisk};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(12);
+
+    println!("mesh scalability sweep (the Fig 11 workload):");
+    for scale in base..base + 3 {
+        let cfg = MeshConfig::with_scale(scale);
+        let edges: Vec<(u64, u64)> = mesh::generate(&cfg)
+            .into_iter()
+            .map(|e| (e.src, e.dst))
+            .collect();
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let graph = preprocess(&edges, &PrepConfig::new(format!("mesh{scale}"), 12), disk)?;
+
+        let engine_cfg = EngineConfig::default();
+        let (_, pr) = algo::pagerank(&graph, 10, &engine_cfg)?;
+        let (depths, bfs_stats) = algo::bfs(&graph, 0, &engine_cfg)?;
+        let diameter = nxgraph::core::algo::bfs::max_depth(&depths).unwrap_or(0);
+        println!(
+            "  2^{scale}: {:>8} intersections, {:>9} road segments | pagerank {:>7.1} MTEPS | bfs wave depth {diameter} in {:?}",
+            graph.num_vertices(),
+            graph.num_edges(),
+            pr.mteps(),
+            bfs_stats.elapsed,
+        );
+    }
+
+    // Structural checks on the largest mesh.
+    let cfg = MeshConfig::with_scale(base + 2);
+    let edges: Vec<(u64, u64)> = mesh::generate(&cfg)
+        .into_iter()
+        .map(|e| (e.src, e.dst))
+        .collect();
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let graph = preprocess(&edges, &PrepConfig::new("mesh-check", 12), disk)?;
+    let engine_cfg = EngineConfig::default();
+
+    let (labels, _) = algo::wcc(&graph, &engine_cfg)?;
+    let components = nxgraph::core::algo::wcc::component_count(&labels);
+    println!("\nconnectivity: {components} weak component(s) — a road network should have 1");
+    assert_eq!(components, 1);
+
+    // Every road is two-way, so the whole mesh is one strongly connected
+    // component.
+    let scc = algo::scc(&graph, &engine_cfg)?;
+    let distinct: std::collections::HashSet<_> = scc.labels.iter().collect();
+    println!(
+        "strong connectivity: {} SCC(s) in {} round(s) — bidirectional roads give exactly 1",
+        distinct.len(),
+        scc.rounds
+    );
+    assert_eq!(distinct.len(), 1);
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Social-network analysis: influencer ranking and community structure on
+//! a Twitter-like power-law graph — the workload class the paper's
+//! introduction motivates ("both user data and relationship among them are
+//! modeled by graphs").
+//!
+//! Generates an R-MAT graph with Twitter-like skew, then:
+//! 1. ranks users with PageRank (top influencers),
+//! 2. finds weakly connected components (community islands),
+//! 3. measures how rank concentrates on hubs.
+//!
+//! ```sh
+//! cargo run --release --example social_network [scale]
+//! ```
+
+use std::sync::Arc;
+
+use nxgraph::core::algo;
+use nxgraph::core::engine::EngineConfig;
+use nxgraph::core::prep::{preprocess, PrepConfig};
+use nxgraph::graphgen::rmat::{self, RmatConfig};
+use nxgraph::storage::{Disk, MemDisk};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(14);
+
+    // Twitter-like skew: heavy-tailed follower counts.
+    let gen_cfg = RmatConfig::graph500(scale, 16, 2024);
+    println!(
+        "generating R-MAT graph: scale {scale} (≤{} users, {} follows)…",
+        gen_cfg.num_vertices(),
+        gen_cfg.num_edges()
+    );
+    let raw: Vec<(u64, u64)> = rmat::generate(&gen_cfg)
+        .into_iter()
+        .map(|e| (e.src, e.dst))
+        .collect();
+
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let graph = preprocess(&raw, &PrepConfig::new("social", 16), disk)?;
+    println!(
+        "prepared: {} users with at least one follow, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let cfg = EngineConfig::default();
+
+    // 1. Influencers.
+    let (ranks, stats) = algo::pagerank(&graph, 10, &cfg)?;
+    println!(
+        "pagerank: 10 iterations in {:?} ({:.1} MTEPS, strategy {:?})",
+        stats.elapsed,
+        stats.mteps(),
+        stats.strategy
+    );
+    let mut order: Vec<usize> = (0..ranks.len()).collect();
+    order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
+    let total_rank: f64 = ranks.iter().sum();
+    println!("top 5 influencers:");
+    for &v in order.iter().take(5) {
+        println!(
+            "  user {v}: rank {:.6} ({:.2}% of total)",
+            ranks[v],
+            100.0 * ranks[v] / total_rank
+        );
+    }
+
+    // 2. Rank concentration: share of total rank held by the top 1%.
+    let total: f64 = ranks.iter().sum();
+    let top1pct: f64 = order
+        .iter()
+        .take((ranks.len() / 100).max(1))
+        .map(|&v| ranks[v])
+        .sum();
+    println!(
+        "rank concentration: top 1% of users hold {:.1}% of total rank (power-law hubs)",
+        100.0 * top1pct / total
+    );
+
+    // 3. Community islands.
+    let (labels, wcc_stats) = algo::wcc(&graph, &cfg)?;
+    println!(
+        "wcc: {} components in {:?}; largest has {} users ({:.1}%)",
+        nxgraph::core::algo::wcc::component_count(&labels),
+        wcc_stats.elapsed,
+        nxgraph::core::algo::wcc::largest_component(&labels),
+        100.0 * nxgraph::core::algo::wcc::largest_component(&labels) as f64
+            / labels.len() as f64
+    );
+    Ok(())
+}

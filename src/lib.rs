@@ -1,0 +1,5 @@
+//! NXgraph facade crate re-exporting the workspace.
+pub use nxgraph_baselines as baselines;
+pub use nxgraph_core as core;
+pub use nxgraph_graphgen as graphgen;
+pub use nxgraph_storage as storage;

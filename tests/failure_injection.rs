@@ -1,0 +1,107 @@
+//! Failure-path tests: disk faults must surface as errors, never as wrong
+//! results or hangs; corrupt files must be rejected at load.
+
+use std::sync::Arc;
+
+use nxgraph::core::algo;
+use nxgraph::core::engine::{EngineConfig, Strategy};
+use nxgraph::core::prep::{preprocess, PrepConfig};
+use nxgraph::core::{EngineError, PreparedGraph};
+use nxgraph::storage::manifest::GraphManifest;
+use nxgraph::storage::{Disk, FaultyDisk, MemDisk};
+
+fn raw_edges() -> Vec<(u64, u64)> {
+    nxgraph::core::fig1_example_edges()
+        .into_iter()
+        .map(|(s, d)| (s as u64, d as u64))
+        .collect()
+}
+
+#[test]
+fn preprocessing_fails_cleanly_on_exhausted_disk() {
+    let inner: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    // Enough for a few files, then fail.
+    let disk: Arc<dyn Disk> = Arc::new(FaultyDisk::new(inner, 256));
+    let err = preprocess(&raw_edges(), &PrepConfig::new("faulty", 4), disk);
+    assert!(err.is_err(), "must surface the injected fault");
+}
+
+#[test]
+fn dpu_run_fails_cleanly_when_disk_dies_mid_run() {
+    // Healthy disk for preprocessing…
+    let inner: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(
+        &raw_edges(),
+        &PrepConfig::new("mid", 4),
+        Arc::clone(&inner),
+    )
+    .unwrap();
+    drop(g);
+    // …then reopen through a fault injector that dies after 4 KiB.
+    let faulty: Arc<dyn Disk> = Arc::new(FaultyDisk::new(inner, 4096));
+    let g = PreparedGraph::open(faulty).unwrap();
+    let cfg = EngineConfig::default().with_strategy(Strategy::Dpu);
+    let res = algo::pagerank(&g, 10, &cfg);
+    match res {
+        Err(EngineError::Storage(_)) => {}
+        other => panic!("expected a storage error, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_subshard_is_rejected() {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(&raw_edges(), &PrepConfig::new("corrupt", 2), Arc::clone(&disk)).unwrap();
+    // Flip bytes in one sub-shard file.
+    let name = GraphManifest::subshard_file(1, 0);
+    let mut bytes = disk.read_all(&name).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    disk.write_all_to(&name, &bytes).unwrap();
+    let err = g.load_subshard(1, 0, false);
+    assert!(err.is_err(), "checksum must catch the corruption");
+}
+
+#[test]
+fn corrupt_manifest_is_rejected() {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    preprocess(&raw_edges(), &PrepConfig::new("m", 2), Arc::clone(&disk)).unwrap();
+    disk.write_all_to("graph.manifest", b"name = broken\nnot a manifest")
+        .unwrap();
+    assert!(PreparedGraph::open(disk).is_err());
+}
+
+#[test]
+fn missing_reverse_shards_is_a_clear_error() {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(
+        &raw_edges(),
+        &PrepConfig::forward_only("fwd", 2),
+        disk,
+    )
+    .unwrap();
+    let err = algo::wcc(&g, &EngineConfig::default());
+    match err {
+        Err(EngineError::Invalid(msg)) => {
+            assert!(msg.contains("reverse"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    let err = algo::scc(&g, &EngineConfig::default());
+    assert!(matches!(err, Err(EngineError::Invalid(_))));
+}
+
+#[test]
+fn zero_iterations_is_rejected() {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(&raw_edges(), &PrepConfig::new("z", 2), disk).unwrap();
+    let res = algo::pagerank(&g, 0, &EngineConfig::default());
+    assert!(matches!(res, Err(EngineError::Invalid(_))));
+}
+
+#[test]
+fn empty_graph_is_rejected_at_prep() {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let res = preprocess(&[], &PrepConfig::new("empty", 2), disk);
+    assert!(matches!(res, Err(EngineError::Invalid(_))));
+}

@@ -1,0 +1,122 @@
+//! Empirical validation of the Table II I/O model: the byte counters of a
+//! real engine run must respect the closed-form bounds (up to file-header
+//! and rounding slack).
+
+use std::sync::Arc;
+
+use nxgraph::core::algo;
+use nxgraph::core::engine::{EngineConfig, Strategy};
+use nxgraph::core::prep::{preprocess, PrepConfig};
+use nxgraph::core::PreparedGraph;
+use nxgraph::graphgen::rmat;
+use nxgraph::storage::{Disk, IoSnapshot, MemDisk};
+
+const ITERS: usize = 4;
+
+fn workload() -> PreparedGraph {
+    let raw: Vec<(u64, u64)> = rmat::generate(&rmat::RmatConfig::graph500(11, 8, 77))
+        .into_iter()
+        .map(|e| (e.src, e.dst))
+        .collect();
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    preprocess(&raw, &PrepConfig::forward_only("io", 8), disk).unwrap()
+}
+
+fn run(g: &PreparedGraph, strategy: Strategy, budget: u64) -> IoSnapshot {
+    let cfg = EngineConfig::default()
+        .with_strategy(strategy)
+        .with_budget(budget)
+        .with_max_iterations(ITERS);
+    let (_, stats) = algo::pagerank(g, ITERS, &cfg).unwrap();
+    stats.io
+}
+
+#[test]
+fn spu_with_full_memory_reads_shards_once_and_writes_nothing() {
+    let g = workload();
+    let shard_bytes = g.total_subshard_bytes().unwrap();
+    let io = run(&g, Strategy::Spu, u64::MAX);
+    // Everything cached up front: the initial load is the only read.
+    assert_eq!(io.written_bytes, 0, "SPU never writes");
+    assert!(
+        io.read_bytes <= shard_bytes + 4096,
+        "read {} vs one pass {}",
+        io.read_bytes,
+        shard_bytes
+    );
+}
+
+#[test]
+fn spu_with_tight_memory_streams_shards_every_iteration() {
+    let g = workload();
+    let n = g.num_vertices() as u64;
+    let shard_bytes = g.total_subshard_bytes().unwrap();
+    // Budget covers ping-pong intervals + degrees only — no shard cache.
+    let io = run(&g, Strategy::Spu, 2 * n * 8 + 4 * n);
+    assert_eq!(io.written_bytes, 0);
+    let per_iter = io.read_bytes as f64 / ITERS as f64;
+    assert!(
+        per_iter >= shard_bytes as f64 * 0.95,
+        "each iteration must re-stream ~all shard bytes: {per_iter} vs {shard_bytes}"
+    );
+}
+
+#[test]
+fn dpu_traffic_matches_its_formula_shape() {
+    let g = workload();
+    let n = g.num_vertices() as u64;
+    let shard_bytes = g.total_subshard_bytes().unwrap();
+    let io = run(&g, Strategy::Dpu, 0);
+
+    // Per iteration, reads ≥ m·Be (shards) + n·Ba (intervals) and writes
+    // ≥ n·Ba; both bounded above by the hub-inflated formula.
+    let ba = 8u64;
+    let read_per_iter = io.read_bytes / ITERS as u64;
+    let write_per_iter = io.written_bytes / ITERS as u64;
+    assert!(read_per_iter >= shard_bytes + n * ba, "lower bound violated");
+    assert!(write_per_iter >= n * ba, "interval writes missing");
+
+    // Hub traffic bound: hubs store (id + accum) per *distinct* receiving
+    // destination per sub-shard; at most one entry per edge.
+    let m = g.num_edges();
+    let hub_cap = m * (4 + 8) + (64 + 32) * 64; // records + per-file headers
+    assert!(
+        read_per_iter <= shard_bytes + n * ba + hub_cap + 4096,
+        "read {} exceeds formula cap",
+        read_per_iter
+    );
+    assert!(write_per_iter <= n * ba + hub_cap + 4096);
+}
+
+#[test]
+fn mpu_traffic_sits_between_spu_and_dpu() {
+    let g = workload();
+    let n = g.num_vertices() as u64;
+    let spu = run(&g, Strategy::Spu, 2 * n * 8 + 4 * n);
+    let dpu = run(&g, Strategy::Dpu, 0);
+    let mpu = run(&g, Strategy::Mpu, 4 * n + n * 8); // half resident
+    assert!(
+        mpu.total_bytes() <= dpu.total_bytes(),
+        "MPU {} must not exceed DPU {}",
+        mpu.total_bytes(),
+        dpu.total_bytes()
+    );
+    assert!(
+        mpu.total_bytes() >= spu.total_bytes(),
+        "MPU {} must not beat streamed SPU {}",
+        mpu.total_bytes(),
+        spu.total_bytes()
+    );
+    // And monotone in the resident fraction.
+    let mpu_quarter = run(&g, Strategy::Mpu, 4 * n + n * 4);
+    assert!(mpu_quarter.total_bytes() >= mpu.total_bytes());
+}
+
+#[test]
+fn dpu_is_independent_of_budget() {
+    let g = workload();
+    let a = run(&g, Strategy::Dpu, 0);
+    let b = run(&g, Strategy::Dpu, 1 << 30);
+    assert_eq!(a.read_bytes, b.read_bytes);
+    assert_eq!(a.written_bytes, b.written_bytes);
+}

@@ -1,0 +1,196 @@
+//! End-to-end pipeline tests: generate → preprocess → run every engine →
+//! compare against the in-memory oracles.
+
+use std::sync::Arc;
+
+use nxgraph::core::algo::{self, pagerank::PageRank};
+use nxgraph::core::engine::{self, EngineConfig, Strategy, SyncMode};
+use nxgraph::core::prep::{preprocess, PrepConfig};
+use nxgraph::core::reference;
+use nxgraph::core::PreparedGraph;
+use nxgraph::graphgen::{er, rmat};
+use nxgraph::storage::{Disk, MemDisk};
+
+fn prepare(raw: &[(u64, u64)], p: u32) -> PreparedGraph {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    preprocess(raw, &PrepConfig::new("pipeline", p), disk).unwrap()
+}
+
+fn dense_edges(g: &PreparedGraph, raw: &[(u64, u64)]) -> Vec<(u32, u32)> {
+    // Degreeing assigns ids by ascending index; recompute the mapping.
+    let mut idx: Vec<u64> = raw.iter().flat_map(|&(s, d)| [s, d]).collect();
+    idx.sort_unstable();
+    idx.dedup();
+    assert_eq!(idx.len(), g.num_vertices() as usize);
+    raw.iter()
+        .map(|&(s, d)| {
+            (
+                idx.binary_search(&s).unwrap() as u32,
+                idx.binary_search(&d).unwrap() as u32,
+            )
+        })
+        .collect()
+}
+
+fn rmat_raw(scale: u32, ef: u32, seed: u64) -> Vec<(u64, u64)> {
+    rmat::generate(&rmat::RmatConfig::graph500(scale, ef, seed))
+        .into_iter()
+        .map(|e| (e.src, e.dst))
+        .collect()
+}
+
+#[test]
+fn all_strategies_and_sync_modes_agree_on_pagerank() {
+    let raw = rmat_raw(9, 8, 11);
+    let g = prepare(&raw, 6);
+    let edges = dense_edges(&g, &raw);
+    let expect = reference::pagerank(g.num_vertices(), &edges, g.out_degrees(), 10);
+
+    // MPU budget forcing half-resident intervals.
+    let n = g.num_vertices() as u64;
+    let mpu_budget = 4 * n + n * 8;
+
+    for (strategy, budget) in [
+        (Strategy::Spu, u64::MAX),
+        (Strategy::Dpu, 0),
+        (Strategy::Mpu, mpu_budget),
+        (Strategy::Auto, u64::MAX),
+        (Strategy::Auto, mpu_budget),
+        (Strategy::Auto, 0),
+    ] {
+        for sync in [SyncMode::Callback, SyncMode::Lock] {
+            let cfg = EngineConfig::default()
+                .with_strategy(strategy)
+                .with_budget(budget)
+                .with_sync(sync)
+                .with_max_iterations(10);
+            let (vals, stats) = algo::pagerank(&g, 10, &cfg).unwrap();
+            assert_eq!(stats.iterations, 10);
+            for (v, (a, b)) in vals.iter().zip(&expect).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-10,
+                    "{strategy:?}/{sync:?} budget {budget}: vertex {v}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_strategy_resolves_as_documented() {
+    let raw = rmat_raw(8, 6, 3);
+    let g = prepare(&raw, 4);
+    let n = g.num_vertices() as u64;
+    let cases = [
+        (u64::MAX, Strategy::Spu),
+        (4 * n + n * 8, Strategy::Mpu),
+        (0, Strategy::Dpu),
+    ];
+    for (budget, want) in cases {
+        let cfg = EngineConfig::default()
+            .with_budget(budget)
+            .with_max_iterations(2);
+        let (_, stats) = algo::pagerank(&g, 2, &cfg).unwrap();
+        assert_eq!(stats.strategy, want, "budget {budget}");
+    }
+}
+
+#[test]
+fn bfs_matches_oracle_across_strategies() {
+    let raw = rmat_raw(9, 4, 7);
+    let g = prepare(&raw, 5);
+    let edges = dense_edges(&g, &raw);
+    let expect = reference::bfs(g.num_vertices(), &edges, 0);
+    let n = g.num_vertices() as u64;
+    for (strategy, budget) in [
+        (Strategy::Spu, u64::MAX),
+        (Strategy::Dpu, 0),
+        (Strategy::Mpu, 4 * n + n * 4),
+    ] {
+        let cfg = EngineConfig::default()
+            .with_strategy(strategy)
+            .with_budget(budget);
+        let (depths, _) = algo::bfs(&g, 0, &cfg).unwrap();
+        assert_eq!(depths, expect, "{strategy:?}");
+    }
+}
+
+#[test]
+fn wcc_matches_union_find() {
+    let raw = er::generate(300, 500, 13)
+        .into_iter()
+        .map(|e| (e.src, e.dst))
+        .collect::<Vec<_>>();
+    let g = prepare(&raw, 7);
+    let edges = dense_edges(&g, &raw);
+    let expect = reference::wcc(g.num_vertices(), &edges);
+    for strategy in [Strategy::Spu, Strategy::Dpu] {
+        let cfg = EngineConfig::default()
+            .with_strategy(strategy)
+            .with_budget(if strategy == Strategy::Dpu { 0 } else { u64::MAX });
+        let (labels, _) = algo::wcc(&g, &cfg).unwrap();
+        assert_eq!(labels, expect, "{strategy:?}");
+    }
+}
+
+#[test]
+fn scc_matches_tarjan() {
+    let raw = rmat_raw(8, 3, 19);
+    let g = prepare(&raw, 5);
+    let edges = dense_edges(&g, &raw);
+    let expect = reference::scc(g.num_vertices(), &edges);
+    let out = algo::scc(&g, &EngineConfig::default()).unwrap();
+    assert_eq!(out.labels, expect);
+}
+
+#[test]
+fn results_invariant_to_partitioning_and_threads() {
+    let raw = rmat_raw(8, 8, 23);
+    let mut baseline: Option<Vec<f64>> = None;
+    for p in [1u32, 3, 8, 16] {
+        let g = prepare(&raw, p);
+        for threads in [1usize, 2, 8] {
+            let cfg = EngineConfig::default()
+                .with_threads(threads)
+                .with_max_iterations(6);
+            let (vals, _) = algo::pagerank(&g, 6, &cfg).unwrap();
+            match &baseline {
+                None => baseline = Some(vals),
+                Some(b) => {
+                    for (x, y) in vals.iter().zip(b) {
+                        assert!((x - y).abs() < 1e-10, "P={p} threads={threads}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_converges_with_epsilon() {
+    // A strongly connected cycle converges exactly; epsilon termination
+    // must stop before the iteration cap.
+    let raw: Vec<(u64, u64)> = (0..50u64).map(|v| (v, (v + 1) % 50)).collect();
+    let g = prepare(&raw, 4);
+    let prog = PageRank::new(g.num_vertices(), Arc::clone(g.out_degrees()))
+        .with_epsilon(1e-14);
+    let cfg = EngineConfig::default().with_max_iterations(500);
+    let (vals, stats) = engine::run(&g, &prog, &cfg).unwrap();
+    assert!(stats.iterations < 500, "should converge early");
+    // Uniform stationary distribution on a cycle.
+    for v in &vals {
+        assert!((v - 1.0 / 50.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn run_stats_account_edges_and_io() {
+    let raw = rmat_raw(8, 4, 29);
+    let g = prepare(&raw, 4);
+    let cfg = EngineConfig::default().with_strategy(Strategy::Dpu);
+    let (_, stats) = algo::pagerank(&g, 3, &cfg).unwrap();
+    assert_eq!(stats.edges_traversed, g.num_edges() * 3);
+    assert!(stats.io.read_bytes > 0);
+    assert!(stats.io.written_bytes > 0);
+    assert!(stats.mteps() > 0.0);
+}

@@ -1,0 +1,172 @@
+//! Property-based tests over random graphs: the three update strategies,
+//! both sync modes and the oracles must agree for every program, and the
+//! DSSS structural invariants must hold for every input.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use nxgraph::core::algo;
+use nxgraph::core::engine::{EngineConfig, Strategy as UpdateStrategy, SyncMode};
+use nxgraph::core::prep::{self, PrepConfig};
+use nxgraph::core::reference;
+use nxgraph::core::PreparedGraph;
+use nxgraph::storage::{Disk, MemDisk};
+
+/// A random small graph: up to 40 vertices, up to 200 edges (duplicates
+/// and self-loops included, as in raw crawls).
+fn arb_graph() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    (2u64..40, 1usize..200)
+        .prop_flat_map(|(n, m)| {
+            proptest::collection::vec((0..n, 0..n), m)
+        })
+        .prop_map(|edges| edges.into_iter().collect())
+}
+
+fn prepare(raw: &[(u64, u64)], p: u32) -> PreparedGraph {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    prep::preprocess(raw, &PrepConfig::new("prop", p), disk).unwrap()
+}
+
+fn dense(raw: &[(u64, u64)]) -> (u32, Vec<(u32, u32)>) {
+    let mut idx: Vec<u64> = raw.iter().flat_map(|&(s, d)| [s, d]).collect();
+    idx.sort_unstable();
+    idx.dedup();
+    let edges = raw
+        .iter()
+        .map(|&(s, d)| {
+            (
+                idx.binary_search(&s).unwrap() as u32,
+                idx.binary_search(&d).unwrap() as u32,
+            )
+        })
+        .collect();
+    (idx.len() as u32, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharding_partitions_every_edge_exactly_once(raw in arb_graph(), p in 1u32..9) {
+        let g = prepare(&raw, p);
+        let (_, mut edges) = dense(&raw);
+        let mut collected = Vec::new();
+        for i in 0..p {
+            for j in 0..p {
+                let ss = g.load_subshard(i, j, false).unwrap();
+                ss.validate("prop").unwrap();
+                for (s, d) in ss.iter_edges() {
+                    prop_assert!(g.interval_range(i).contains(&s));
+                    prop_assert!(g.interval_range(j).contains(&d));
+                    collected.push((s, d));
+                }
+            }
+        }
+        edges.sort_unstable();
+        collected.sort_unstable();
+        prop_assert_eq!(collected, edges);
+    }
+
+    #[test]
+    fn degreeing_is_a_dense_bijection(raw in arb_graph()) {
+        let deg = prep::degree(&raw);
+        // Ids are 0..n and every id maps back to a unique index.
+        let mut seen = std::collections::HashSet::new();
+        for (id, &index) in deg.index_of.iter().enumerate() {
+            prop_assert!(seen.insert(index));
+            prop_assert_eq!(deg.id_of(index), Some(id as u32));
+        }
+        // Degrees sum to edge count.
+        prop_assert_eq!(deg.out_degrees.iter().sum::<u32>() as usize, raw.len());
+        prop_assert_eq!(deg.in_degrees.iter().sum::<u32>() as usize, raw.len());
+    }
+
+    #[test]
+    fn pagerank_strategies_agree_with_oracle(raw in arb_graph(), p in 1u32..7) {
+        let g = prepare(&raw, p);
+        let (n, edges) = dense(&raw);
+        let expect = reference::pagerank(n, &edges, g.out_degrees(), 5);
+        let budget_mpu = 4 * n as u64 + n as u64 * 8;
+        for (strategy, budget) in [
+            (UpdateStrategy::Spu, u64::MAX),
+            (UpdateStrategy::Dpu, 0u64),
+            (UpdateStrategy::Mpu, budget_mpu),
+        ] {
+            let cfg = EngineConfig::default()
+                .with_strategy(strategy)
+                .with_budget(budget)
+                .with_threads(3)
+                .with_max_iterations(5);
+            let (vals, _) = algo::pagerank(&g, 5, &cfg).unwrap();
+            for (k, (a, b)) in vals.iter().zip(&expect).enumerate() {
+                prop_assert!((a - b).abs() < 1e-9,
+                    "{:?} vertex {}: {} vs {}", strategy, k, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_equals_oracle_for_every_root(raw in arb_graph(), p in 1u32..6) {
+        let g = prepare(&raw, p);
+        let (n, edges) = dense(&raw);
+        // Try three roots spread over the id space.
+        for root in [0, n / 2, n - 1] {
+            let expect = reference::bfs(n, &edges, root);
+            let (depths, _) = algo::bfs(&g, root, &EngineConfig::default()).unwrap();
+            prop_assert_eq!(&depths, &expect, "root {}", root);
+        }
+    }
+
+    #[test]
+    fn wcc_equals_union_find(raw in arb_graph(), p in 1u32..6) {
+        let g = prepare(&raw, p);
+        let (n, edges) = dense(&raw);
+        let expect = reference::wcc(n, &edges);
+        let (labels, _) = algo::wcc(&g, &EngineConfig::default()).unwrap();
+        prop_assert_eq!(labels, expect);
+    }
+
+    #[test]
+    fn scc_equals_tarjan(raw in arb_graph(), p in 1u32..6) {
+        let g = prepare(&raw, p);
+        let (n, edges) = dense(&raw);
+        let expect = reference::scc(n, &edges);
+        let out = algo::scc(&g, &EngineConfig::default()).unwrap();
+        prop_assert_eq!(out.labels, expect);
+    }
+
+    #[test]
+    fn sync_modes_agree(raw in arb_graph(), p in 1u32..6) {
+        let g = prepare(&raw, p);
+        let cb = algo::pagerank(&g, 4, &EngineConfig::default()).unwrap().0;
+        let lk = algo::pagerank(
+            &g,
+            4,
+            &EngineConfig::default().with_sync(SyncMode::Lock),
+        )
+        .unwrap()
+        .0;
+        // Lock-mode tasks drain in nondeterministic order, so float sums
+        // may differ in the last ulp; require near-equality.
+        for (a, b) in cb.iter().zip(&lk) {
+            prop_assert!((a - b).abs() < 1e-12, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn mpu_matches_spu_at_every_budget(raw in arb_graph(), q_frac in 0.0f64..1.0) {
+        let g = prepare(&raw, 5);
+        let n = g.num_vertices() as u64;
+        let want = algo::pagerank(&g, 4, &EngineConfig::default()).unwrap().0;
+        let budget = 4 * n + ((2 * n * 8) as f64 * q_frac) as u64;
+        let cfg = EngineConfig::default()
+            .with_strategy(UpdateStrategy::Mpu)
+            .with_budget(budget)
+            .with_max_iterations(4);
+        let (vals, _) = algo::pagerank(&g, 4, &cfg).unwrap();
+        for (a, b) in vals.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+}
