@@ -142,34 +142,13 @@ mod tests {
         preprocess(raw, &PrepConfig::new("hits", 3), disk).unwrap()
     }
 
-    /// Reference HITS on dense edges.
-    fn reference_hits(n: usize, edges: &[(u32, u32)], iters: usize) -> (Vec<f64>, Vec<f64>) {
-        let mut auth = vec![1.0 / (n as f64).sqrt(); n];
-        let mut hub = auth.clone();
-        for _ in 0..iters {
-            let mut na = vec![0.0; n];
-            for &(s, d) in edges {
-                na[d as usize] += hub[s as usize];
-            }
-            l2_normalise(&mut na);
-            auth = na;
-            let mut nh = vec![0.0; n];
-            for &(s, d) in edges {
-                nh[s as usize] += auth[d as usize];
-            }
-            l2_normalise(&mut nh);
-            hub = nh;
-        }
-        (auth, hub)
-    }
-
     #[test]
     fn matches_reference_on_fig1() {
         let edges = crate::fig1_example_edges();
         let raw: Vec<(u64, u64)> = edges.iter().map(|&(s, d)| (s as u64, d as u64)).collect();
         let g = prepare(&raw);
         let out = hits(&g, 12, &EngineConfig::default()).unwrap();
-        let (ea, eh) = reference_hits(7, &edges, 12);
+        let (ea, eh) = crate::reference::hits(7, &edges, 12);
         for (a, b) in out.authorities.iter().zip(&ea) {
             assert!((a - b).abs() < 1e-10, "{a} vs {b}");
         }

@@ -137,6 +137,131 @@ pub fn scc(n: u32, edges: &[(VertexId, VertexId)]) -> Vec<u32> {
     labels
 }
 
+/// Single-source shortest paths with an arbitrary non-negative weight
+/// oracle — Bellman-Ford relaxation to the fixpoint, semantically identical
+/// to [`crate::algo::Sssp`]. Unreached = `f64::INFINITY`.
+pub fn sssp(
+    n: u32,
+    edges: &[(VertexId, VertexId)],
+    root: VertexId,
+    weight: impl Fn(VertexId, VertexId) -> f64,
+) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; n as usize];
+    dist[root as usize] = 0.0;
+    loop {
+        let mut changed = false;
+        for &(s, d) in edges {
+            if dist[s as usize].is_finite() {
+                let cand = dist[s as usize] + weight(s, d);
+                if cand < dist[d as usize] {
+                    dist[d as usize] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return dist;
+        }
+    }
+}
+
+/// k-core membership flags by synchronous peeling, matching
+/// [`crate::algo::kcore()`]'s engine semantics exactly: each round counts,
+/// for every vertex, the **directed in-edges** whose source still survives
+/// (so on the usual both-directions undirected ingestion this is the
+/// neighbour count, with multiplicity for parallel edges), then peels
+/// vertices below `k`. 1 = in the k-core.
+pub fn kcore(n: u32, edges: &[(VertexId, VertexId)], k: u32) -> Vec<u32> {
+    let mut alive = vec![1u32; n as usize];
+    loop {
+        let mut count = vec![0u32; n as usize];
+        for &(s, d) in edges {
+            if alive[s as usize] == 1 {
+                count[d as usize] += 1;
+            }
+        }
+        let mut changed = false;
+        for v in 0..n as usize {
+            if alive[v] == 1 && count[v] < k {
+                alive[v] = 0;
+                changed = true;
+            }
+        }
+        if !changed {
+            return alive;
+        }
+    }
+}
+
+/// HITS authority/hub scores with per-half-step L2 normalisation,
+/// semantically identical to [`crate::algo::hits()`].
+pub fn hits(n: u32, edges: &[(VertexId, VertexId)], iterations: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = n as usize;
+    let mut auth = vec![1.0 / (n as f64).sqrt(); n];
+    let mut hub = auth.clone();
+    for _ in 0..iterations {
+        let mut next_auth = vec![0.0; n];
+        for &(s, d) in edges {
+            next_auth[d as usize] += hub[s as usize];
+        }
+        l2_normalise(&mut next_auth);
+        auth = next_auth;
+        let mut next_hub = vec![0.0; n];
+        for &(s, d) in edges {
+            next_hub[s as usize] += auth[d as usize];
+        }
+        l2_normalise(&mut next_hub);
+        hub = next_hub;
+    }
+    (auth, hub)
+}
+
+fn l2_normalise(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Personalised PageRank (damping 0.85, teleport split over `sources`),
+/// synchronous, semantically identical to
+/// [`crate::algo::ppr::PersonalizedPageRank`].
+pub fn ppr(
+    n: u32,
+    edges: &[(VertexId, VertexId)],
+    sources: &[VertexId],
+    out_degrees: &[u32],
+    iterations: usize,
+) -> Vec<f64> {
+    const DAMPING: f64 = 0.85;
+    let share = 1.0 / sources.len() as f64;
+    let is_source = {
+        let set: std::collections::HashSet<_> = sources.iter().copied().collect();
+        move |v: u32| set.contains(&v)
+    };
+    let mut rank = vec![0.0; n as usize];
+    for &s in sources {
+        rank[s as usize] = share;
+    }
+    for _ in 0..iterations {
+        let mut acc = vec![0.0; n as usize];
+        for &(s, d) in edges {
+            acc[d as usize] += rank[s as usize] / out_degrees[s as usize] as f64;
+        }
+        for v in 0..n {
+            let teleport = if is_source(v) {
+                (1.0 - DAMPING) * share
+            } else {
+                0.0
+            };
+            rank[v as usize] = teleport + DAMPING * acc[v as usize];
+        }
+    }
+    rank
+}
+
 /// Out-adjacency lists.
 fn adjacency(n: u32, edges: &[(VertexId, VertexId)]) -> Vec<Vec<VertexId>> {
     let mut adj = vec![Vec::new(); n as usize];
@@ -204,6 +329,60 @@ mod tests {
         // Vertex 6 has no incoming path back from its successors; it must
         // be a singleton.
         assert_eq!(labels[6], 6);
+    }
+
+    #[test]
+    fn sssp_relaxes_multi_hop_shortcuts() {
+        // Direct edge heavy, two-hop light.
+        let edges = vec![(0, 2), (0, 1), (1, 2)];
+        let w = |s: u32, d: u32| match (s, d) {
+            (0, 2) => 9.0,
+            (0, 1) => 1.0,
+            (1, 2) => 1.0,
+            _ => unreachable!(),
+        };
+        assert_eq!(sssp(3, &edges, 0, w), vec![0.0, 1.0, 2.0]);
+        // Unreachable stays infinite.
+        assert!(sssp(4, &edges, 0, w)[3].is_infinite());
+    }
+
+    #[test]
+    fn kcore_peels_tail_keeps_triangle() {
+        // Undirected triangle 0-1-2 plus tail 2-3 (both directions).
+        let edges: Vec<(u32, u32)> = [(0, 1), (1, 2), (2, 0), (2, 3)]
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .collect();
+        assert_eq!(kcore(4, &edges, 2), vec![1, 1, 1, 0]);
+        // A path has no 2-core.
+        let path: Vec<(u32, u32)> = [(0, 1), (1, 2), (2, 3)]
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .collect();
+        assert_eq!(kcore(4, &path, 2), vec![0; 4]);
+    }
+
+    #[test]
+    fn hits_star_graph_extremes() {
+        // Sources 1..6 all point at sink 0: 0 is the only authority and
+        // no hub.
+        let edges: Vec<(u32, u32)> = (1..6).map(|s| (s, 0)).collect();
+        let (auth, hub) = hits(6, &edges, 10);
+        assert!(auth[0] > 0.99);
+        assert!(hub[0] < 1e-12);
+        let na: f64 = auth.iter().map(|x| x * x).sum();
+        assert!((na - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ppr_zero_outside_reachable_set() {
+        // Two disjoint 2-cycles; personalise on the first.
+        let edges = vec![(0, 1), (1, 0), (2, 3), (3, 2)];
+        let deg = out_degrees(4, &edges);
+        let r = ppr(4, &edges, &[0], &deg, 20);
+        assert!(r[0] > 0.0 && r[1] > 0.0);
+        assert_eq!(r[2], 0.0);
+        assert_eq!(r[3], 0.0);
     }
 
     #[test]

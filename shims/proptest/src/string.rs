@@ -1,0 +1,123 @@
+//! String generation from the regex subset used as proptest strategies:
+//! sequences of literal characters and `[...]` character classes (with
+//! `a-z` ranges and a literal trailing `-`), each optionally followed by a
+//! `{n}` or `{m,n}` repetition.
+
+use crate::test_runner::TestRng;
+
+enum Piece {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+fn parse(pattern: &str) -> Vec<(Piece, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut k = 0;
+    while k < chars.len() {
+        let piece = match chars[k] {
+            '[' => {
+                let close = chars[k..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| k + p)
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = k + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pattern:?}");
+                k = close + 1;
+                Piece::Class(set)
+            }
+            '\\' => {
+                k += 1;
+                assert!(k < chars.len(), "dangling escape in {pattern:?}");
+                let c = chars[k];
+                k += 1;
+                Piece::Literal(c)
+            }
+            c => {
+                assert!(
+                    !"(){}|*+?.^$".contains(c),
+                    "unsupported regex syntax {c:?} in pattern {pattern:?}"
+                );
+                k += 1;
+                Piece::Literal(c)
+            }
+        };
+        // Optional {n} / {m,n} repetition.
+        let (min, max) = if k < chars.len() && chars[k] == '{' {
+            let close = chars[k..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| k + p)
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+            let spec: String = chars[k + 1..close].iter().collect();
+            k = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repeat min"),
+                    n.trim().parse().expect("bad repeat max"),
+                ),
+                None => {
+                    let n: usize = spec.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push((piece, min, max));
+    }
+    pieces
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (piece, min, max) in parse(pattern) {
+        let reps = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..reps {
+            match &piece {
+                Piece::Literal(c) => out.push(*c),
+                Piece::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_repeat() {
+        let mut rng = TestRng::deterministic(1, 0);
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9_-]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::deterministic(2, 0);
+        assert_eq!(generate("abc", &mut rng), "abc");
+    }
+}

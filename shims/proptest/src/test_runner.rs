@@ -1,0 +1,38 @@
+//! The deterministic random source behind every strategy.
+
+/// SplitMix64 stream, seeded from (test-name hash, case index).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A distinct, reproducible stream for one test case.
+    pub fn deterministic(seed: u64, case: u32) -> Self {
+        // Decorrelate neighbouring cases with one mixing round.
+        let mut rng = TestRng {
+            state: seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        rng.next_u64();
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

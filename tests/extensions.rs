@@ -8,6 +8,7 @@ use nxgraph::core::algo::{self, ppr::PersonalizedPageRank, sssp};
 use nxgraph::core::dynamic::DynamicGraph;
 use nxgraph::core::engine::{self, EngineConfig, Strategy};
 use nxgraph::core::prep::{preprocess, PrepConfig};
+use nxgraph::core::reference;
 use nxgraph::core::PreparedGraph;
 use nxgraph::graphgen::rmat;
 use nxgraph::storage::{Disk, MemDisk};
@@ -101,9 +102,21 @@ fn kcore_agrees_across_strategies() {
             Some(b) => assert_eq!(&flags, b, "{strategy:?}"),
         }
     }
-    // Sanity: the 1-core of a graph with edges everywhere is non-trivial.
-    let ones = baseline.unwrap();
-    assert!(ones.iter().any(|&f| f == 1) || ones.iter().all(|&f| f == 0));
+    // The agreed-upon result must also match the peeling oracle.
+    let mut idx: Vec<u64> = raw_base.iter().flat_map(|&(s, d)| [s, d]).collect();
+    idx.sort_unstable();
+    idx.dedup();
+    let dense: Vec<(u32, u32)> = raw_base
+        .iter()
+        .map(|&(s, d)| {
+            (
+                idx.binary_search(&s).unwrap() as u32,
+                idx.binary_search(&d).unwrap() as u32,
+            )
+        })
+        .collect();
+    let expect = reference::kcore(g.num_vertices(), &dense, 4);
+    assert_eq!(baseline.unwrap(), expect);
 }
 
 #[test]

@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use nxgraph::core::algo::{self, pagerank::PageRank};
-use nxgraph::core::engine::{self, EngineConfig, Strategy, SyncMode};
+use nxgraph::core::algo::{self, pagerank::PageRank, ppr::PersonalizedPageRank, sssp};
+use nxgraph::core::engine::{self, choose_strategy, EngineConfig, Strategy, SyncMode};
 use nxgraph::core::prep::{preprocess, PrepConfig};
 use nxgraph::core::reference;
 use nxgraph::core::PreparedGraph;
@@ -84,6 +84,8 @@ fn auto_strategy_resolves_as_documented() {
     let cases = [
         (u64::MAX, Strategy::Spu),
         (4 * n + n * 8, Strategy::Mpu),
+        // The degree table alone eats a 4n budget: still DPU.
+        (4 * n, Strategy::Dpu),
         (0, Strategy::Dpu),
     ];
     for (budget, want) in cases {
@@ -181,6 +183,189 @@ fn pagerank_converges_with_epsilon() {
     for v in &vals {
         assert!((v - 1.0 / 50.0).abs() < 1e-9);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Full oracle matrix: every algorithm × {SPU, DPU, MPU} × both sync modes,
+// on an R-MAT and an Erdős–Rényi graph, validated against the
+// `reference` oracles.
+// ---------------------------------------------------------------------------
+
+/// A named matrix workload: prepared graph plus its dense edge list.
+type MatrixGraph = (&'static str, PreparedGraph, Vec<(u32, u32)>);
+
+/// The two workload graphs of the matrix, with their dense edge lists.
+fn matrix_graphs() -> Vec<MatrixGraph> {
+    let rmat = rmat_raw(8, 6, 41);
+    let er: Vec<(u64, u64)> = er::generate(250, 900, 42)
+        .into_iter()
+        .map(|e| (e.src, e.dst))
+        .collect();
+    [("rmat", rmat), ("er", er)]
+        .into_iter()
+        .map(|(name, raw)| {
+            let g = prepare(&raw, 5);
+            let edges = dense_edges(&g, &raw);
+            (name, g, edges)
+        })
+        .collect()
+}
+
+/// Explicit SPU, DPU and MPU configs crossed with both sync modes.
+/// `value_size` is the algorithm's per-vertex attribute width, which sets
+/// the half-resident MPU budget.
+fn matrix_configs(n: u64, value_size: u64) -> Vec<(String, EngineConfig)> {
+    let mut out = Vec::new();
+    for (strategy, budget) in [
+        (Strategy::Spu, u64::MAX),
+        (Strategy::Dpu, 0),
+        (Strategy::Mpu, 4 * n + n * value_size),
+    ] {
+        for sync in [SyncMode::Callback, SyncMode::Lock] {
+            let cfg = EngineConfig::default()
+                .with_strategy(strategy)
+                .with_budget(budget)
+                .with_sync(sync)
+                .with_threads(3);
+            out.push((format!("{strategy:?}/{sync:?}"), cfg));
+        }
+    }
+    out
+}
+
+fn assert_close(got: &[f64], want: &[f64], tol: f64, label: &str) {
+    for (v, (a, b)) in got.iter().zip(want).enumerate() {
+        if b.is_finite() {
+            assert!((a - b).abs() < tol, "{label}: vertex {v}: {a} vs {b}");
+        } else {
+            assert!(!a.is_finite(), "{label}: vertex {v}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn matrix_pagerank_matches_oracle() {
+    for (gname, g, edges) in matrix_graphs() {
+        let expect = reference::pagerank(g.num_vertices(), &edges, g.out_degrees(), 6);
+        for (cname, cfg) in matrix_configs(g.num_vertices() as u64, 8) {
+            let (vals, _) = algo::pagerank(&g, 6, &cfg.with_max_iterations(6)).unwrap();
+            assert_close(&vals, &expect, 1e-9, &format!("{gname}/{cname}"));
+        }
+    }
+}
+
+#[test]
+fn matrix_bfs_matches_oracle() {
+    for (gname, g, edges) in matrix_graphs() {
+        let expect = reference::bfs(g.num_vertices(), &edges, 0);
+        for (cname, cfg) in matrix_configs(g.num_vertices() as u64, 4) {
+            let (depths, _) = algo::bfs(&g, 0, &cfg).unwrap();
+            assert_eq!(depths, expect, "{gname}/{cname}");
+        }
+    }
+}
+
+#[test]
+fn matrix_sssp_matches_oracle() {
+    let w = sssp::hash_weights(0.5, 2.5);
+    for (gname, g, edges) in matrix_graphs() {
+        let expect = reference::sssp(g.num_vertices(), &edges, 0, |s, d| w(s, d));
+        for (cname, cfg) in matrix_configs(g.num_vertices() as u64, 8) {
+            let prog = algo::Sssp::new(0, Arc::clone(&w));
+            let cfg = cfg.with_max_iterations(g.num_vertices() as usize + 1);
+            let (dist, _) = engine::run(&g, &prog, &cfg).unwrap();
+            assert_close(&dist, &expect, 1e-9, &format!("{gname}/{cname}"));
+        }
+    }
+}
+
+#[test]
+fn matrix_wcc_matches_oracle() {
+    for (gname, g, edges) in matrix_graphs() {
+        let expect = reference::wcc(g.num_vertices(), &edges);
+        for (cname, cfg) in matrix_configs(g.num_vertices() as u64, 4) {
+            let (labels, _) = algo::wcc(&g, &cfg).unwrap();
+            assert_eq!(labels, expect, "{gname}/{cname}");
+        }
+    }
+}
+
+#[test]
+fn matrix_scc_matches_oracle() {
+    for (gname, g, edges) in matrix_graphs() {
+        let expect = reference::scc(g.num_vertices(), &edges);
+        for (cname, cfg) in matrix_configs(g.num_vertices() as u64, 4) {
+            let out = algo::scc(&g, &cfg).unwrap();
+            assert_eq!(out.labels, expect, "{gname}/{cname}");
+        }
+    }
+}
+
+#[test]
+fn matrix_kcore_matches_oracle() {
+    // k-core reads the graph as undirected, so symmetrise the matrix
+    // graphs before preprocessing (the paper's §II-A ingestion convention).
+    for (gname, _, edges) in matrix_graphs() {
+        let sym: Vec<(u64, u64)> = edges
+            .iter()
+            .flat_map(|&(s, d)| [(s as u64, d as u64), (d as u64, s as u64)])
+            .collect();
+        let g = prepare(&sym, 5);
+        let dense = dense_edges(&g, &sym);
+        let expect = reference::kcore(g.num_vertices(), &dense, 3);
+        for (cname, cfg) in matrix_configs(g.num_vertices() as u64, 4) {
+            let (flags, _) = algo::kcore(&g, 3, &cfg).unwrap();
+            assert_eq!(flags, expect, "{gname}/{cname}");
+        }
+    }
+}
+
+#[test]
+fn matrix_hits_matches_oracle() {
+    for (gname, g, edges) in matrix_graphs() {
+        let (ea, eh) = reference::hits(g.num_vertices(), &edges, 6);
+        for (cname, cfg) in matrix_configs(g.num_vertices() as u64, 8) {
+            let out = algo::hits(&g, 6, &cfg).unwrap();
+            let label = format!("{gname}/{cname}");
+            assert_close(&out.authorities, &ea, 1e-9, &label);
+            assert_close(&out.hubs, &eh, 1e-9, &label);
+        }
+    }
+}
+
+#[test]
+fn matrix_ppr_matches_oracle() {
+    for (gname, g, edges) in matrix_graphs() {
+        let sources = [0u32, 3];
+        let expect = reference::ppr(g.num_vertices(), &edges, &sources, g.out_degrees(), 8);
+        for (cname, cfg) in matrix_configs(g.num_vertices() as u64, 8) {
+            let prog = PersonalizedPageRank::new(sources, Arc::clone(g.out_degrees()));
+            let (vals, _) = engine::run(&g, &prog, &cfg.with_max_iterations(8)).unwrap();
+            assert_close(&vals, &expect, 1e-9, &format!("{gname}/{cname}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy::Auto regression: §III-B degradation at the budget extremes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn choose_strategy_degrades_mpu_at_budget_extremes() {
+    let (n, p, value_size) = (100_000u64, 16u32, 8usize);
+    // Tiny budget: even the degree table does not fit → DPU.
+    assert_eq!(choose_strategy(n, p, value_size, 0).0, Strategy::Dpu);
+    assert_eq!(choose_strategy(n, p, value_size, 4 * n).0, Strategy::Dpu);
+    // Huge budget: ping-pong intervals fully resident → SPU.
+    assert_eq!(choose_strategy(n, p, value_size, u64::MAX).0, Strategy::Spu);
+    let spu_floor = 4 * n + 2 * n * value_size as u64;
+    assert_eq!(choose_strategy(n, p, value_size, spu_floor).0, Strategy::Spu);
+    // In between, MPU — shrinking toward either end flips it over.
+    let (s, plan) = choose_strategy(n, p, value_size, 4 * n + n * value_size as u64);
+    assert_eq!(s, Strategy::Mpu);
+    assert!(plan.resident_intervals > 0 && plan.resident_intervals < p as usize);
+    // (`auto_strategy_resolves_as_documented` checks that the Auto engine
+    // resolves to exactly these strategies end-to-end.)
 }
 
 #[test]
