@@ -1,8 +1,12 @@
 //! Micro-benchmarks of the update kernels — the ablation behind Table IV:
 //! destination-sorted fine-grained absorb vs source-sorted coarse-grained
-//! absorb, plus hub compaction/merging.
+//! absorb, plus hub compaction/merging, the scalar vs 4-way-unrolled
+//! flat-edge absorb, and the task-dispatch slot comparison (mutex slots vs
+//! the pool's cursor-claimed lock-free slots).
 
-use std::sync::Arc;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -12,6 +16,9 @@ use nxgraph_core::algo::pagerank::PageRank;
 use nxgraph_core::dsss::SubShard;
 use nxgraph_core::engine::kernel::absorb_single;
 use nxgraph_core::engine::AccBuf;
+use nxgraph_core::parallel::run_tasks;
+use nxgraph_core::program::VertexProgram;
+use nxgraph_core::types::VertexId;
 use nxgraph_graphgen::rmat::{self, RmatConfig};
 
 const SCALE: u32 = 14;
@@ -34,6 +41,38 @@ fn workload() -> (u32, Vec<(u32, u32)>, Arc<Vec<u32>>) {
         *d = (*d).max(1);
     }
     (n, edges, Arc::new(deg))
+}
+
+/// PageRank with `absorb_run` left at the trait default: the scalar
+/// per-edge walk. Benchmarks the unrolled override against this.
+struct ScalarPageRank(PageRank);
+
+impl VertexProgram for ScalarPageRank {
+    type Value = f64;
+    type Accum = f64;
+    const APPLY_NEEDS_OLD: bool = false;
+    const ALWAYS_APPLY: bool = true;
+
+    fn init(&self, v: VertexId) -> f64 {
+        self.0.init(v)
+    }
+
+    fn zero(&self) -> f64 {
+        self.0.zero()
+    }
+
+    fn absorb(&self, s: VertexId, sv: &f64, d: VertexId, acc: &mut f64) -> bool {
+        self.0.absorb(s, sv, d, acc)
+    }
+
+    fn combine(&self, a: &mut f64, b: &f64) {
+        self.0.combine(a, b)
+    }
+
+    fn apply(&self, v: VertexId, old: &f64, acc: &f64, got: bool) -> f64 {
+        self.0.apply(v, old, acc, got)
+    }
+    // No absorb_run override: the default scalar loop is the baseline.
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -68,6 +107,43 @@ fn bench_kernels(c: &mut Criterion) {
     });
     group.finish();
 
+    // Scalar per-edge walk vs the 4-way unrolled flat-edge absorb_run,
+    // single-threaded so the ratio isolates the inner loop. Uses a *dense*
+    // R-MAT (same edge count, 16× fewer vertices → long per-destination
+    // source runs) where the lane unroll has room to amortise; the skewed
+    // Graph500 fixture above has mostly sub-4-edge runs.
+    let dense_cfg = RmatConfig::graph500(SCALE - 4, EDGE_FACTOR * 16, 7);
+    let dn = dense_cfg.num_vertices() as u32;
+    let dense_edges: Vec<(u32, u32)> = rmat::generate(&dense_cfg)
+        .into_iter()
+        .map(|e| (e.src as u32, e.dst as u32))
+        .collect();
+    let mut dense_deg = vec![1u32; dn as usize];
+    for &(s, _) in &dense_edges {
+        dense_deg[s as usize] += 1;
+    }
+    let dense_deg = Arc::new(dense_deg);
+    let dense_vals = vec![1.0 / dn as f64; dn as usize];
+    let dense_ss = Arc::new(SubShard::from_edges(0, 0, dense_edges));
+    let dense_prog = PageRank::new(dn, Arc::clone(&dense_deg));
+    let scalar_prog = ScalarPageRank(PageRank::new(dn, Arc::clone(&dense_deg)));
+    let mut group = c.benchmark_group("absorb_run");
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut buf = AccBuf::<ScalarPageRank>::new(&scalar_prog, 0, dn as usize);
+            absorb_single(&scalar_prog, &dense_ss, &dense_vals, 0, &mut buf, 1, usize::MAX);
+            black_box(buf.acc[0]);
+        })
+    });
+    group.bench_function("unrolled4", |b| {
+        b.iter(|| {
+            let mut buf = AccBuf::<PageRank>::new(&dense_prog, 0, dn as usize);
+            absorb_single(&dense_prog, &dense_ss, &dense_vals, 0, &mut buf, 1, usize::MAX);
+            black_box(buf.acc[0]);
+        })
+    });
+    group.finish();
+
     let mut group = c.benchmark_group("hub");
     let mut buf = AccBuf::<PageRank>::new(&prog, 0, n as usize);
     absorb_single(&prog, &ss, &vals, 0, &mut buf, threads, 8192);
@@ -85,5 +161,85 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// A slot claimed at most once via a shared cursor — the pool's lock-free
+/// task container, replicated here so both dispatch variants run under an
+/// identical scoped-thread harness.
+struct CursorSlot(UnsafeCell<Option<u64>>);
+
+// Safety: each index is claimed by exactly one thread (cursor fetch_add).
+unsafe impl Sync for CursorSlot {}
+
+const DISPATCH_TASKS: usize = 65_536;
+const DISPATCH_THREADS: usize = 4;
+
+/// Task-dispatch cost comparison: the old per-task `Mutex<Option<T>>`
+/// hand-off vs the cursor-claimed `UnsafeCell` slots now used by
+/// `parallel::pool`, under the same thread harness — plus the real
+/// `run_tasks` path for an end-to-end number.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+
+    group.bench_function("mutex_slots", |b| {
+        b.iter(|| {
+            let tasks: Vec<Mutex<Option<u64>>> =
+                (0..DISPATCH_TASKS as u64).map(|t| Mutex::new(Some(t))).collect();
+            let cursor = AtomicUsize::new(0);
+            let sum = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..DISPATCH_THREADS {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        if let Some(t) = tasks[i].lock().unwrap().take() {
+                            sum.fetch_add(t, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            black_box(sum.load(Ordering::Relaxed))
+        })
+    });
+
+    group.bench_function("lockfree_slots", |b| {
+        b.iter(|| {
+            let tasks: Vec<CursorSlot> = (0..DISPATCH_TASKS as u64)
+                .map(|t| CursorSlot(UnsafeCell::new(Some(t))))
+                .collect();
+            let cursor = AtomicUsize::new(0);
+            let sum = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..DISPATCH_THREADS {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        // Safety: `i` handed to this thread alone.
+                        if let Some(t) = unsafe { (*tasks[i].0.get()).take() } {
+                            sum.fetch_add(t, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            black_box(sum.load(Ordering::Relaxed))
+        })
+    });
+
+    group.bench_function("pool_run_tasks", |b| {
+        b.iter(|| {
+            let sum = AtomicU64::new(0);
+            let tasks: Vec<u64> = (0..DISPATCH_TASKS as u64).collect();
+            run_tasks(DISPATCH_THREADS, tasks, |t| {
+                sum.fetch_add(t, Ordering::Relaxed);
+            });
+            black_box(sum.load(Ordering::Relaxed))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_dispatch);
 criterion_main!(benches);

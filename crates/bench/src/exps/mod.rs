@@ -10,6 +10,7 @@ pub mod exp7_tasks;
 pub mod exp8_limited;
 pub mod exp9_best;
 pub mod fig6;
+pub mod perf;
 pub mod table2;
 
 use nxgraph_core::engine::EngineConfig;

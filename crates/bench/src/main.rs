@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! nxbench <experiment> [--scale-shift N] [--seed N] [--threads N] [--iters N]
+//!                      [--json] [--out PATH]
 //!
 //! experiments:
 //!   table2   Table II  — analytic I/O bounds per strategy
@@ -15,6 +16,9 @@
 //!   exp7     Fig 12    — BFS/SCC/WCC across systems
 //!   exp8     Table V   — limited-resource comparison (+HDD model)
 //!   exp9     Table VI  — best-case comparison
+//!   perf     repo perf baseline — PageRank iters/sec & edges/sec per
+//!            strategy × prefetch on fixed-seed R-MAT at two scales;
+//!            `--json` writes BENCH_pagerank.json (`--out` overrides)
 //!   all                — run everything
 //! ```
 //!
@@ -36,6 +40,10 @@ pub struct Opts {
     pub threads: usize,
     /// PageRank iterations (the paper uses 10).
     pub iters: usize,
+    /// Whether `perf` should write its JSON report.
+    pub json: bool,
+    /// Output path for the JSON report (defaults to `BENCH_pagerank.json`).
+    pub out: String,
 }
 
 impl Default for Opts {
@@ -48,6 +56,8 @@ impl Default for Opts {
                 .unwrap_or(4)
                 .min(12),
             iters: 10,
+            json: false,
+            out: "BENCH_pagerank.json".to_string(),
         }
     }
 }
@@ -85,6 +95,8 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     .parse()
                     .map_err(|e| format!("bad --iters: {e}"))?
             }
+            "--json" => opts.json = true,
+            "--out" => opts.out = take_val(&mut k)?,
             name if !name.starts_with('-') && exp.is_none() => exp = Some(name.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -98,7 +110,7 @@ fn main() -> ExitCode {
     let (exp, opts) = match parse(&args) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|all> [--scale-shift N] [--seed N] [--threads N] [--iters N]");
+            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH]");
             return ExitCode::FAILURE;
         }
     };
@@ -114,6 +126,7 @@ fn main() -> ExitCode {
         "exp7" => exps::exp7_tasks::run(&opts),
         "exp8" => exps::exp8_limited::run(&opts),
         "exp9" => exps::exp9_best::run(&opts),
+        "perf" => exps::perf::run(&opts, opts.json.then_some(opts.out.as_str())),
         other => {
             eprintln!("unknown experiment {other:?}");
             false
@@ -122,7 +135,7 @@ fn main() -> ExitCode {
     let ok = if exp == "all" {
         [
             "table2", "fig6", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8",
-            "exp9",
+            "exp9", "perf",
         ]
         .iter()
         .all(|e| run_one(e))

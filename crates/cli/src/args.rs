@@ -13,7 +13,10 @@ usage:
   nxgraph-cli sssp <graph-dir> --root R [--threads N]
   nxgraph-cli wcc <graph-dir> [--threads N]
   nxgraph-cli scc <graph-dir> [--threads N]
-  nxgraph-cli hits <graph-dir> [--iters N] [--top K]";
+  nxgraph-cli hits <graph-dir> [--iters N] [--top K]
+
+engine flags (all algorithms): [--no-prefetch] disables the background
+sub-shard/hub prefetch thread (synchronous loads, for debugging/baselines)";
 
 /// Parsed command line: positionals plus flags.
 pub struct Args {
@@ -23,7 +26,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["--no-reverse"];
+const SWITCHES: &[&str] = &["--no-reverse", "--no-prefetch"];
 
 impl Args {
     /// Parse raw argv (after the subcommand).

@@ -105,6 +105,11 @@ fn engine_cfg(args: &Args) -> Result<EngineConfig, String> {
     if let Some(mib) = args.get::<u64>("budget-mib")? {
         cfg.memory_budget = mib << 20;
     }
+    // Only force prefetch *off*: absent the flag, keep EngineConfig's
+    // hardware-aware default (off on single-core hosts).
+    if args.switch("--no-prefetch") {
+        cfg.prefetch = false;
+    }
     Ok(cfg)
 }
 

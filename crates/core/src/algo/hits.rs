@@ -64,6 +64,24 @@ impl VertexProgram for SumNeighbors {
         *a += *b;
     }
 
+    fn absorb_run(
+        &self,
+        _dst: VertexId,
+        srcs: &[VertexId],
+        _src_vals: &[f64],
+        _src_base: VertexId,
+        acc: &mut f64,
+    ) -> bool {
+        if srcs.is_empty() {
+            return false;
+        }
+        // Shared 4-lane ILP unroll over the companion table (absorb
+        // ignores src_vals by design — see the comment on `absorb`).
+        let run = super::unrolled_table_sum(srcs, &self.companion);
+        self.combine(acc, &run);
+        true
+    }
+
     fn apply(&self, _v: VertexId, _old: &f64, acc: &f64, _got: bool) -> f64 {
         *acc
     }

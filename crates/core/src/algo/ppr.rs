@@ -15,7 +15,9 @@ use crate::types::VertexId;
 pub struct PersonalizedPageRank {
     sources: HashSet<VertexId>,
     damping: f64,
-    out_degrees: Arc<Vec<u32>>,
+    /// Reciprocal out-degrees, precomputed so the absorb hot loop
+    /// multiplies instead of dividing (see [`PageRank`](super::PageRank)).
+    inv_deg: Vec<f64>,
 }
 
 impl PersonalizedPageRank {
@@ -23,10 +25,14 @@ impl PersonalizedPageRank {
     pub fn new(sources: impl IntoIterator<Item = VertexId>, out_degrees: Arc<Vec<u32>>) -> Self {
         let sources: HashSet<_> = sources.into_iter().collect();
         assert!(!sources.is_empty(), "personalisation set must be non-empty");
+        let inv_deg = out_degrees
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f64 })
+            .collect();
         Self {
             sources,
             damping: 0.85,
-            out_degrees,
+            inv_deg,
         }
     }
 
@@ -58,12 +64,29 @@ impl VertexProgram for PersonalizedPageRank {
     }
 
     fn absorb(&self, src: VertexId, src_val: &f64, _dst: VertexId, acc: &mut f64) -> bool {
-        *acc += *src_val / self.out_degrees[src as usize] as f64;
+        *acc += *src_val * self.inv_deg[src as usize];
         true
     }
 
     fn combine(&self, a: &mut f64, b: &f64) {
         *a += *b;
+    }
+
+    fn absorb_run(
+        &self,
+        _dst: VertexId,
+        srcs: &[VertexId],
+        src_vals: &[f64],
+        src_base: VertexId,
+        acc: &mut f64,
+    ) -> bool {
+        if srcs.is_empty() {
+            return false;
+        }
+        // Same shared 4-lane ILP unroll as PageRank's scatter sum.
+        let run = super::unrolled_weighted_sum(srcs, src_vals, src_base as usize, &self.inv_deg);
+        self.combine(acc, &run);
+        true
     }
 
     fn apply(&self, v: VertexId, _old: &f64, acc: &f64, _got: bool) -> f64 {

@@ -19,6 +19,48 @@ use crate::types::{Attr, VertexId};
 
 pub use subshard::SubShard;
 
+/// Load sub-shard `SS(i→j)` straight from a disk handle.
+///
+/// Same file layout as [`PreparedGraph::load_subshard`], but free of the
+/// graph borrow — prefetch jobs run on a background thread and can only
+/// capture the `'static` `Arc<dyn Disk>`.
+pub fn load_subshard_from(disk: &dyn Disk, i: u32, j: u32, reverse: bool) -> EngineResult<SubShard> {
+    let name = if reverse {
+        GraphManifest::rev_subshard_file(i, j)
+    } else {
+        GraphManifest::subshard_file(i, j)
+    };
+    let bytes = disk.read_all(&name)?;
+    Ok(SubShard::decode(&bytes, &name)?)
+}
+
+/// Read hub `H(i→j)` straight from a disk handle (see
+/// [`load_subshard_from`] for why this exists). Returns `None` when the
+/// hub was never written.
+pub fn read_hub_from<A: Attr>(
+    disk: &dyn Disk,
+    i: u32,
+    j: u32,
+) -> EngineResult<Option<(Vec<VertexId>, Vec<A>)>> {
+    let name = GraphManifest::hub_file(i, j);
+    if !disk.exists(&name) {
+        return Ok(None);
+    }
+    let bytes = disk.read_all(&name)?;
+    let payload = format::read_blob(&mut bytes.as_slice(), FileKind::Hub, &name)?;
+    let mut c = format::Cursor::new(&payload);
+    let count = c.u32()? as usize;
+    let dsts = c.u32s(count)?;
+    let accs = A::decode_slice(c.rest());
+    if accs.len() != count {
+        return Err(EngineError::Invalid(format!(
+            "hub {name} has {count} dsts but {} accumulators",
+            accs.len()
+        )));
+    }
+    Ok(Some((dsts, accs)))
+}
+
 /// A preprocessed graph on disk: manifest + degree table + file access.
 pub struct PreparedGraph {
     disk: Arc<dyn Disk>,
@@ -115,13 +157,7 @@ impl PreparedGraph {
     /// Load sub-shard `SS(i→j)` (or the transposed `SS'(i→j)` when
     /// `reverse`).
     pub fn load_subshard(&self, i: u32, j: u32, reverse: bool) -> EngineResult<SubShard> {
-        let name = if reverse {
-            GraphManifest::rev_subshard_file(i, j)
-        } else {
-            GraphManifest::subshard_file(i, j)
-        };
-        let bytes = self.disk.read_all(&name)?;
-        Ok(SubShard::decode(&bytes, &name)?)
+        load_subshard_from(self.disk.as_ref(), i, j, reverse)
     }
 
     /// On-disk size in bytes of a sub-shard file (for cache planning).
@@ -183,23 +219,7 @@ impl PreparedGraph {
     /// Read hub `H(i→j)`. Returns `None` when the hub was never written
     /// (its source row was skipped as inactive).
     pub fn read_hub<A: Attr>(&self, i: u32, j: u32) -> EngineResult<Option<(Vec<VertexId>, Vec<A>)>> {
-        let name = GraphManifest::hub_file(i, j);
-        if !self.disk.exists(&name) {
-            return Ok(None);
-        }
-        let bytes = self.disk.read_all(&name)?;
-        let payload = format::read_blob(&mut bytes.as_slice(), FileKind::Hub, &name)?;
-        let mut c = format::Cursor::new(&payload);
-        let count = c.u32()? as usize;
-        let dsts = c.u32s(count)?;
-        let accs = A::decode_slice(c.rest());
-        if accs.len() != count {
-            return Err(EngineError::Invalid(format!(
-                "hub {name} has {count} dsts but {} accumulators",
-                accs.len()
-            )));
-        }
-        Ok(Some((dsts, accs)))
+        read_hub_from(self.disk.as_ref(), i, j)
     }
 
     /// Remove hub `H(i→j)` if present (between iterations).

@@ -51,11 +51,17 @@ impl SubShard {
         let mut srcs = Vec::with_capacity(edges.len());
         for (s, d) in edges {
             if dsts.last() != Some(&d) {
+                // Close the previous destination's run before opening a new
+                // one — one offset write per destination, not per edge.
+                if !srcs.is_empty() {
+                    offsets.push(srcs.len() as u32);
+                }
                 dsts.push(d);
-                offsets.push(srcs.len() as u32);
             }
             srcs.push(s);
-            *offsets.last_mut().unwrap() = srcs.len() as u32;
+        }
+        if !srcs.is_empty() {
+            offsets.push(srcs.len() as u32);
         }
         Self {
             src_interval,

@@ -17,12 +17,15 @@
 
 use std::sync::Arc;
 
-use crate::dsss::PreparedGraph;
+use nxgraph_storage::Disk;
+
+use crate::dsss::{load_subshard_from, read_hub_from, PreparedGraph, SubShard};
 use crate::error::EngineResult;
 use crate::program::VertexProgram;
 use crate::types::VertexId;
 
 use super::kernel::absorb_single;
+use super::prefetch::{JobStream, Jobs, Prefetcher};
 use super::state::{finalize_interval, AccBuf};
 use super::store::ShardStore;
 use super::{Activity, EngineConfig};
@@ -44,6 +47,10 @@ pub fn run_dpu<P: VertexProgram>(
     }
     let mut activity = Activity::init(g, prog);
 
+    // One background decode thread for the whole run; each row/column
+    // below drives it through its own ordered JobStream.
+    let prefetcher = cfg.prefetch.then(Prefetcher::new);
+
     let mut iterations = 0;
     let mut edges_traversed = 0u64;
 
@@ -51,7 +58,8 @@ pub fn run_dpu<P: VertexProgram>(
         iterations += 1;
 
         // ------------------------------------------------------------------
-        // ToHub phase: rows. Load interval i once, write hubs H(i→*).
+        // ToHub phase: rows. Load interval i once, write hubs H(i→*); the
+        // prefetcher decodes sub-shard (i, j+1) while (i, j) is absorbed.
         // ------------------------------------------------------------------
         for i in 0..p {
             if activity.row_skippable(i) {
@@ -59,12 +67,23 @@ pub fn run_dpu<P: VertexProgram>(
             }
             let src_vals: Vec<P::Value> = g.read_interval(i)?;
             let r_i = g.interval_range(i);
+            let jobs: Jobs<EngineResult<SubShard>> = (0..p)
+                .flat_map(|j| {
+                    ShardStore::dirs(cfg.direction).iter().map(move |&reverse| (j, reverse))
+                })
+                .map(|(j, reverse)| {
+                    let disk: Arc<dyn Disk> = Arc::clone(g.disk());
+                    Box::new(move || load_subshard_from(disk.as_ref(), i, j, reverse))
+                        as Box<dyn FnOnce() -> EngineResult<SubShard> + Send>
+                })
+                .collect();
+            let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
             for j in 0..p {
                 let r_j = g.interval_range(j);
                 let mut buf: AccBuf<P> =
                     AccBuf::new(prog, r_j.start, (r_j.end - r_j.start) as usize);
-                for &reverse in ShardStore::dirs(cfg.direction) {
-                    let ss = Arc::new(g.load_subshard(i, j, reverse)?);
+                for _ in ShardStore::dirs(cfg.direction) {
+                    let ss = Arc::new(stream.next().expect("one job per (j, dir)")?);
                     edges_traversed += ss.num_edges() as u64;
                     absorb_single(
                         prog,
@@ -84,7 +103,8 @@ pub fn run_dpu<P: VertexProgram>(
         }
 
         // ------------------------------------------------------------------
-        // FromHub phase: columns. Fold hubs H(*→j), apply, write interval.
+        // FromHub phase: columns. Fold hubs H(*→j), apply, write interval;
+        // the prefetcher decodes hub (i+1, j) while (i, j) merges.
         // ------------------------------------------------------------------
         let mut changed = vec![false; p as usize];
         let mut any_changed = false;
@@ -100,8 +120,17 @@ pub fn run_dpu<P: VertexProgram>(
                 r_j.clone().map(|v| prog.init(v)).collect()
             };
             let mut buf: AccBuf<P> = AccBuf::new(prog, r_j.start, len);
+            type Hub<P> = Option<(Vec<VertexId>, Vec<<P as VertexProgram>::Accum>)>;
+            let jobs: Jobs<EngineResult<Hub<P>>> = (0..p)
+                .map(|i| {
+                    let disk: Arc<dyn Disk> = Arc::clone(g.disk());
+                    Box::new(move || read_hub_from::<P::Accum>(disk.as_ref(), i, j))
+                        as Box<dyn FnOnce() -> EngineResult<Hub<P>> + Send>
+                })
+                .collect();
+            let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
             for i in 0..p {
-                if let Some((dsts, accs)) = g.read_hub::<P::Accum>(i, j)? {
+                if let Some((dsts, accs)) = stream.next().expect("one job per row")? {
                     buf.merge_hub(prog, &dsts, &accs);
                     g.remove_hub(i, j);
                 }

@@ -27,6 +27,11 @@ use super::SyncMode;
 ///
 /// `src_vals` holds the source interval's previous-iteration attributes,
 /// starting at global id `src_base`.
+///
+/// Flat-edge iteration: the CSR layout guarantees each destination's
+/// sources form one contiguous `srcs` run, so the whole run is handed to
+/// [`VertexProgram::absorb_run`] at once and `has[slot]` is written at most
+/// once per destination — not once per edge as the old scalar walk did.
 #[inline]
 #[allow(clippy::too_many_arguments)] // hot-path kernel: explicit slices beat a params struct
 pub fn absorb_chunk<P: VertexProgram>(
@@ -39,15 +44,13 @@ pub fn absorb_chunk<P: VertexProgram>(
     has: &mut [u8],
     slice_base: VertexId,
 ) {
+    let (dsts, offsets, srcs) = (&ss.dsts[..], &ss.offsets[..], &ss.srcs[..]);
     for pos in pos_range {
-        let d = ss.dsts[pos];
+        let d = dsts[pos];
         let slot = (d - slice_base) as usize;
-        let r = ss.src_range(pos);
-        for &s in &ss.srcs[r] {
-            let sv = &src_vals[(s - src_base) as usize];
-            if prog.source_active(s, sv) && prog.absorb(s, sv, d, &mut acc[slot]) {
-                has[slot] = 1;
-            }
+        let run = &srcs[offsets[pos] as usize..offsets[pos + 1] as usize];
+        if prog.absorb_run(d, run, src_vals, src_base, &mut acc[slot]) {
+            has[slot] = 1;
         }
     }
 }
@@ -347,5 +350,15 @@ mod tests {
         absorb_chunk(&prog, &ss, 0..4, &src_vals, 0, &mut acc, &mut has, 4);
         // Only sources 3.0 and 4.0 pass the gate.
         assert_eq!(acc, vec![7.0; 4]);
+        assert_eq!(has, vec![1; 4]);
+
+        // When no source passes, the run contributes nothing and the
+        // per-destination has flag must stay clear.
+        let low_vals = vec![1.0; 4];
+        let mut acc = vec![0.0; 4];
+        let mut has = vec![0u8; 4];
+        absorb_chunk(&prog, &ss, 0..4, &low_vals, 0, &mut acc, &mut has, 4);
+        assert_eq!(acc, vec![0.0; 4]);
+        assert_eq!(has, vec![0; 4]);
     }
 }

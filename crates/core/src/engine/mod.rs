@@ -8,6 +8,7 @@
 pub mod dpu;
 pub mod kernel;
 pub mod mpu;
+pub mod prefetch;
 pub mod select;
 pub mod spu;
 pub mod state;
@@ -22,6 +23,7 @@ use crate::error::{EngineError, EngineResult};
 use crate::program::{Direction, VertexProgram};
 use crate::types::Attr;
 
+pub use prefetch::{JobStream, Prefetcher};
 pub use select::choose_strategy;
 pub use state::{finalize_interval, AccBuf};
 pub use store::ShardStore;
@@ -71,6 +73,13 @@ pub struct EngineConfig {
     /// Fine-grained task granularity: target edges per chunk task
     /// ("several thousands of edges", §III-D).
     pub edges_per_task: usize,
+    /// Double-buffered background prefetch of the next sub-shard/hub while
+    /// the kernel works on the current one (DPU ToHub/FromHub and SPU's
+    /// streamed rows). Results and I/O totals are identical either way —
+    /// only latency changes. Defaults to on when the host has a spare
+    /// hardware thread to run the decoder (on a single-core machine the
+    /// background thread only adds context switches).
+    pub prefetch: bool,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +94,9 @@ impl Default for EngineConfig {
             max_iterations: 50,
             direction: Direction::Forward,
             edges_per_task: 8192,
+            prefetch: std::thread::available_parallelism()
+                .map(|n| n.get() > 1)
+                .unwrap_or(false),
         }
     }
 }
@@ -123,6 +135,12 @@ impl EngineConfig {
     /// Builder-style direction override.
     pub fn with_direction(mut self, d: Direction) -> Self {
         self.direction = d;
+        self
+    }
+
+    /// Builder-style prefetch override.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
         self
     }
 }
@@ -253,6 +271,11 @@ mod tests {
         assert_eq!(cfg.strategy, Strategy::Auto);
         assert_eq!(cfg.sync, SyncMode::Callback);
         assert!(cfg.edges_per_task > 0);
+        // Prefetch defaults on exactly when a spare hardware thread exists.
+        let multicore = std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false);
+        assert_eq!(cfg.prefetch, multicore);
     }
 
     #[test]
@@ -263,13 +286,15 @@ mod tests {
             .with_strategy(Strategy::Dpu)
             .with_sync(SyncMode::Lock)
             .with_max_iterations(7)
-            .with_direction(Direction::Both);
+            .with_direction(Direction::Both)
+            .with_prefetch(false);
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.memory_budget, 1024);
         assert_eq!(cfg.strategy, Strategy::Dpu);
         assert_eq!(cfg.sync, SyncMode::Lock);
         assert_eq!(cfg.max_iterations, 7);
         assert_eq!(cfg.direction, Direction::Both);
+        assert!(!cfg.prefetch);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Double-buffered background prefetch for the disk-streaming engines.
+//!
+//! The DPU ToHub/FromHub passes and SPU's streaming path consume one file
+//! after another in a deterministic order, decoding each synchronously
+//! between compute steps. [`Prefetcher`] moves that deserialization onto a
+//! single background thread with a two-slot ring: while the kernel folds
+//! the current sub-shard, the worker is already reading and decoding the
+//! next one, hiding I/O and decode latency behind compute.
+//!
+//! The design is std-only: a worker thread plus two bounded
+//! [`std::sync::mpsc::sync_channel`]s (jobs in, results out), each of
+//! [`RING_SLOTS`] capacity, which bounds decoded-ahead memory to the ring
+//! depth. Results come back strictly in submission order — [`JobStream`]
+//! enforces the submit-ahead/pop-in-order discipline and is the only
+//! intended way to drive a [`Prefetcher`].
+//!
+//! Prefetching reorders *when* files are read relative to compute, never
+//! *what* is read or the values computed from it, so `prefetch: true` and
+//! `prefetch: false` produce bitwise-identical results and byte-identical
+//! I/O totals (`tests/pipeline.rs` pins this across the oracle matrix).
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Depth of the prefetch ring: how many results may be decoded ahead of
+/// the consumer.
+pub const RING_SLOTS: usize = 2;
+
+/// Type-erased unit of background work.
+type Job = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>;
+
+/// An ordered list of loader jobs for one [`JobStream`].
+pub type Jobs<T> = Vec<Box<dyn FnOnce() -> T + Send>>;
+
+/// A single background worker decoding jobs ahead of the engine loop.
+///
+/// At most one [`JobStream`] may drive a `Prefetcher` at a time (results
+/// are matched to submissions purely by order).
+pub struct Prefetcher {
+    jobs: Option<SyncSender<Job>>,
+    results: Receiver<Box<dyn Any + Send>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawn the background worker.
+    pub fn new() -> Self {
+        let (jobs_tx, jobs_rx) = sync_channel::<Job>(RING_SLOTS);
+        let (results_tx, results_rx) = sync_channel::<Box<dyn Any + Send>>(RING_SLOTS);
+        let worker = std::thread::Builder::new()
+            .name("nxgraph-prefetch".into())
+            .spawn(move || {
+                while let Ok(job) = jobs_rx.recv() {
+                    if results_tx.send(job()).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("failed to spawn prefetch worker");
+        Self {
+            jobs: Some(jobs_tx),
+            results: results_rx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Queue `f` on the worker. Blocks when [`RING_SLOTS`] jobs are
+    /// already waiting (the ring's back-pressure).
+    fn submit<T, F>(&self, f: F)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.jobs
+            .as_ref()
+            .expect("prefetcher already shut down")
+            .send(Box::new(move || Box::new(f()) as Box<dyn Any + Send>))
+            .expect("prefetch worker died");
+    }
+
+    /// Receive the oldest outstanding result, which must have been
+    /// submitted with the same `T`.
+    fn pop<T: Send + 'static>(&self) -> T {
+        *self
+            .results
+            .recv()
+            .expect("prefetch worker died")
+            .downcast::<T>()
+            .expect("prefetch result popped out of submission order")
+    }
+
+    /// Discard the oldest outstanding result regardless of type (early
+    /// stream teardown on error paths).
+    fn discard(&self) {
+        let _ = self.results.recv();
+    }
+}
+
+impl Default for Prefetcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        // Close the job channel, drain whatever the worker still produces,
+        // then join it.
+        self.jobs.take();
+        while self.results.recv().is_ok() {}
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// An ordered stream of jobs, executed ahead on a [`Prefetcher`] when one
+/// is supplied, inline otherwise.
+///
+/// With a prefetcher, up to [`RING_SLOTS`] jobs run ahead of the consumer;
+/// [`JobStream::next`] pops the oldest result and immediately tops the
+/// ring back up, keeping the worker busy while the caller computes.
+/// Without one (`prefetch: false`), each job runs inline at `next`,
+/// reproducing strictly synchronous behaviour.
+pub struct JobStream<'p, T> {
+    prefetcher: Option<&'p Prefetcher>,
+    pending: VecDeque<Box<dyn FnOnce() -> T + Send>>,
+    in_flight: usize,
+}
+
+impl<'p, T: Send + 'static> JobStream<'p, T> {
+    /// Build a stream over `jobs`, priming the ring when prefetching.
+    pub fn new(prefetcher: Option<&'p Prefetcher>, jobs: Jobs<T>) -> Self {
+        let mut s = Self {
+            prefetcher,
+            pending: jobs.into(),
+            in_flight: 0,
+        };
+        s.fill();
+        s
+    }
+
+    fn fill(&mut self) {
+        if let Some(pf) = self.prefetcher {
+            while self.in_flight < RING_SLOTS {
+                let Some(job) = self.pending.pop_front() else {
+                    break;
+                };
+                pf.submit(job);
+                self.in_flight += 1;
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> Iterator for JobStream<'_, T> {
+    type Item = T;
+
+    /// The next job's result, in submission order.
+    fn next(&mut self) -> Option<T> {
+        match self.prefetcher {
+            Some(pf) if self.in_flight > 0 => {
+                let t = pf.pop::<T>();
+                self.in_flight -= 1;
+                self.fill();
+                Some(t)
+            }
+            Some(_) => None,
+            None => self.pending.pop_front().map(|job| job()),
+        }
+    }
+}
+
+impl<T> Drop for JobStream<'_, T> {
+    fn drop(&mut self) {
+        // Abandoned mid-stream (error propagation): flush outstanding
+        // results so the next stream's pops stay aligned with its submits.
+        if let Some(pf) = self.prefetcher {
+            for _ in 0..self.in_flight {
+                pf.discard();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn jobs_returning(values: Vec<u32>) -> Vec<Box<dyn FnOnce() -> u32 + Send>> {
+        values
+            .into_iter()
+            .map(|v| Box::new(move || v) as Box<dyn FnOnce() -> u32 + Send>)
+            .collect()
+    }
+
+    #[test]
+    fn inline_stream_preserves_order() {
+        let mut s = JobStream::new(None, jobs_returning((0..10).collect()));
+        for want in 0..10 {
+            assert_eq!(s.next(), Some(want));
+        }
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn prefetched_stream_preserves_order() {
+        let pf = Prefetcher::new();
+        let mut s = JobStream::new(Some(&pf), jobs_returning((0..57).collect()));
+        for want in 0..57 {
+            assert_eq!(s.next(), Some(want));
+        }
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn jobs_run_ahead_of_consumption() {
+        let pf = Prefetcher::new();
+        let started = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4usize)
+            .map(|k| {
+                let started = Arc::clone(&started);
+                Box::new(move || {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    k
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let mut s = JobStream::new(Some(&pf), jobs);
+        // Without popping anything, the ring should eventually have run at
+        // least one job in the background.
+        for _ in 0..1000 {
+            if started.load(Ordering::SeqCst) >= 1 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(started.load(Ordering::SeqCst) >= 1, "no job ran ahead");
+        assert_eq!(s.next(), Some(0));
+    }
+
+    #[test]
+    fn sequential_streams_share_one_prefetcher() {
+        let pf = Prefetcher::new();
+        // Different result types back to back: ordering discipline keeps
+        // the downcasts aligned.
+        let mut a = JobStream::new(Some(&pf), jobs_returning(vec![7, 8]));
+        assert_eq!(a.next(), Some(7));
+        assert_eq!(a.next(), Some(8));
+        drop(a);
+        let jobs: Vec<Box<dyn FnOnce() -> String + Send>> =
+            vec![Box::new(|| "x".to_string()), Box::new(|| "y".to_string())];
+        let mut b = JobStream::new(Some(&pf), jobs);
+        assert_eq!(b.next().as_deref(), Some("x"));
+        assert_eq!(b.next().as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn abandoned_stream_drains_cleanly() {
+        let pf = Prefetcher::new();
+        {
+            let mut s = JobStream::new(Some(&pf), jobs_returning((0..20).collect()));
+            assert_eq!(s.next(), Some(0));
+            // Drop with results still in flight.
+        }
+        // A fresh stream must still see its own results, not stale ones.
+        let mut s = JobStream::new(Some(&pf), jobs_returning(vec![99]));
+        assert_eq!(s.next(), Some(99));
+    }
+
+    #[test]
+    fn drop_joins_worker() {
+        let pf = Prefetcher::new();
+        let mut s = JobStream::new(Some(&pf), jobs_returning(vec![1]));
+        assert_eq!(s.next(), Some(1));
+        drop(s);
+        drop(pf); // must not hang
+    }
+}

@@ -16,15 +16,17 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use nxgraph_storage::Disk;
 use parking_lot::Mutex;
 
-use crate::dsss::{PreparedGraph, SubShard};
+use crate::dsss::{load_subshard_from, PreparedGraph, SubShard};
 use crate::error::EngineResult;
 use crate::parallel::run_tasks;
 use crate::program::VertexProgram;
 use crate::types::{Attr, VertexId};
 
 use super::kernel::{absorb_chunk, absorb_row};
+use super::prefetch::{JobStream, Jobs, Prefetcher};
 use super::state::{finalize_interval, AccBuf};
 use super::store::ShardStore;
 use super::{Activity, EngineConfig, SyncMode};
@@ -53,6 +55,11 @@ pub fn run_spu<P: VertexProgram>(
     let mut next = prev.clone();
     let mut activity = Activity::init(g, prog);
 
+    // Background decode thread for streamed (uncached) rows; Lock mode
+    // loads everything up-front inside its task sweep, so only the
+    // Callback row stream benefits.
+    let prefetcher = (cfg.prefetch && cfg.sync == SyncMode::Callback).then(Prefetcher::new);
+
     let mut accs: Vec<Option<Mutex<AccBuf<P>>>> = (0..p)
         .map(|j| {
             let r = g.interval_range(j);
@@ -71,31 +78,61 @@ pub fn run_spu<P: VertexProgram>(
 
         match cfg.sync {
             SyncMode::Callback => {
-                // Row-major traversal; all chunks of a row run concurrently.
-                for &reverse in ShardStore::dirs(cfg.direction) {
-                    for i in 0..p {
-                        if activity.row_skippable(i) {
-                            continue;
+                // Row-major traversal; all chunks of a row run concurrently
+                // and the prefetcher decodes row i+1's streamed sub-shards
+                // while row i is absorbed (cached shards cost nothing).
+                let rows: Vec<(bool, u32)> = ShardStore::dirs(cfg.direction)
+                    .iter()
+                    .flat_map(|&reverse| {
+                        (0..p).filter(|&i| !activity.row_skippable(i)).map(move |i| (reverse, i))
+                    })
+                    .collect();
+                // Cache hits are resolved up-front and consumed directly;
+                // only cache misses become prefetch jobs, at single
+                // sub-shard granularity so the ring never holds more than
+                // RING_SLOTS decoded sub-shards beyond the row being
+                // absorbed (row-sized jobs would keep ~3 rows resident,
+                // outside the memory-budget accounting).
+                let mut cached_rows: Vec<Vec<Option<Arc<SubShard>>>> =
+                    Vec::with_capacity(rows.len());
+                let mut jobs: Jobs<EngineResult<SubShard>> = Vec::new();
+                for &(reverse, i) in &rows {
+                    let hits: Vec<Option<Arc<SubShard>>> =
+                        (0..p).map(|j| store.cached(i, j, reverse)).collect();
+                    for (j, hit) in hits.iter().enumerate() {
+                        if hit.is_none() {
+                            let disk: Arc<dyn Disk> = Arc::clone(g.disk());
+                            let j = j as u32;
+                            jobs.push(Box::new(move || {
+                                load_subshard_from(disk.as_ref(), i, j, reverse)
+                            }));
                         }
-                        let mut shards: Vec<Option<Arc<SubShard>>> =
-                            Vec::with_capacity(p as usize);
-                        for j in 0..p {
-                            let ss = store.get(i, j, reverse)?;
-                            edges_traversed += ss.num_edges() as u64;
-                            shards.push(Some(ss));
-                        }
-                        let r = g.interval_range(i);
-                        absorb_row(
-                            prog,
-                            &shards,
-                            &prev[r.start as usize..r.end as usize],
-                            r.start,
-                            &mut accs,
-                            cfg.threads,
-                            cfg.edges_per_task,
-                            SyncMode::Callback,
-                        );
                     }
+                    cached_rows.push(hits);
+                }
+                let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
+                for (&(_, i), hits) in rows.iter().zip(cached_rows) {
+                    let mut shards: Vec<Option<Arc<SubShard>>> =
+                        Vec::with_capacity(p as usize);
+                    for hit in hits {
+                        let ss = match hit {
+                            Some(ss) => ss,
+                            None => Arc::new(stream.next().expect("one job per miss")?),
+                        };
+                        edges_traversed += ss.num_edges() as u64;
+                        shards.push(Some(ss));
+                    }
+                    let r = g.interval_range(i);
+                    absorb_row(
+                        prog,
+                        &shards,
+                        &prev[r.start as usize..r.end as usize],
+                        r.start,
+                        &mut accs,
+                        cfg.threads,
+                        cfg.edges_per_task,
+                        SyncMode::Callback,
+                    );
                 }
             }
             SyncMode::Lock => {

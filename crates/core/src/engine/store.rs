@@ -82,6 +82,13 @@ impl<'g> ShardStore<'g> {
         }
         Ok(Arc::new(self.graph.load_subshard(i, j, reverse)?))
     }
+
+    /// The cached copy of `(i, j)`, if any — never touches the disk. Used
+    /// by the prefetcher to decide which shards still need a background
+    /// load.
+    pub fn cached(&self, i: u32, j: u32, reverse: bool) -> Option<Arc<SubShard>> {
+        self.cache.get(&(i, j, reverse)).map(Arc::clone)
+    }
 }
 
 #[cfg(test)]

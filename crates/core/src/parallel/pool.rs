@@ -12,6 +12,7 @@
 //! type-erased batch pointer cross thread boundaries (see the `Safety`
 //! notes inline).
 
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -130,8 +131,19 @@ fn global_pool() -> &'static Pool {
     })
 }
 
+/// One task slot, claimed at most once via the batch cursor.
+///
+/// `cursor.fetch_add` hands out each index to exactly one thread, so slots
+/// need no lock: the claiming thread has exclusive access to its cell. The
+/// submitter's writes are published to workers by the pool's state mutex
+/// (batch publication happens-before any worker reads the batch).
+struct TaskSlot<T>(UnsafeCell<Option<T>>);
+
+// Safety: see above — exclusive per-index access via the cursor.
+unsafe impl<T: Send> Sync for TaskSlot<T> {}
+
 struct Ctx<'f, T> {
-    tasks: Vec<Mutex<Option<T>>>,
+    tasks: Vec<TaskSlot<T>>,
     cursor: AtomicUsize,
     /// Worker participation permits (the submitter is not counted).
     permits: AtomicIsize,
@@ -170,7 +182,7 @@ impl Pool {
 
     fn run<T: Send>(&self, threads: usize, tasks: Vec<T>, f: &(dyn Fn(T) + Sync)) {
         let ctx = Ctx {
-            tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            tasks: tasks.into_iter().map(|t| TaskSlot(UnsafeCell::new(Some(t)))).collect(),
             cursor: AtomicUsize::new(0),
             permits: AtomicIsize::new(threads as isize - 1),
             f,
@@ -193,7 +205,9 @@ impl Pool {
                 if i >= ctx.tasks.len() {
                     return;
                 }
-                let task = ctx.tasks[i].lock().take();
+                // Safety: `i` came from the cursor, so this thread is the
+                // only one ever touching slot `i` (see `TaskSlot`).
+                let task = unsafe { (*ctx.tasks[i].0.get()).take() };
                 if let Some(task) = task {
                     let r = catch_unwind(AssertUnwindSafe(|| (ctx.f)(task)));
                     if r.is_err() {

@@ -81,6 +81,39 @@ pub trait VertexProgram: Send + Sync {
         true
     }
 
+    /// Fold a whole destination's source run into `acc`, returning whether
+    /// any edge contributed a message.
+    ///
+    /// Destination-sorted sub-shards guarantee `srcs` is the contiguous,
+    /// source-sorted run of one destination, so this is the kernel's inner
+    /// loop: the flat-edge hot path calls it once per destination instead
+    /// of once per edge. `src_vals[s - src_base]` is source `s`'s
+    /// previous-iteration attribute.
+    ///
+    /// The default is the scalar per-edge walk and is always correct.
+    /// Programs with cheap, reassociable accumulators (PageRank, HITS,
+    /// PPR) override it with a 4-way unrolled loop that accumulates into
+    /// independent lanes and folds them through [`combine`](Self::combine);
+    /// any override must agree with the default up to accumulator
+    /// reassociation.
+    fn absorb_run(
+        &self,
+        dst: VertexId,
+        srcs: &[VertexId],
+        src_vals: &[Self::Value],
+        src_base: VertexId,
+        acc: &mut Self::Accum,
+    ) -> bool {
+        let mut any = false;
+        for &s in srcs {
+            let sv = &src_vals[(s - src_base) as usize];
+            if self.source_active(s, sv) && self.absorb(s, sv, dst, acc) {
+                any = true;
+            }
+        }
+        any
+    }
+
     /// Finalise vertex `v` after all columns folded. `got_messages` tells
     /// whether any `absorb` contributed this iteration.
     fn apply(

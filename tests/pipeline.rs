@@ -347,6 +347,109 @@ fn matrix_ppr_matches_oracle() {
 }
 
 // ---------------------------------------------------------------------------
+// Prefetch equivalence: the background prefetcher reorders *when* files are
+// read, never what is computed, so every algorithm of the oracle matrix
+// must produce bitwise-identical results with `prefetch` on and off (and
+// `prefetch=false` is exactly the pre-prefetch synchronous behaviour).
+// ---------------------------------------------------------------------------
+
+/// Run one algorithm and collapse its output to a bit-exact fingerprint.
+fn algo_fingerprint(
+    algo_name: &str,
+    g: &PreparedGraph,
+    cfg: &EngineConfig,
+) -> Vec<u64> {
+    let f64_bits = |v: Vec<f64>| v.into_iter().map(f64::to_bits).collect::<Vec<u64>>();
+    let u32_words = |v: Vec<u32>| v.into_iter().map(u64::from).collect::<Vec<u64>>();
+    match algo_name {
+        "pagerank" => f64_bits(algo::pagerank(g, 6, &cfg.clone().with_max_iterations(6)).unwrap().0),
+        "bfs" => u32_words(algo::bfs(g, 0, cfg).unwrap().0),
+        "sssp" => {
+            let w = sssp::hash_weights(0.5, 2.5);
+            let prog = algo::Sssp::new(0, w);
+            let cfg = cfg.clone().with_max_iterations(g.num_vertices() as usize + 1);
+            f64_bits(engine::run(g, &prog, &cfg).unwrap().0)
+        }
+        "wcc" => u32_words(algo::wcc(g, cfg).unwrap().0),
+        "scc" => u32_words(algo::scc(g, cfg).unwrap().labels),
+        "kcore" => u32_words(algo::kcore(g, 3, cfg).unwrap().0),
+        "hits" => {
+            let out = algo::hits(g, 6, cfg).unwrap();
+            let mut bits = f64_bits(out.authorities);
+            bits.extend(f64_bits(out.hubs));
+            bits
+        }
+        "ppr" => {
+            let prog = PersonalizedPageRank::new([0u32, 3], Arc::clone(g.out_degrees()));
+            f64_bits(engine::run(g, &prog, &cfg.clone().with_max_iterations(8)).unwrap().0)
+        }
+        other => unreachable!("unknown algorithm {other}"),
+    }
+}
+
+#[test]
+fn matrix_prefetch_on_off_bitwise_identical() {
+    const ALGOS: [&str; 8] = [
+        "pagerank", "bfs", "sssp", "wcc", "scc", "kcore", "hits", "ppr",
+    ];
+    for (gname, g, edges) in matrix_graphs() {
+        // k-core needs an undirected (symmetrised) graph; everything else
+        // runs on the matrix graph as-is.
+        let sym: Vec<(u64, u64)> = edges
+            .iter()
+            .flat_map(|&(s, d)| [(s as u64, d as u64), (d as u64, s as u64)])
+            .collect();
+        let g_sym = prepare(&sym, 5);
+        let n = g.num_vertices() as u64;
+        for algo_name in ALGOS {
+            let graph = if algo_name == "kcore" { &g_sym } else { &g };
+            // SPU with a zero budget streams every sub-shard (the prefetch
+            // path); DPU streams by construction; MPU half-resident mixes
+            // both. Callback keeps chunk accumulation order deterministic,
+            // making bitwise comparison meaningful under threads > 1.
+            for (strategy, budget) in [
+                (Strategy::Spu, 0),
+                (Strategy::Dpu, 0),
+                (Strategy::Mpu, 4 * n + n * 8),
+            ] {
+                let base = EngineConfig::default()
+                    .with_strategy(strategy)
+                    .with_budget(budget)
+                    .with_sync(SyncMode::Callback)
+                    .with_threads(3);
+                let on = algo_fingerprint(algo_name, graph, &base.clone().with_prefetch(true));
+                let off = algo_fingerprint(algo_name, graph, &base.with_prefetch(false));
+                assert_eq!(
+                    on, off,
+                    "{gname}/{algo_name}/{strategy:?}: prefetch on/off diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prefetch_on_off_same_io_totals() {
+    // Prefetching must not change *what* is read, only when: I/O totals
+    // are byte-identical across the two settings, for both DPU and the
+    // streaming (zero-budget) SPU path.
+    let raw = rmat_raw(8, 4, 31);
+    for strategy in [Strategy::Dpu, Strategy::Spu] {
+        let mut totals = Vec::new();
+        for prefetch in [true, false] {
+            let g = prepare(&raw, 4);
+            let cfg = EngineConfig::default()
+                .with_strategy(strategy)
+                .with_budget(0)
+                .with_prefetch(prefetch);
+            let (_, stats) = algo::pagerank(&g, 3, &cfg).unwrap();
+            totals.push((stats.io.read_bytes, stats.io.written_bytes));
+        }
+        assert_eq!(totals[0], totals[1], "{strategy:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Strategy::Auto regression: §III-B degradation at the budget extremes.
 // ---------------------------------------------------------------------------
 
