@@ -92,7 +92,7 @@ pub fn run<P: VertexProgram>(
                 // every pinned destination — the n·P·Ba term.
                 let src_vals: Vec<P::Value> = g.read_interval(i)?;
                 let r_i = g.interval_range(i);
-                let ss = Arc::new(g.load_subshard(i, j, false)?);
+                let ss = Arc::new(g.load_subshard_view(i, j, false)?);
                 edges_traversed += ss.num_edges() as u64;
                 nxgraph_core::engine::kernel::absorb_single(
                     prog,

@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use nxgraph_core::algo::pagerank::PageRank;
-use nxgraph_core::dsss::SubShard;
+use nxgraph_core::dsss::{SubShard, SubShardView};
 use nxgraph_core::engine::kernel::absorb_single;
 use nxgraph_core::engine::AccBuf;
 use nxgraph_core::prep;
@@ -66,8 +66,8 @@ fn bench_edge_ordering(c: &mut Criterion) {
     let (n, edges, deg) = edges();
     let prog = PageRank::new(n, Arc::clone(&deg));
     let vals = vec![1.0 / n as f64; n as usize];
-    let sorted = Arc::new(SubShard::from_edges(0, 0, edges.clone()));
-    let unsorted_src = Arc::new(dst_only_sorted(&edges));
+    let sorted = Arc::new(SubShardView::from(&SubShard::from_edges(0, 0, edges.clone())));
+    let unsorted_src = Arc::new(SubShardView::from(&dst_only_sorted(&edges)));
 
     let mut group = c.benchmark_group("edge_ordering");
     for (name, ss) in [("dst_and_src_sorted", &sorted), ("dst_sorted_only", &unsorted_src)] {
@@ -86,7 +86,7 @@ fn bench_task_granularity(c: &mut Criterion) {
     let (n, edges, deg) = edges();
     let prog = PageRank::new(n, Arc::clone(&deg));
     let vals = vec![1.0 / n as f64; n as usize];
-    let ss = Arc::new(SubShard::from_edges(0, 0, edges));
+    let ss = Arc::new(SubShardView::from(&SubShard::from_edges(0, 0, edges)));
 
     let mut group = c.benchmark_group("edges_per_task");
     for ept in [256usize, 1024, 8192, 65536] {

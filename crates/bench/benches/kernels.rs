@@ -1,8 +1,10 @@
 //! Micro-benchmarks of the update kernels — the ablation behind Table IV:
 //! destination-sorted fine-grained absorb vs source-sorted coarse-grained
 //! absorb, plus hub compaction/merging, the scalar vs 4-way-unrolled
-//! flat-edge absorb, and the task-dispatch slot comparison (mutex slots vs
-//! the pool's cursor-claimed lock-free slots).
+//! flat-edge absorb, the task-dispatch slot comparison (mutex slots vs
+//! the pool's cursor-claimed lock-free slots), the byte-wise vs word-wise
+//! FNV-1a checksum, and owned `SubShard::decode` vs the zero-copy
+//! `SubShardView::parse`.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -13,13 +15,15 @@ use std::hint::black_box;
 
 use nxgraph_baselines::common::coarse_absorb;
 use nxgraph_core::algo::pagerank::PageRank;
-use nxgraph_core::dsss::SubShard;
+use nxgraph_core::dsss::{SubShard, SubShardView};
 use nxgraph_core::engine::kernel::absorb_single;
 use nxgraph_core::engine::AccBuf;
 use nxgraph_core::parallel::run_tasks;
 use nxgraph_core::program::VertexProgram;
 use nxgraph_core::types::VertexId;
 use nxgraph_graphgen::rmat::{self, RmatConfig};
+use nxgraph_storage::format;
+use nxgraph_storage::SharedBytes;
 
 const SCALE: u32 = 14;
 const EDGE_FACTOR: u32 = 16;
@@ -79,7 +83,7 @@ fn bench_kernels(c: &mut Criterion) {
     let (n, edges, deg) = workload();
     let prog = PageRank::new(n, Arc::clone(&deg));
     let vals = vec![1.0 / n as f64; n as usize];
-    let ss = Arc::new(SubShard::from_edges(0, 0, edges.clone()));
+    let ss = Arc::new(SubShardView::from(&SubShard::from_edges(0, 0, edges.clone())));
     let threads = 4;
 
     let mut group = c.benchmark_group("kernel");
@@ -124,7 +128,7 @@ fn bench_kernels(c: &mut Criterion) {
     }
     let dense_deg = Arc::new(dense_deg);
     let dense_vals = vec![1.0 / dn as f64; dn as usize];
-    let dense_ss = Arc::new(SubShard::from_edges(0, 0, dense_edges));
+    let dense_ss = Arc::new(SubShardView::from(&SubShard::from_edges(0, 0, dense_edges)));
     let dense_prog = PageRank::new(dn, Arc::clone(&dense_deg));
     let scalar_prog = ScalarPageRank(PageRank::new(dn, Arc::clone(&dense_deg)));
     let mut group = c.benchmark_group("absorb_run");
@@ -156,6 +160,55 @@ fn bench_kernels(c: &mut Criterion) {
             let mut target = AccBuf::<PageRank>::new(&prog, 0, n as usize);
             target.merge_hub(&prog, &dsts, &accs);
             black_box(target.acc[0]);
+        })
+    });
+    group.finish();
+}
+
+/// The read-path codec comparisons behind the zero-copy refactor:
+///
+/// * `fnv1a/{bytes,words}` — the byte-at-a-time checksum vs the
+///   8-bytes-per-step variant used as the blob checksum since format v2.
+/// * `subshard_decode/{owned,view,view_checksummed}` — the legacy
+///   three-copy `SubShard::decode` vs `SubShardView::parse`. `view` skips
+///   the checksum (the steady state under the verify-once
+///   `ChecksumPolicy`); `view_checksummed` verifies like a first load.
+fn bench_codec(c: &mut Criterion) {
+    let (_, edges, _) = workload();
+    let ss = SubShard::from_edges(0, 0, edges);
+    let bytes = ss.encode();
+    let payload = &bytes[32..];
+
+    let mut group = c.benchmark_group("fnv1a");
+    group.bench_function("bytes", |b| {
+        b.iter(|| black_box(format::fnv1a(black_box(payload))))
+    });
+    group.bench_function("words", |b| {
+        b.iter(|| black_box(format::fnv1a_words(black_box(payload))))
+    });
+    group.finish();
+
+    let shared = SharedBytes::from(bytes.clone());
+    let mut group = c.benchmark_group("subshard_decode");
+    group.bench_function("owned", |b| {
+        b.iter(|| black_box(SubShard::decode(&bytes, "bench").unwrap().num_edges()))
+    });
+    group.bench_function("view", |b| {
+        b.iter(|| {
+            black_box(
+                SubShardView::parse(shared.clone(), "bench", false)
+                    .unwrap()
+                    .num_edges(),
+            )
+        })
+    });
+    group.bench_function("view_checksummed", |b| {
+        b.iter(|| {
+            black_box(
+                SubShardView::parse(shared.clone(), "bench", true)
+                    .unwrap()
+                    .num_edges(),
+            )
         })
     });
     group.finish();
@@ -241,5 +294,5 @@ fn bench_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_dispatch);
+criterion_group!(benches, bench_kernels, bench_codec, bench_dispatch);
 criterion_main!(benches);

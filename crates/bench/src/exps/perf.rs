@@ -10,13 +10,16 @@
 //! from bit-rotting.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use nxgraph_bench::report::{fmt_secs, Table};
 use nxgraph_bench::workloads::prepare_os;
 use nxgraph_core::algo;
+use nxgraph_core::dsss::{SubShard, SubShardView};
 use nxgraph_core::engine::Strategy;
 use nxgraph_graphgen::datasets::Dataset;
 use nxgraph_graphgen::rmat::{self, RmatConfig};
+use nxgraph_storage::SharedBytes;
 
 use crate::exps::{half_resident_budget, nx_cfg};
 use crate::Opts;
@@ -43,6 +46,61 @@ struct ScaleReport {
     vertices: u32,
     edges: u64,
     rows: Vec<Row>,
+}
+
+/// Sub-shard decode throughput: the legacy owned `SubShard::decode` vs
+/// the zero-copy `SubShardView::parse` (checksum skipped, the steady
+/// state under the verify-once policy), in million edges per second.
+struct DecodeReport {
+    edges: u64,
+    owned_medges_per_sec: f64,
+    view_medges_per_sec: f64,
+}
+
+fn measure_decode(opts: &Opts) -> DecodeReport {
+    // One dense sub-shard at the small perf scale: decode cost is linear
+    // in edges, so a single fixture tracks the trajectory fine.
+    let scale = ((BASE_SCALES[0] + opts.scale_shift).max(4) as u32).min(14);
+    let cfg = RmatConfig::graph500(scale, EDGE_FACTOR, opts.seed);
+    let edges: Vec<(u32, u32)> = rmat::generate(&cfg)
+        .into_iter()
+        .map(|e| (e.src as u32, e.dst as u32))
+        .collect();
+    let ss = SubShard::from_edges(0, 0, edges);
+    let m = ss.num_edges() as u64;
+    let bytes = ss.encode();
+    let shared = SharedBytes::from(bytes.clone());
+    let medges = |reps: u32, secs: f64| (reps as u64 * m) as f64 / 1e6 / secs.max(1e-9);
+
+    let time_median = |f: &mut dyn FnMut()| {
+        let mut samples = [0f64; 3];
+        for s in &mut samples {
+            const REPS: u32 = 8;
+            let t = Instant::now();
+            for _ in 0..REPS {
+                f();
+            }
+            *s = medges(REPS, t.elapsed().as_secs_f64());
+        }
+        samples.sort_by(f64::total_cmp);
+        samples[1]
+    };
+
+    let owned = time_median(&mut || {
+        std::hint::black_box(SubShard::decode(&bytes, "perf").unwrap().num_edges());
+    });
+    let view = time_median(&mut || {
+        std::hint::black_box(
+            SubShardView::parse(shared.clone(), "perf", false)
+                .unwrap()
+                .num_edges(),
+        );
+    });
+    DecodeReport {
+        edges: m,
+        owned_medges_per_sec: owned,
+        view_medges_per_sec: view,
+    }
 }
 
 fn dataset(scale: u32, opts: &Opts) -> Dataset {
@@ -102,11 +160,11 @@ fn measure(scale: u32, opts: &Opts) -> ScaleReport {
     report
 }
 
-fn render_json(opts: &Opts, reports: &[ScaleReport]) -> String {
+fn render_json(opts: &Opts, reports: &[ScaleReport], decode: &DecodeReport) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"pagerank\",");
-    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"schema_version\": 2,");
     let _ = writeln!(s, "  \"seed\": {},", opts.seed);
     let _ = writeln!(s, "  \"iters\": {},", opts.iters);
     let _ = writeln!(s, "  \"threads\": {},", opts.threads);
@@ -143,7 +201,12 @@ fn render_json(opts: &Opts, reports: &[ScaleReport]) -> String {
             if si + 1 < reports.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"subshard_decode\": {{\"edges\": {}, \"owned_medges_per_sec\": {:.1}, \"view_medges_per_sec\": {:.1}}}",
+        decode.edges, decode.owned_medges_per_sec, decode.view_medges_per_sec
+    );
     let _ = writeln!(s, "}}");
     s
 }
@@ -156,6 +219,7 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
         let scale = (base + opts.scale_shift).max(4) as u32;
         reports.push(measure(scale, opts));
     }
+    let decode = measure_decode(opts);
 
     for r in &reports {
         let mut t = Table::new(
@@ -176,9 +240,16 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
         }
         t.print();
     }
+    println!(
+        "\nsubshard_decode ({} edges): owned {:.1} M edges/s, view {:.1} M edges/s ({:.2}x)",
+        decode.edges,
+        decode.owned_medges_per_sec,
+        decode.view_medges_per_sec,
+        decode.view_medges_per_sec / decode.owned_medges_per_sec.max(1e-9)
+    );
 
     if let Some(path) = json_out {
-        let json = render_json(opts, &reports);
+        let json = render_json(opts, &reports, &decode);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("perf: failed to write {path}: {e}");
             return false;
@@ -199,12 +270,17 @@ mod tests {
             ..Opts::default()
         };
         let reports = vec![measure(5, &opts)];
-        let json = render_json(&opts, &reports);
+        let decode = measure_decode(&opts);
+        assert!(decode.edges > 0);
+        assert!(decode.owned_medges_per_sec > 0.0 && decode.view_medges_per_sec > 0.0);
+        let json = render_json(&opts, &reports, &decode);
         assert!(json.contains("\"bench\": \"pagerank\""));
         assert!(json.contains("\"strategy\": \"spu\""));
         assert!(json.contains("\"strategy\": \"dpu\""));
         assert!(json.contains("\"prefetch\": true"));
         assert!(json.contains("\"prefetch\": false"));
+        assert!(json.contains("\"subshard_decode\""));
+        assert!(json.contains("\"view_medges_per_sec\""));
         // Balanced braces/brackets — no JSON parser in-tree, so check the
         // structural invariants the consumer scripts rely on.
         assert_eq!(

@@ -6,18 +6,20 @@
 //! typed read/write access to interval, sub-shard and hub files.
 
 pub mod subshard;
+pub mod view;
 
 use std::ops::Range;
 use std::sync::Arc;
 
 use nxgraph_storage::format::{self, FileKind};
 use nxgraph_storage::manifest::GraphManifest;
-use nxgraph_storage::Disk;
+use nxgraph_storage::{BufferPool, ChecksumPolicy, Disk};
 
 use crate::error::{EngineError, EngineResult};
 use crate::types::{Attr, VertexId};
 
 pub use subshard::SubShard;
+pub use view::{HubView, SubShardView};
 
 /// Load sub-shard `SS(i→j)` straight from a disk handle.
 ///
@@ -61,11 +63,70 @@ pub fn read_hub_from<A: Attr>(
     Ok(Some((dsts, accs)))
 }
 
+/// Cheap cloneable handle for loading zero-copy views off the engine
+/// thread.
+///
+/// Prefetch jobs run on a background worker and can only capture
+/// `'static` data, never `&PreparedGraph`; a `ViewLoader` bundles exactly
+/// the pieces a load needs — the disk, the read-buffer pool and the
+/// checksum policy — all behind `Arc`s.
+#[derive(Clone)]
+pub struct ViewLoader {
+    disk: Arc<dyn Disk>,
+    pool: Arc<BufferPool>,
+    checksums: Arc<ChecksumPolicy>,
+}
+
+impl ViewLoader {
+    /// Load sub-shard `SS(i→j)` (transposed when `reverse`) as a
+    /// zero-copy view: one pooled read (or a `MemDisk` handout with no
+    /// copy at all), parsed and validated in place. Sub-shard files are
+    /// immutable for the lifetime of a run, so the verify-once policy
+    /// applies — and a name is marked verified only after its checksum
+    /// actually passed.
+    pub fn load_subshard(&self, i: u32, j: u32, reverse: bool) -> EngineResult<SubShardView> {
+        let name = if reverse {
+            GraphManifest::rev_subshard_file(i, j)
+        } else {
+            GraphManifest::subshard_file(i, j)
+        };
+        let bytes = self.disk.read_shared(&name, &self.pool)?;
+        let verify = self.checksums.should_verify(&name);
+        let view = SubShardView::parse(bytes, &name, verify)?;
+        if verify {
+            self.checksums.note_verified(&name);
+        }
+        Ok(view)
+    }
+
+    /// Read hub `H(i→j)` as a zero-copy view; `None` when the hub was
+    /// never written. Hubs are *rewritten with fresh content every
+    /// iteration* under the same name, so the verify-once rationale does
+    /// not apply — every hub read verifies (unless the policy is `Never`).
+    pub fn read_hub<A: Attr>(&self, i: u32, j: u32) -> EngineResult<Option<HubView<A>>> {
+        let name = GraphManifest::hub_file(i, j);
+        if !self.disk.exists(&name) {
+            return Ok(None);
+        }
+        let bytes = self.disk.read_shared(&name, &self.pool)?;
+        Ok(Some(HubView::parse(
+            bytes,
+            &name,
+            self.checksums.should_verify_mutable(),
+        )?))
+    }
+}
+
 /// A preprocessed graph on disk: manifest + degree table + file access.
 pub struct PreparedGraph {
     disk: Arc<dyn Disk>,
     manifest: GraphManifest,
     out_degrees: Arc<Vec<u32>>,
+    /// Page-aligned read buffers recycled across streamed loads.
+    pool: Arc<BufferPool>,
+    /// Blob checksum verification policy (default: verify each file's
+    /// first load, skip repeats).
+    checksums: Arc<ChecksumPolicy>,
 }
 
 impl PreparedGraph {
@@ -90,6 +151,8 @@ impl PreparedGraph {
             disk,
             manifest,
             out_degrees: Arc::new(out_degrees),
+            pool: BufferPool::new(),
+            checksums: Arc::new(ChecksumPolicy::default()),
         })
     }
 
@@ -104,12 +167,35 @@ impl PreparedGraph {
             disk,
             manifest,
             out_degrees,
+            pool: BufferPool::new(),
+            checksums: Arc::new(ChecksumPolicy::default()),
         }
     }
 
     /// The underlying disk.
     pub fn disk(&self) -> &Arc<dyn Disk> {
         &self.disk
+    }
+
+    /// The shared read-buffer pool backing streamed view loads.
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Replace the checksum verification policy (default:
+    /// [`ChecksumMode::FirstLoad`](nxgraph_storage::ChecksumMode)).
+    pub fn set_checksum_policy(&mut self, policy: ChecksumPolicy) {
+        self.checksums = Arc::new(policy);
+    }
+
+    /// A cloneable loader for zero-copy sub-shard/hub views (usable from
+    /// background prefetch jobs).
+    pub fn view_loader(&self) -> ViewLoader {
+        ViewLoader {
+            disk: Arc::clone(&self.disk),
+            pool: Arc::clone(&self.pool),
+            checksums: Arc::clone(&self.checksums),
+        }
     }
 
     /// The graph manifest.
@@ -155,9 +241,21 @@ impl PreparedGraph {
     }
 
     /// Load sub-shard `SS(i→j)` (or the transposed `SS'(i→j)` when
-    /// `reverse`).
+    /// `reverse`) as an owned, mutable [`SubShard`] — the prep/rebuild
+    /// path. The engines use [`PreparedGraph::load_subshard_view`].
     pub fn load_subshard(&self, i: u32, j: u32, reverse: bool) -> EngineResult<SubShard> {
         load_subshard_from(self.disk.as_ref(), i, j, reverse)
+    }
+
+    /// Load sub-shard `SS(i→j)` as a zero-copy [`SubShardView`].
+    pub fn load_subshard_view(&self, i: u32, j: u32, reverse: bool) -> EngineResult<SubShardView> {
+        self.view_loader().load_subshard(i, j, reverse)
+    }
+
+    /// Read hub `H(i→j)` as a zero-copy [`HubView`]; `None` when the hub
+    /// was never written.
+    pub fn read_hub_view<A: Attr>(&self, i: u32, j: u32) -> EngineResult<Option<HubView<A>>> {
+        self.view_loader().read_hub(i, j)
     }
 
     /// On-disk size in bytes of a sub-shard file (for cache planning).

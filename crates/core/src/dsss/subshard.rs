@@ -116,22 +116,7 @@ impl SubShard {
     /// boundaries, preserving exclusive ownership). This is the
     /// fine-grained task granularity of §III-D.
     pub fn chunk_by_edges(&self, target_edges: usize) -> Vec<Range<usize>> {
-        let target = target_edges.max(1) as u32;
-        let mut out = Vec::new();
-        let mut start = 0usize;
-        let mut start_off = 0u32;
-        for pos in 0..self.dsts.len() {
-            let end_off = self.offsets[pos + 1];
-            if end_off - start_off >= target {
-                out.push(start..pos + 1);
-                start = pos + 1;
-                start_off = end_off;
-            }
-        }
-        if start < self.dsts.len() {
-            out.push(start..self.dsts.len());
-        }
-        out
+        chunk_csr_by_edges(self.dsts.len(), &self.offsets, target_edges)
     }
 
     /// Serialised byte size (header + payload) of this sub-shard; the
@@ -193,35 +178,71 @@ impl SubShard {
 
     /// Check structural invariants (sortedness, offset monotonicity).
     pub fn validate(&self, name: &str) -> StorageResult<()> {
-        let corrupt = |reason: String| StorageError::Corrupt {
-            name: name.to_string(),
-            reason,
-        };
-        if self.offsets.len() != self.dsts.len() + 1 {
-            return Err(corrupt("offsets/dsts length mismatch".into()));
-        }
-        if self.offsets.first() != Some(&0)
-            || *self.offsets.last().unwrap() as usize != self.srcs.len()
-        {
-            return Err(corrupt("offset endpoints invalid".into()));
-        }
-        if !self.dsts.windows(2).all(|w| w[0] < w[1]) {
-            return Err(corrupt("destinations not strictly increasing".into()));
-        }
-        if !self.offsets.windows(2).all(|w| w[0] <= w[1]) {
-            return Err(corrupt("offsets not monotone".into()));
-        }
-        for pos in 0..self.dsts.len() {
-            let r = self.src_range(pos);
-            if r.is_empty() {
-                return Err(corrupt(format!("destination slot {pos} has no edges")));
-            }
-            if !self.srcs[r].windows(2).all(|w| w[0] <= w[1]) {
-                return Err(corrupt(format!("sources of slot {pos} unsorted")));
-            }
-        }
-        Ok(())
+        validate_csr(name, &self.dsts, &self.offsets, &self.srcs)
     }
+}
+
+/// Check the CSR structural invariants shared by [`SubShard`] and the
+/// zero-copy [`SubShardView`](super::SubShardView): offsets bracket the
+/// source array, destinations are strictly increasing, and each slot's
+/// sources are sorted and non-empty.
+pub(crate) fn validate_csr(
+    name: &str,
+    dsts: &[VertexId],
+    offsets: &[u32],
+    srcs: &[VertexId],
+) -> StorageResult<()> {
+    let corrupt = |reason: String| StorageError::Corrupt {
+        name: name.to_string(),
+        reason,
+    };
+    if offsets.len() != dsts.len() + 1 {
+        return Err(corrupt("offsets/dsts length mismatch".into()));
+    }
+    if offsets.first() != Some(&0) || *offsets.last().unwrap() as usize != srcs.len() {
+        return Err(corrupt("offset endpoints invalid".into()));
+    }
+    if !dsts.windows(2).all(|w| w[0] < w[1]) {
+        return Err(corrupt("destinations not strictly increasing".into()));
+    }
+    if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(corrupt("offsets not monotone".into()));
+    }
+    for pos in 0..dsts.len() {
+        let r = offsets[pos] as usize..offsets[pos + 1] as usize;
+        if r.is_empty() {
+            return Err(corrupt(format!("destination slot {pos} has no edges")));
+        }
+        if !srcs[r].windows(2).all(|w| w[0] <= w[1]) {
+            return Err(corrupt(format!("sources of slot {pos} unsorted")));
+        }
+    }
+    Ok(())
+}
+
+/// Destination-boundary chunking shared by [`SubShard::chunk_by_edges`]
+/// and the view.
+pub(crate) fn chunk_csr_by_edges(
+    num_dsts: usize,
+    offsets: &[u32],
+    target_edges: usize,
+) -> Vec<Range<usize>> {
+    let target = target_edges.max(1) as u32;
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut start_off = 0u32;
+    for pos in 0..num_dsts {
+        let end_off = offsets[pos + 1];
+        if end_off - start_off >= target {
+            out.push(start..pos + 1);
+            start = pos + 1;
+            start_off = end_off;
+        }
+    }
+    if start < num_dsts {
+        out.push(start..num_dsts);
+    }
+    out
 }
 
 #[cfg(test)]

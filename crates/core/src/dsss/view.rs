@@ -1,0 +1,493 @@
+//! Zero-copy read-side views over sub-shard and hub blobs.
+//!
+//! The streamed hot path used to pay three copies per sub-shard access:
+//! `read_blob` copied the payload out of the reader, the checksum walked
+//! it byte-at-a-time, and [`SubShard::decode`] copied it again into three
+//! owned vectors. [`SubShardView`] removes all of them: the raw blob
+//! (header included) stays in one [`SharedBytes`] allocation — a pooled
+//! page-aligned read buffer, or the `Arc<Vec<u8>>` a `MemDisk` already
+//! holds — and the typed regions are borrowed from it as `&[u32]` slices.
+//! Structural invariants are validated once at parse time, exactly like
+//! the owned decoder, so downstream kernels index without re-checking.
+//!
+//! The cast requires 4-byte alignment and a little-endian host. Pooled
+//! buffers are page-aligned by construction and the 32-byte header keeps
+//! every payload region word-aligned behind them; if either precondition
+//! fails (an exotically-aligned `Arc<Vec<u8>>`, a big-endian target) the
+//! parse transparently falls back to one aligned native-endian copy of
+//! the payload words — correctness never depends on the fast path.
+//!
+//! [`SubShard`] remains the build/prep-side representation (mutable
+//! vectors, sorting, encoding); engines only ever touch views.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use nxgraph_storage::format::{self, FileKind};
+use nxgraph_storage::{SharedBytes, StorageError, StorageResult};
+
+use crate::types::{Attr, VertexId};
+
+use super::subshard::{chunk_csr_by_edges, validate_csr};
+use super::SubShard;
+
+/// Payload words preceding the `dsts` array: src/dst interval, counts.
+const SS_HEADER_WORDS: usize = 4;
+
+/// Storage behind a view's typed slices.
+enum Backing {
+    /// Borrowed straight from the blob; alignment and endianness were
+    /// verified at parse time.
+    Bytes {
+        bytes: SharedBytes,
+        /// Byte offset of the payload within the blob (past the header).
+        payload_off: usize,
+    },
+    /// Aligned native-endian copy of the payload words — the misaligned /
+    /// big-endian fallback, and the representation of views built from an
+    /// owned [`SubShard`].
+    Words(Arc<Vec<u32>>),
+}
+
+/// A read-only sub-shard decoded in place over its on-disk bytes.
+///
+/// Mirrors the accessors of [`SubShard`] (`dsts`/`offsets`/`srcs` become
+/// methods returning `&[u32]`) and is what [`ShardStore`] caches and the
+/// engines stream.
+///
+/// [`ShardStore`]: crate::engine::store::ShardStore
+pub struct SubShardView {
+    src_interval: u32,
+    dst_interval: u32,
+    num_dsts: usize,
+    num_edges: usize,
+    backing: Backing,
+}
+
+impl SubShardView {
+    /// Parse (and validate) a view over an encoded sub-shard blob.
+    ///
+    /// `verify_checksum` gates the payload hash only — header fields and
+    /// structural invariants are always checked (see
+    /// [`ChecksumPolicy`](nxgraph_storage::ChecksumPolicy)).
+    pub fn parse(bytes: SharedBytes, name: &str, verify_checksum: bool) -> StorageResult<Self> {
+        let payload_range =
+            format::parse_blob(bytes.as_slice(), FileKind::SubShard, name, verify_checksum)?;
+        let corrupt = |reason: String| StorageError::Corrupt {
+            name: name.to_string(),
+            reason,
+        };
+        let payload = &bytes.as_slice()[payload_range.clone()];
+        if !payload.len().is_multiple_of(4) || payload.len() < SS_HEADER_WORDS * 4 {
+            return Err(corrupt(format!("payload of {} bytes malformed", payload.len())));
+        }
+        let word = |k: usize| {
+            u32::from_le_bytes(payload[4 * k..4 * k + 4].try_into().unwrap())
+        };
+        let (src_interval, dst_interval) = (word(0), word(1));
+        let num_dsts = word(2) as usize;
+        let num_edges = word(3) as usize;
+        let expect_words = SS_HEADER_WORDS + num_dsts + (num_dsts + 1) + num_edges;
+        if payload.len() != expect_words * 4 {
+            return Err(corrupt(format!(
+                "payload holds {} words, expected {expect_words}",
+                payload.len() / 4
+            )));
+        }
+        let backing = match format::cast_u32s(payload) {
+            Some(_) => Backing::Bytes {
+                payload_off: payload_range.start,
+                bytes,
+            },
+            // Misaligned or big-endian: one aligned native copy.
+            None => Backing::Words(Arc::new(
+                payload
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            )),
+        };
+        let view = Self {
+            src_interval,
+            dst_interval,
+            num_dsts,
+            num_edges,
+            backing,
+        };
+        validate_csr(name, view.dsts(), view.offsets(), view.srcs())?;
+        Ok(view)
+    }
+
+    /// The whole payload as native `u32` words.
+    #[inline]
+    fn words(&self) -> &[u32] {
+        let n = SS_HEADER_WORDS + self.num_dsts + (self.num_dsts + 1) + self.num_edges;
+        match &self.backing {
+            Backing::Bytes { bytes, payload_off } => {
+                let b = &bytes.as_slice()[*payload_off..*payload_off + 4 * n];
+                debug_assert!(
+                    (b.as_ptr() as usize).is_multiple_of(4) && cfg!(target_endian = "little")
+                );
+                // Safety: alignment, endianness and length were verified in
+                // `parse` (a `Bytes` backing is only built when `cast_u32s`
+                // succeeds on this exact region).
+                unsafe { std::slice::from_raw_parts(b.as_ptr().cast::<u32>(), n) }
+            }
+            Backing::Words(w) => w,
+        }
+    }
+
+    /// Source interval index `i`.
+    #[inline]
+    pub fn src_interval(&self) -> u32 {
+        self.src_interval
+    }
+
+    /// Destination interval index `j`.
+    #[inline]
+    pub fn dst_interval(&self) -> u32 {
+        self.dst_interval
+    }
+
+    /// Distinct destination ids, strictly increasing (global ids).
+    #[inline]
+    pub fn dsts(&self) -> &[VertexId] {
+        &self.words()[SS_HEADER_WORDS..SS_HEADER_WORDS + self.num_dsts]
+    }
+
+    /// CSR offsets into `srcs`; `len == num_dsts() + 1`.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        let start = SS_HEADER_WORDS + self.num_dsts;
+        &self.words()[start..start + self.num_dsts + 1]
+    }
+
+    /// Source ids (global), sorted within each destination's range.
+    #[inline]
+    pub fn srcs(&self) -> &[VertexId] {
+        let start = SS_HEADER_WORDS + 2 * self.num_dsts + 1;
+        &self.words()[start..start + self.num_edges]
+    }
+
+    /// Number of edges stored.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of distinct destinations.
+    #[inline]
+    pub fn num_dsts(&self) -> usize {
+        self.num_dsts
+    }
+
+    /// Whether the sub-shard holds no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_edges == 0
+    }
+
+    /// Average in-degree of the destinations present (the paper's `d`).
+    pub fn avg_in_degree(&self) -> f64 {
+        if self.num_dsts == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.num_dsts as f64
+        }
+    }
+
+    /// The source-id range of the edges in destination slot `pos`.
+    #[inline]
+    pub fn src_range(&self, pos: usize) -> Range<usize> {
+        let offsets = self.offsets();
+        offsets[pos] as usize..offsets[pos + 1] as usize
+    }
+
+    /// Iterate `(src, dst)` pairs in (dst, src) order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        let (dsts, offsets, srcs) = (self.dsts(), self.offsets(), self.srcs());
+        (0..dsts.len()).flat_map(move |pos| {
+            let d = dsts[pos];
+            srcs[offsets[pos] as usize..offsets[pos + 1] as usize]
+                .iter()
+                .map(move |&s| (s, d))
+        })
+    }
+
+    /// Destination-boundary chunks of roughly `target_edges` edges each
+    /// (see [`SubShard::chunk_by_edges`]).
+    pub fn chunk_by_edges(&self, target_edges: usize) -> Vec<Range<usize>> {
+        chunk_csr_by_edges(self.num_dsts, self.offsets(), target_edges)
+    }
+
+    /// Materialise an owned [`SubShard`] (tests and tooling; engines never
+    /// need this).
+    pub fn to_subshard(&self) -> SubShard {
+        SubShard {
+            src_interval: self.src_interval,
+            dst_interval: self.dst_interval,
+            dsts: self.dsts().to_vec(),
+            offsets: self.offsets().to_vec(),
+            srcs: self.srcs().to_vec(),
+        }
+    }
+}
+
+impl From<&SubShard> for SubShardView {
+    /// Build a view over an owned sub-shard (one copy into the words
+    /// backing). Used by benches and in-memory tooling; no validation is
+    /// performed — the `SubShard` is trusted as-is.
+    fn from(ss: &SubShard) -> Self {
+        let mut words =
+            Vec::with_capacity(SS_HEADER_WORDS + ss.dsts.len() + ss.offsets.len() + ss.srcs.len());
+        words.extend_from_slice(&[
+            ss.src_interval,
+            ss.dst_interval,
+            ss.dsts.len() as u32,
+            ss.srcs.len() as u32,
+        ]);
+        words.extend_from_slice(&ss.dsts);
+        words.extend_from_slice(&ss.offsets);
+        words.extend_from_slice(&ss.srcs);
+        Self {
+            src_interval: ss.src_interval,
+            dst_interval: ss.dst_interval,
+            num_dsts: ss.dsts.len(),
+            num_edges: ss.srcs.len(),
+            backing: Backing::Words(Arc::new(words)),
+        }
+    }
+}
+
+impl PartialEq for SubShardView {
+    fn eq(&self, other: &Self) -> bool {
+        self.src_interval == other.src_interval
+            && self.dst_interval == other.dst_interval
+            && self.dsts() == other.dsts()
+            && self.offsets() == other.offsets()
+            && self.srcs() == other.srcs()
+    }
+}
+
+impl Eq for SubShardView {}
+
+impl std::fmt::Debug for SubShardView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubShardView")
+            .field("src_interval", &self.src_interval)
+            .field("dst_interval", &self.dst_interval)
+            .field("dsts", &self.dsts())
+            .field("offsets", &self.offsets())
+            .field("srcs", &self.srcs())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hub views
+// ---------------------------------------------------------------------------
+
+/// Storage behind a hub view.
+enum HubBacking<A> {
+    /// Borrowed from the blob: `dsts` casts to `&[u32]` (the region sits
+    /// at a word-aligned offset), accumulators decode per element on
+    /// access — `A`'s alignment (8 for `f64`) is not guaranteed in-place.
+    Bytes {
+        bytes: SharedBytes,
+        dsts_off: usize,
+        accs_off: usize,
+    },
+    /// Decoded fallback (misaligned destination region / big-endian).
+    Owned { dsts: Vec<VertexId>, accs: Vec<A> },
+}
+
+/// A read-only hub `H(i→j)` decoded in place: parallel destination ids
+/// and accumulator values (the "incremental values" of §III-B2).
+pub struct HubView<A: Attr> {
+    count: usize,
+    backing: HubBacking<A>,
+}
+
+impl<A: Attr> HubView<A> {
+    /// Parse (and length-check) a view over an encoded hub blob.
+    pub fn parse(bytes: SharedBytes, name: &str, verify_checksum: bool) -> StorageResult<Self> {
+        let payload_range =
+            format::parse_blob(bytes.as_slice(), FileKind::Hub, name, verify_checksum)?;
+        let payload = &bytes.as_slice()[payload_range.clone()];
+        let corrupt = |reason: String| StorageError::Corrupt {
+            name: name.to_string(),
+            reason,
+        };
+        if payload.len() < 4 {
+            return Err(corrupt("hub payload shorter than its count".into()));
+        }
+        let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+        let expect = 4 + count * 4 + count * A::SIZE;
+        if payload.len() != expect {
+            return Err(corrupt(format!(
+                "hub payload of {} bytes, expected {expect} for {count} entries",
+                payload.len()
+            )));
+        }
+        let dsts_off = payload_range.start + 4;
+        let accs_off = dsts_off + count * 4;
+        let backing = match format::cast_u32s(&payload[4..4 + count * 4]) {
+            Some(_) => HubBacking::Bytes {
+                bytes,
+                dsts_off,
+                accs_off,
+            },
+            None => {
+                let dsts = format::decode_u32s(&payload[4..4 + count * 4])
+                    .expect("length checked above");
+                let accs = A::decode_slice(&payload[4 + count * 4..]);
+                HubBacking::Owned { dsts, accs }
+            }
+        };
+        Ok(Self { count, backing })
+    }
+
+    /// Number of (destination, accumulator) entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the hub holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Destination ids, ascending (hubs are compacted from id-ordered
+    /// accumulator buffers).
+    #[inline]
+    pub fn dsts(&self) -> &[VertexId] {
+        match &self.backing {
+            HubBacking::Bytes { bytes, dsts_off, .. } => {
+                let b = &bytes.as_slice()[*dsts_off..*dsts_off + 4 * self.count];
+                // Safety: `Bytes` is only built when `cast_u32s` succeeded
+                // on this exact region in `parse`.
+                unsafe { std::slice::from_raw_parts(b.as_ptr().cast::<u32>(), self.count) }
+            }
+            HubBacking::Owned { dsts, .. } => dsts,
+        }
+    }
+
+    /// The `k`-th accumulator, decoded on access (one fixed-size
+    /// little-endian read — what the owned decoder did per element, minus
+    /// the intermediate vector).
+    #[inline]
+    pub fn acc(&self, k: usize) -> A {
+        match &self.backing {
+            HubBacking::Bytes { bytes, accs_off, .. } => {
+                A::read_from(&bytes.as_slice()[*accs_off + k * A::SIZE..])
+            }
+            HubBacking::Owned { accs, .. } => accs[k],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SubShard {
+        SubShard::from_edges(2, 1, vec![(5, 3), (4, 3), (5, 2), (4, 3), (9, 2)])
+    }
+
+    fn shared(bytes: Vec<u8>) -> SharedBytes {
+        SharedBytes::from(bytes)
+    }
+
+    #[test]
+    fn view_equals_owned_decode() {
+        let ss = sample();
+        let bytes = ss.encode();
+        let owned = SubShard::decode(&bytes, "t").unwrap();
+        let view = SubShardView::parse(shared(bytes), "t", true).unwrap();
+        assert_eq!(view.src_interval(), owned.src_interval);
+        assert_eq!(view.dst_interval(), owned.dst_interval);
+        assert_eq!(view.dsts(), &owned.dsts[..]);
+        assert_eq!(view.offsets(), &owned.offsets[..]);
+        assert_eq!(view.srcs(), &owned.srcs[..]);
+        assert_eq!(view.num_edges(), owned.num_edges());
+        assert_eq!(view.num_dsts(), owned.num_dsts());
+        assert_eq!(view.to_subshard(), owned);
+        assert_eq!(
+            view.iter_edges().collect::<Vec<_>>(),
+            owned.iter_edges().collect::<Vec<_>>()
+        );
+        for target in [1usize, 2, 100] {
+            assert_eq!(view.chunk_by_edges(target), owned.chunk_by_edges(target));
+        }
+    }
+
+    #[test]
+    fn view_from_owned_subshard_matches() {
+        let ss = sample();
+        let via_bytes = SubShardView::parse(shared(ss.encode()), "t", true).unwrap();
+        let via_owned = SubShardView::from(&ss);
+        assert_eq!(via_bytes, via_owned);
+        assert_eq!(via_owned.to_subshard(), ss);
+    }
+
+    #[test]
+    fn view_rejects_corruption_and_truncation() {
+        let bytes = sample().encode();
+        // Payload corruption → checksum.
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt[n - 2] ^= 0x5a;
+        assert!(SubShardView::parse(shared(corrupt.clone()), "t", true).is_err());
+        // Same corruption with verification skipped: the structural
+        // validator still rejects it or — if the flip lands in a benign
+        // spot — the parse succeeds; either way no panic. This flip lands
+        // in `srcs` and breaks per-slot sortedness.
+        let _ = SubShardView::parse(shared(corrupt), "t", false);
+        // Truncation → short payload.
+        assert!(SubShardView::parse(shared(bytes[..bytes.len() - 4].to_vec()), "t", true).is_err());
+        // Count lies → word-count mismatch.
+        let mut lie = bytes.clone();
+        lie[32 + 12] ^= 0x01; // num_edges word
+        assert!(SubShardView::parse(shared(lie), "t", false).is_err());
+    }
+
+    #[test]
+    fn empty_view_roundtrips() {
+        let ss = SubShard::from_edges(0, 0, vec![]);
+        let view = SubShardView::parse(shared(ss.encode()), "t", true).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.num_dsts(), 0);
+        assert_eq!(view.avg_in_degree(), 0.0);
+        assert!(view.chunk_by_edges(8).is_empty());
+        assert_eq!(view.to_subshard(), ss);
+    }
+
+    #[test]
+    fn hub_view_decodes_entries() {
+        // Encode a hub the way PreparedGraph::write_hub does.
+        let dsts = [4u32, 5, 9];
+        let accs = [0.25f64, 0.75, -2.0];
+        let mut payload = Vec::new();
+        format::push_u32(&mut payload, dsts.len() as u32);
+        for &d in &dsts {
+            format::push_u32(&mut payload, d);
+        }
+        for a in &accs {
+            a.write_to(&mut payload);
+        }
+        let mut blob = Vec::new();
+        format::write_blob(&mut blob, FileKind::Hub, &payload).unwrap();
+        let hub = HubView::<f64>::parse(shared(blob.clone()), "h", true).unwrap();
+        assert_eq!(hub.len(), 3);
+        assert_eq!(hub.dsts(), &dsts[..]);
+        for (k, &want) in accs.iter().enumerate() {
+            assert_eq!(hub.acc(k), want);
+        }
+        // Length lies are rejected.
+        let mut bad = Vec::new();
+        format::write_blob(&mut bad, FileKind::Hub, &payload[..payload.len() - 1]).unwrap();
+        assert!(HubView::<f64>::parse(shared(bad), "h", true).is_err());
+    }
+}

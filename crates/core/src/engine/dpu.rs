@@ -17,9 +17,7 @@
 
 use std::sync::Arc;
 
-use nxgraph_storage::Disk;
-
-use crate::dsss::{load_subshard_from, read_hub_from, PreparedGraph, SubShard};
+use crate::dsss::{HubView, PreparedGraph, SubShardView};
 use crate::error::EngineResult;
 use crate::program::VertexProgram;
 use crate::types::VertexId;
@@ -67,14 +65,14 @@ pub fn run_dpu<P: VertexProgram>(
             }
             let src_vals: Vec<P::Value> = g.read_interval(i)?;
             let r_i = g.interval_range(i);
-            let jobs: Jobs<EngineResult<SubShard>> = (0..p)
+            let jobs: Jobs<EngineResult<SubShardView>> = (0..p)
                 .flat_map(|j| {
                     ShardStore::dirs(cfg.direction).iter().map(move |&reverse| (j, reverse))
                 })
                 .map(|(j, reverse)| {
-                    let disk: Arc<dyn Disk> = Arc::clone(g.disk());
-                    Box::new(move || load_subshard_from(disk.as_ref(), i, j, reverse))
-                        as Box<dyn FnOnce() -> EngineResult<SubShard> + Send>
+                    let loader = g.view_loader();
+                    Box::new(move || loader.load_subshard(i, j, reverse))
+                        as Box<dyn FnOnce() -> EngineResult<SubShardView> + Send>
                 })
                 .collect();
             let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
@@ -120,18 +118,18 @@ pub fn run_dpu<P: VertexProgram>(
                 r_j.clone().map(|v| prog.init(v)).collect()
             };
             let mut buf: AccBuf<P> = AccBuf::new(prog, r_j.start, len);
-            type Hub<P> = Option<(Vec<VertexId>, Vec<<P as VertexProgram>::Accum>)>;
+            type Hub<P> = Option<HubView<<P as VertexProgram>::Accum>>;
             let jobs: Jobs<EngineResult<Hub<P>>> = (0..p)
                 .map(|i| {
-                    let disk: Arc<dyn Disk> = Arc::clone(g.disk());
-                    Box::new(move || read_hub_from::<P::Accum>(disk.as_ref(), i, j))
+                    let loader = g.view_loader();
+                    Box::new(move || loader.read_hub::<P::Accum>(i, j))
                         as Box<dyn FnOnce() -> EngineResult<Hub<P>> + Send>
                 })
                 .collect();
             let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
             for i in 0..p {
-                if let Some((dsts, accs)) = stream.next().expect("one job per row")? {
-                    buf.merge_hub(prog, &dsts, &accs);
+                if let Some(hub) = stream.next().expect("one job per row")? {
+                    buf.merge_hub_view(prog, &hub);
                     g.remove_hub(i, j);
                 }
             }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::dsss::SubShard;
+use crate::dsss::SubShardView;
 use crate::parallel::run_tasks;
 use crate::program::VertexProgram;
 use crate::types::VertexId;
@@ -36,7 +36,7 @@ use super::SyncMode;
 #[allow(clippy::too_many_arguments)] // hot-path kernel: explicit slices beat a params struct
 pub fn absorb_chunk<P: VertexProgram>(
     prog: &P,
-    ss: &SubShard,
+    ss: &SubShardView,
     pos_range: Range<usize>,
     src_vals: &[P::Value],
     src_base: VertexId,
@@ -44,7 +44,7 @@ pub fn absorb_chunk<P: VertexProgram>(
     has: &mut [u8],
     slice_base: VertexId,
 ) {
-    let (dsts, offsets, srcs) = (&ss.dsts[..], &ss.offsets[..], &ss.srcs[..]);
+    let (dsts, offsets, srcs) = (ss.dsts(), ss.offsets(), ss.srcs());
     for pos in pos_range {
         let d = dsts[pos];
         let slot = (d - slice_base) as usize;
@@ -58,7 +58,7 @@ pub fn absorb_chunk<P: VertexProgram>(
 /// One fine-grained task: a destination chunk of a sub-shard plus the
 /// exclusive accumulator slice it owns.
 struct ChunkTask<'a, P: VertexProgram> {
-    ss: Arc<SubShard>,
+    ss: Arc<SubShardView>,
     pos_range: Range<usize>,
     acc: &'a mut [P::Accum],
     has: &'a mut [u8],
@@ -70,7 +70,7 @@ struct ChunkTask<'a, P: VertexProgram> {
 /// Chunks are position ranges in ascending destination order, so slices can
 /// be split off the buffer front-to-back.
 fn carve_tasks<'a, P: VertexProgram>(
-    ss: &Arc<SubShard>,
+    ss: &Arc<SubShardView>,
     chunks: Vec<Range<usize>>,
     buf: &'a mut AccBuf<P>,
 ) -> Vec<ChunkTask<'a, P>> {
@@ -78,9 +78,10 @@ fn carve_tasks<'a, P: VertexProgram>(
     let mut acc_rest: &'a mut [P::Accum] = &mut buf.acc[..];
     let mut has_rest: &'a mut [u8] = &mut buf.has[..];
     let mut cursor = buf.base;
+    let dsts = ss.dsts();
     for chunk in chunks {
-        let dst_lo = ss.dsts[chunk.start];
-        let dst_hi = ss.dsts[chunk.end - 1] + 1;
+        let dst_lo = dsts[chunk.start];
+        let dst_hi = dsts[chunk.end - 1] + 1;
         debug_assert!(dst_lo >= cursor, "chunks must be ascending");
         let skip = (dst_lo - cursor) as usize;
         let take = (dst_hi - dst_lo) as usize;
@@ -110,7 +111,7 @@ fn carve_tasks<'a, P: VertexProgram>(
 #[allow(clippy::too_many_arguments)] // mirrors absorb_chunk's explicit data-path signature
 pub fn absorb_row<P: VertexProgram>(
     prog: &P,
-    shards: &[Option<Arc<SubShard>>],
+    shards: &[Option<Arc<SubShardView>>],
     src_vals: &[P::Value],
     src_base: VertexId,
     accs: &mut [Option<Mutex<AccBuf<P>>>],
@@ -158,7 +159,7 @@ pub fn absorb_row<P: VertexProgram>(
                 }
             }
             let accs = &*accs;
-            run_tasks(threads, tasks, |(j, ss): (usize, Arc<SubShard>)| {
+            run_tasks(threads, tasks, |(j, ss): (usize, Arc<SubShardView>)| {
                 let mut guard = accs[j].as_ref().expect("checked above").lock();
                 let buf = &mut *guard;
                 let base = buf.base;
@@ -186,7 +187,7 @@ pub fn absorb_row<P: VertexProgram>(
 /// their hubs, do not overlap", §III-B2).
 pub fn absorb_single<P: VertexProgram>(
     prog: &P,
-    ss: &Arc<SubShard>,
+    ss: &Arc<SubShardView>,
     src_vals: &[P::Value],
     src_base: VertexId,
     buf: &mut AccBuf<P>,
@@ -248,14 +249,14 @@ mod tests {
     }
 
     /// Sub-shard from interval [0,4) into [4,8): every src → every dst.
-    fn dense_shard() -> Arc<SubShard> {
+    fn dense_shard() -> Arc<SubShardView> {
         let mut edges = Vec::new();
         for s in 0..4u32 {
             for d in 4..8u32 {
                 edges.push((s, d));
             }
         }
-        Arc::new(SubShard::from_edges(0, 1, edges))
+        Arc::new(SubShardView::from(&SubShard::from_edges(0, 1, edges)))
     }
 
     fn run_mode(sync: SyncMode, threads: usize, edges_per_task: usize) -> Vec<f64> {
@@ -302,7 +303,11 @@ mod tests {
         // Destinations 10 and 14 within an interval starting at 8:
         // slices must skip the gap correctly.
         let prog = Sum;
-        let ss = Arc::new(SubShard::from_edges(0, 1, vec![(0, 10), (1, 14)]));
+        let ss = Arc::new(SubShardView::from(&SubShard::from_edges(
+            0,
+            1,
+            vec![(0, 10), (1, 14)],
+        )));
         let mut buf = AccBuf::<Sum>::new(&prog, 8, 8);
         let chunks = ss.chunk_by_edges(1);
         assert_eq!(chunks.len(), 2);

@@ -15,20 +15,41 @@
 //! At `Q = P` this degenerates to SPU, at `Q = 0` to DPU; in between the
 //! I/O amount interpolates Table II's MPU row.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::dsss::{PreparedGraph, SubShard};
+use crate::dsss::{HubView, PreparedGraph, SubShardView};
 use crate::error::EngineResult;
 use crate::program::VertexProgram;
 use crate::types::{Attr, VertexId};
 
 use super::kernel::{absorb_row, absorb_single};
+use super::prefetch::{JobStream, Jobs, Prefetcher};
 use super::select::choose_strategy;
 use super::state::{finalize_interval, AccBuf};
 use super::store::ShardStore;
 use super::{Activity, EngineConfig};
+
+/// One unit of phase C's mixed stream: the resident-row sub-shards of a
+/// column followed by the column's hubs, prefetched in consumption order.
+enum ColItem<A: Attr> {
+    Shard(SubShardView),
+    Hub(Option<HubView<A>>),
+}
+
+/// Pop the next sub-shard for a key sequence whose cache hits were
+/// resolved up-front (misses stream, in order, possibly decoded ahead).
+fn next_shard(
+    hits: &mut VecDeque<Option<Arc<SubShardView>>>,
+    stream: &mut JobStream<'_, EngineResult<SubShardView>>,
+) -> EngineResult<Arc<SubShardView>> {
+    match hits.pop_front().expect("one resolved hit per key") {
+        Some(ss) => Ok(ss),
+        None => Ok(Arc::new(stream.next().expect("one job per miss")?)),
+    }
+}
 
 /// Run to convergence under MPU. Returns (values, iterations, edges
 /// traversed).
@@ -60,6 +81,12 @@ pub fn run_mpu<P: VertexProgram>(
 
     let mut activity = Activity::init(g, prog);
 
+    // One background decode thread for the whole run; phase B's row
+    // streams and phase C's shard+hub streams drive it through ordered
+    // JobStreams (phase A reads via the cache/store and has nothing to
+    // overlap).
+    let prefetcher = cfg.prefetch.then(Prefetcher::new);
+
     // Accumulators for resident destination intervals (reused).
     let mut accs_res: Vec<Option<Mutex<AccBuf<P>>>> = (0..p)
         .map(|j| {
@@ -90,7 +117,7 @@ pub fn run_mpu<P: VertexProgram>(
                 if activity.row_skippable(i) {
                     continue;
                 }
-                let mut shards: Vec<Option<Arc<SubShard>>> = vec![None; p as usize];
+                let mut shards: Vec<Option<Arc<SubShardView>>> = vec![None; p as usize];
                 for j in 0..q {
                     let ss = store.get(i, j, reverse)?;
                     edges_traversed += ss.num_edges() as u64;
@@ -112,19 +139,45 @@ pub fn run_mpu<P: VertexProgram>(
 
         // ------------------------------------------------------------------
         // Phase B: on-disk rows; resident columns in memory, on-disk
-        // columns to hubs.
+        // columns to hubs. All of a row's sub-shard loads feed one ordered
+        // stream (cache hits resolved up-front, misses decoded in the
+        // background), so the kernel folds sub-shard (i, j) while (i, j+1)
+        // is already being read and validated.
         // ------------------------------------------------------------------
+        let dirs = ShardStore::dirs(cfg.direction);
         for i in q..p {
             if activity.row_skippable(i) {
                 continue;
             }
             let src_vals: Vec<P::Value> = g.read_interval(i)?;
             let r_i = g.interval_range(i);
-            for &reverse in ShardStore::dirs(cfg.direction) {
-                // Resident destinations: SPU-like, straight into accs_res.
-                let mut shards: Vec<Option<Arc<SubShard>>> = vec![None; p as usize];
+            // Keys in exact consumption order: resident destinations per
+            // direction, then hub destinations with both directions folded
+            // per column.
+            let mut keys: Vec<(u32, bool)> = Vec::new();
+            for &reverse in dirs {
+                keys.extend((0..q).map(|j| (j, reverse)));
+            }
+            for j in q..p {
+                keys.extend(dirs.iter().map(|&reverse| (j, reverse)));
+            }
+            let mut hits: VecDeque<Option<Arc<SubShardView>>> = keys
+                .iter()
+                .map(|&(j, reverse)| store.cached(i, j, reverse))
+                .collect();
+            let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::new();
+            for (&(j, reverse), hit) in keys.iter().zip(&hits) {
+                if hit.is_none() {
+                    let loader = g.view_loader();
+                    jobs.push(Box::new(move || loader.load_subshard(i, j, reverse)));
+                }
+            }
+            let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
+            // Resident destinations: SPU-like, straight into accs_res.
+            for _ in dirs {
+                let mut shards: Vec<Option<Arc<SubShardView>>> = vec![None; p as usize];
                 for j in 0..q {
-                    let ss = store.get(i, j, reverse)?;
+                    let ss = next_shard(&mut hits, &mut stream)?;
                     edges_traversed += ss.num_edges() as u64;
                     shards[j as usize] = Some(ss);
                 }
@@ -145,8 +198,8 @@ pub fn run_mpu<P: VertexProgram>(
                 let r_j = g.interval_range(j);
                 let mut buf: AccBuf<P> =
                     AccBuf::new(prog, r_j.start, (r_j.end - r_j.start) as usize);
-                for &reverse in ShardStore::dirs(cfg.direction) {
-                    let ss = store.get(i, j, reverse)?;
+                for _ in dirs {
+                    let ss = next_shard(&mut hits, &mut stream)?;
                     edges_traversed += ss.num_edges() as u64;
                     absorb_single(
                         prog,
@@ -181,7 +234,9 @@ pub fn run_mpu<P: VertexProgram>(
 
         // ------------------------------------------------------------------
         // Phase C: on-disk columns; resident rows absorb directly, on-disk
-        // rows fold hubs.
+        // rows fold hubs. One mixed stream per column carries the
+        // resident-row sub-shards followed by the column's hubs, so hub
+        // reads overlap the tail of the shard absorbs.
         // ------------------------------------------------------------------
         let mut any_changed = changed.iter().any(|&c| c);
         for j in q..p {
@@ -193,28 +248,59 @@ pub fn run_mpu<P: VertexProgram>(
                 r_j.clone().map(|v| prog.init(v)).collect()
             };
             let mut buf: AccBuf<P> = AccBuf::new(prog, r_j.start, len);
-            for &reverse in ShardStore::dirs(cfg.direction) {
-                for i in 0..q {
-                    if activity.row_skippable(i) {
-                        continue;
-                    }
-                    let ss = store.get(i, j, reverse)?;
-                    edges_traversed += ss.num_edges() as u64;
-                    let r_i = g.interval_range(i);
-                    absorb_single(
-                        prog,
-                        &ss,
-                        &prev_res[r_i.start as usize..r_i.end as usize],
-                        r_i.start,
-                        &mut buf,
-                        cfg.threads,
-                        cfg.edges_per_task,
-                    );
+            // Shard keys in consumption order (activity filter applied now;
+            // flags do not change within an iteration).
+            let mut keys: Vec<(u32, bool)> = Vec::new();
+            for &reverse in dirs {
+                keys.extend((0..q).filter(|&i| !activity.row_skippable(i)).map(|i| (i, reverse)));
+            }
+            let mut hits: VecDeque<Option<Arc<SubShardView>>> = keys
+                .iter()
+                .map(|&(i, reverse)| store.cached(i, j, reverse))
+                .collect();
+            let mut jobs: Jobs<EngineResult<ColItem<P::Accum>>> = Vec::new();
+            for (&(i, reverse), hit) in keys.iter().zip(&hits) {
+                if hit.is_none() {
+                    let loader = g.view_loader();
+                    jobs.push(Box::new(move || {
+                        loader.load_subshard(i, j, reverse).map(ColItem::Shard)
+                    }));
                 }
             }
             for i in q..p {
-                if let Some((dsts, accs)) = g.read_hub::<P::Accum>(i, j)? {
-                    buf.merge_hub(prog, &dsts, &accs);
+                let loader = g.view_loader();
+                jobs.push(Box::new(move || {
+                    loader.read_hub::<P::Accum>(i, j).map(ColItem::Hub)
+                }));
+            }
+            let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
+            for (i, _) in keys {
+                let ss = match hits.pop_front().expect("one resolved hit per key") {
+                    Some(ss) => ss,
+                    None => match stream.next().expect("one job per miss")? {
+                        ColItem::Shard(ss) => Arc::new(ss),
+                        ColItem::Hub(_) => unreachable!("hubs follow all shard jobs"),
+                    },
+                };
+                edges_traversed += ss.num_edges() as u64;
+                let r_i = g.interval_range(i);
+                absorb_single(
+                    prog,
+                    &ss,
+                    &prev_res[r_i.start as usize..r_i.end as usize],
+                    r_i.start,
+                    &mut buf,
+                    cfg.threads,
+                    cfg.edges_per_task,
+                );
+            }
+            for i in q..p {
+                let hub = match stream.next().expect("one job per hub")? {
+                    ColItem::Hub(h) => h,
+                    ColItem::Shard(_) => unreachable!("all shard items already consumed"),
+                };
+                if let Some(hub) = hub {
+                    buf.merge_hub_view(prog, &hub);
                     g.remove_hub(i, j);
                 }
             }

@@ -1,10 +1,11 @@
 //! Double-buffered background prefetch for the disk-streaming engines.
 //!
-//! The DPU ToHub/FromHub passes and SPU's streaming path consume one file
-//! after another in a deterministic order, decoding each synchronously
-//! between compute steps. [`Prefetcher`] moves that deserialization onto a
-//! single background thread with a two-slot ring: while the kernel folds
-//! the current sub-shard, the worker is already reading and decoding the
+//! The DPU ToHub/FromHub passes, SPU's streaming path and MPU's phase B
+//! rows / phase C shard+hub columns consume one file after another in a
+//! deterministic order, decoding each synchronously between compute
+//! steps. [`Prefetcher`] moves that deserialization onto a single
+//! background thread with a two-slot ring: while the kernel folds the
+//! current sub-shard, the worker is already reading and decoding the
 //! next one, hiding I/O and decode latency behind compute.
 //!
 //! The design is std-only: a worker thread plus two bounded

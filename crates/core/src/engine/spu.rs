@@ -16,10 +16,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use nxgraph_storage::Disk;
 use parking_lot::Mutex;
 
-use crate::dsss::{load_subshard_from, PreparedGraph, SubShard};
+use crate::dsss::{PreparedGraph, SubShardView};
 use crate::error::EngineResult;
 use crate::parallel::run_tasks;
 use crate::program::VertexProgram;
@@ -93,18 +92,18 @@ pub fn run_spu<P: VertexProgram>(
                 // RING_SLOTS decoded sub-shards beyond the row being
                 // absorbed (row-sized jobs would keep ~3 rows resident,
                 // outside the memory-budget accounting).
-                let mut cached_rows: Vec<Vec<Option<Arc<SubShard>>>> =
+                let mut cached_rows: Vec<Vec<Option<Arc<SubShardView>>>> =
                     Vec::with_capacity(rows.len());
-                let mut jobs: Jobs<EngineResult<SubShard>> = Vec::new();
+                let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::new();
                 for &(reverse, i) in &rows {
-                    let hits: Vec<Option<Arc<SubShard>>> =
+                    let hits: Vec<Option<Arc<SubShardView>>> =
                         (0..p).map(|j| store.cached(i, j, reverse)).collect();
                     for (j, hit) in hits.iter().enumerate() {
                         if hit.is_none() {
-                            let disk: Arc<dyn Disk> = Arc::clone(g.disk());
+                            let loader = g.view_loader();
                             let j = j as u32;
                             jobs.push(Box::new(move || {
-                                load_subshard_from(disk.as_ref(), i, j, reverse)
+                                loader.load_subshard(i, j, reverse)
                             }));
                         }
                     }
@@ -112,7 +111,7 @@ pub fn run_spu<P: VertexProgram>(
                 }
                 let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
                 for (&(_, i), hits) in rows.iter().zip(cached_rows) {
-                    let mut shards: Vec<Option<Arc<SubShard>>> =
+                    let mut shards: Vec<Option<Arc<SubShardView>>> =
                         Vec::with_capacity(p as usize);
                     for hit in hits {
                         let ss = match hit {
@@ -138,7 +137,7 @@ pub fn run_spu<P: VertexProgram>(
             SyncMode::Lock => {
                 // One task per sub-shard, all rows at once; destination
                 // intervals are guarded by their lock.
-                let mut tasks: Vec<(u32, u32, Arc<SubShard>)> = Vec::new();
+                let mut tasks: Vec<(u32, u32, Arc<SubShardView>)> = Vec::new();
                 for &reverse in ShardStore::dirs(cfg.direction) {
                     for i in 0..p {
                         if activity.row_skippable(i) {

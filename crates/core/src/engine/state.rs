@@ -1,5 +1,6 @@
 //! Per-interval accumulator state shared by all three update strategies.
 
+use crate::dsss::HubView;
 use crate::program::VertexProgram;
 use crate::types::VertexId;
 
@@ -65,13 +66,28 @@ impl<P: VertexProgram> AccBuf<P> {
     pub fn merge_hub(&mut self, prog: &P, dsts: &[VertexId], accs: &[P::Accum]) {
         debug_assert_eq!(dsts.len(), accs.len());
         for (&d, a) in dsts.iter().zip(accs) {
-            let k = (d - self.base) as usize;
-            if self.has[k] == 0 {
-                self.acc[k] = *a;
-                self.has[k] = 1;
-            } else {
-                prog.combine(&mut self.acc[k], a);
-            }
+            self.merge_one(prog, d, a);
+        }
+    }
+
+    /// Merge a zero-copy [`HubView`] — same semantics as
+    /// [`AccBuf::merge_hub`], decoding each accumulator straight out of
+    /// the blob with no intermediate vectors.
+    pub fn merge_hub_view(&mut self, prog: &P, hub: &HubView<P::Accum>) {
+        let dsts = hub.dsts();
+        for (k, &d) in dsts.iter().enumerate() {
+            self.merge_one(prog, d, &hub.acc(k));
+        }
+    }
+
+    #[inline]
+    fn merge_one(&mut self, prog: &P, d: VertexId, a: &P::Accum) {
+        let k = (d - self.base) as usize;
+        if self.has[k] == 0 {
+            self.acc[k] = *a;
+            self.has[k] = 1;
+        } else {
+            prog.combine(&mut self.acc[k], a);
         }
     }
 }

@@ -11,15 +11,26 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::dsss::{PreparedGraph, SubShard};
+use parking_lot::Mutex;
+
+use crate::dsss::{PreparedGraph, SubShardView};
 use crate::error::EngineResult;
 use crate::program::Direction;
+
+/// Cache key: `(i, j, reverse)`.
+type Key = (u32, u32, bool);
 
 /// Cached or streamed access to the sub-shards of one prepared graph.
 pub struct ShardStore<'g> {
     graph: &'g PreparedGraph,
-    cache: HashMap<(u32, u32, bool), Arc<SubShard>>,
+    cache: HashMap<Key, Arc<SubShardView>>,
     cached_bytes: u64,
+    /// Single-slot MRU over the *streamed* path: consecutive `get`s of the
+    /// same uncached `(i, j, reverse)` reuse the last decoded view instead
+    /// of re-reading and re-validating the file. The slot never substitutes
+    /// for a disk read that a differently-keyed access would have made, so
+    /// it cannot change which files an engine pass touches.
+    mru: Mutex<Option<(Key, Arc<SubShardView>)>>,
 }
 
 impl<'g> ShardStore<'g> {
@@ -29,6 +40,7 @@ impl<'g> ShardStore<'g> {
             graph,
             cache: HashMap::new(),
             cached_bytes: 0,
+            mru: Mutex::new(None),
         }
     }
 
@@ -55,7 +67,7 @@ impl<'g> ShardStore<'g> {
                     if self.cached_bytes + len > budget {
                         break 'outer;
                     }
-                    let ss = Arc::new(self.graph.load_subshard(i, j, reverse)?);
+                    let ss = Arc::new(self.graph.load_subshard_view(i, j, reverse)?);
                     self.cache.insert((i, j, reverse), ss);
                     self.cached_bytes += len;
                 }
@@ -75,18 +87,28 @@ impl<'g> ShardStore<'g> {
     }
 
     /// Fetch sub-shard `(i, j)`; cached copies are returned without I/O,
-    /// anything else streams from disk.
-    pub fn get(&self, i: u32, j: u32, reverse: bool) -> EngineResult<Arc<SubShard>> {
-        if let Some(ss) = self.cache.get(&(i, j, reverse)) {
+    /// an immediately repeated streamed key reuses the MRU slot, anything
+    /// else streams from disk.
+    pub fn get(&self, i: u32, j: u32, reverse: bool) -> EngineResult<Arc<SubShardView>> {
+        let key = (i, j, reverse);
+        if let Some(ss) = self.cache.get(&key) {
             return Ok(Arc::clone(ss));
         }
-        Ok(Arc::new(self.graph.load_subshard(i, j, reverse)?))
+        let mut mru = self.mru.lock();
+        if let Some((k, ss)) = mru.as_ref() {
+            if *k == key {
+                return Ok(Arc::clone(ss));
+            }
+        }
+        let ss = Arc::new(self.graph.load_subshard_view(i, j, reverse)?);
+        *mru = Some((key, Arc::clone(&ss)));
+        Ok(ss)
     }
 
     /// The cached copy of `(i, j)`, if any — never touches the disk. Used
     /// by the prefetcher to decide which shards still need a background
     /// load.
-    pub fn cached(&self, i: u32, j: u32, reverse: bool) -> Option<Arc<SubShard>> {
+    pub fn cached(&self, i: u32, j: u32, reverse: bool) -> Option<Arc<SubShardView>> {
         self.cache.get(&(i, j, reverse)).map(Arc::clone)
     }
 }
@@ -153,6 +175,37 @@ mod tests {
         let before = g.disk().counters().read_bytes();
         store.get(0, 0, true).unwrap();
         assert_eq!(g.disk().counters().read_bytes(), before);
+    }
+
+    #[test]
+    fn cached_gets_return_the_same_arc() {
+        let g = graph();
+        let mut store = ShardStore::new(&g);
+        store.plan_cache(u64::MAX, Direction::Forward).unwrap();
+        let a = store.get(1, 2, false).unwrap();
+        let b = store.get(1, 2, false).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache must hand out one allocation");
+        assert!(Arc::ptr_eq(&a, &store.cached(1, 2, false).unwrap()));
+    }
+
+    #[test]
+    fn mru_reuses_repeated_streamed_gets_without_io() {
+        let g = graph();
+        let store = ShardStore::new(&g); // zero budget: everything streams
+        let a = store.get(2, 1, false).unwrap();
+        let before = g.disk().counters().read_bytes();
+        let b = store.get(2, 1, false).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat must come from the MRU slot");
+        assert_eq!(g.disk().counters().read_bytes(), before, "no re-read");
+        // A different key evicts the slot and streams.
+        let c = store.get(2, 2, false).unwrap();
+        assert!(g.disk().counters().read_bytes() > before);
+        let c2 = store.get(2, 2, false).unwrap();
+        assert!(Arc::ptr_eq(&c, &c2));
+        // The original key now streams again (single slot only).
+        let a2 = store.get(2, 1, false).unwrap();
+        assert!(!Arc::ptr_eq(&a, &a2));
+        assert_eq!(*a, *a2);
     }
 
     #[test]

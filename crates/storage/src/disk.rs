@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 
 use crate::counter::IoCounters;
 use crate::error::{StorageError, StorageResult};
+use crate::pool::{AlignedBuf, BufferPool, SharedBytes};
 
 /// A sequential reader handed out by a [`Disk`].
 pub trait DiskRead: Read + Send {
@@ -77,6 +78,29 @@ pub trait Disk: Send + Sync {
     /// Convenience: read an entire file into memory.
     fn read_all(&self, name: &str) -> StorageResult<Vec<u8>> {
         self.open(name)?.read_to_vec()
+    }
+
+    /// Read an entire file into a caller-supplied page-aligned buffer,
+    /// resizing it to the file length. The reusable-buffer primitive
+    /// behind [`Disk::read_shared`].
+    fn read_into(&self, name: &str, buf: &mut AlignedBuf) -> StorageResult<()> {
+        let mut r = self.open(name)?;
+        buf.resize(r.len() as usize);
+        r.read_exact(buf.as_mut_slice()).map_err(StorageError::from)
+    }
+
+    /// Read an entire file into shared bytes suitable for zero-copy
+    /// decoding, borrowing a page-aligned buffer from `pool` and filling
+    /// it via [`Disk::read_into`] (so an implementation overriding
+    /// `read_into` — e.g. a future mmap-backed disk — feeds this too).
+    ///
+    /// Counts exactly the same bytes as [`Disk::read_all`]. In-memory
+    /// disks override this to hand out their stored bytes directly with
+    /// no copy at all.
+    fn read_shared(&self, name: &str, pool: &Arc<BufferPool>) -> StorageResult<SharedBytes> {
+        let mut buf = pool.take(0);
+        self.read_into(name, buf.aligned_mut())?;
+        Ok(SharedBytes::Pooled(Arc::new(buf)))
     }
 
     /// Convenience: write an entire buffer as a file.
@@ -358,6 +382,21 @@ impl Disk for MemDisk {
         }))
     }
 
+    /// Zero-copy override: the stored `Arc<Vec<u8>>` *is* the result. The
+    /// bytes still count as read — the engines' byte-exact I/O accounting
+    /// must not depend on which disk backs an experiment.
+    fn read_shared(&self, name: &str, _pool: &Arc<BufferPool>) -> StorageResult<SharedBytes> {
+        let data = self
+            .files
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
+        self.counters.record_seek();
+        self.counters.record_read(data.len() as u64);
+        Ok(SharedBytes::Owned(data))
+    }
+
     fn exists(&self, name: &str) -> bool {
         self.files.lock().contains_key(name)
     }
@@ -558,6 +597,66 @@ mod tests {
         // The file must have been created inside the root, not outside it.
         assert!(disk.root().join(".._evil").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_shared_counts_like_read_all() {
+        let os_dir = std::env::temp_dir().join(format!(
+            "nxgraph-osdisk-shared-{}",
+            std::process::id()
+        ));
+        let mem: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let os: Arc<dyn Disk> = Arc::new(OsDisk::new(&os_dir).unwrap());
+        let payload: Vec<u8> = (0..9000u32).map(|k| k as u8).collect();
+        for disk in [&mem, &os] {
+            disk.write_all_to("f", &payload).unwrap();
+            let pool = BufferPool::new();
+            let before = disk.counters().read_bytes();
+            let shared = disk.read_shared("f", &pool).unwrap();
+            assert_eq!(shared.as_slice(), &payload[..]);
+            assert_eq!(
+                disk.counters().read_bytes() - before,
+                payload.len() as u64,
+                "read_shared must count exactly the file bytes"
+            );
+            assert!(matches!(
+                disk.read_shared("missing", &pool),
+                Err(StorageError::NotFound(_))
+            ));
+        }
+        std::fs::remove_dir_all(&os_dir).ok();
+    }
+
+    #[test]
+    fn memdisk_read_shared_is_zero_copy() {
+        let disk = MemDisk::new();
+        disk.write_all_to("f", b"shared").unwrap();
+        let pool = BufferPool::new();
+        let bytes = disk.read_shared("f", &pool).unwrap();
+        let stored_ptr = disk.files.lock().get("f").unwrap().as_ptr();
+        assert_eq!(bytes.as_slice().as_ptr(), stored_ptr);
+        assert_eq!(pool.idle(), 0, "no pooled buffer was consumed");
+    }
+
+    #[test]
+    fn read_into_reuses_the_caller_buffer() {
+        let disk = MemDisk::new();
+        disk.write_all_to("a", &[1u8; 100]).unwrap();
+        disk.write_all_to("b", &[2u8; 40]).unwrap();
+        let mut buf = AlignedBuf::with_capacity(0);
+        disk.read_into("a", &mut buf).unwrap();
+        assert_eq!(buf.as_slice(), &[1u8; 100]);
+        disk.read_into("b", &mut buf).unwrap();
+        assert_eq!(buf.as_slice(), &[2u8; 40]);
+    }
+
+    #[test]
+    fn faulty_disk_read_shared_respects_budget() {
+        let inner = Arc::new(MemDisk::new());
+        inner.write_all_to("f", &[0u8; 64]).unwrap();
+        let disk = FaultyDisk::new(inner, 16);
+        let pool = BufferPool::new();
+        assert!(disk.read_shared("f", &pool).is_err());
     }
 
     #[test]

@@ -13,8 +13,13 @@
 //!   files of a disk; engines never bypass them, so the Table II / Fig 6
 //!   byte formulas of the paper can be checked *empirically*.
 //! * [`mod@format`] — little-endian binary encoding of typed arrays with
-//!   checksummed headers; the on-disk representation of intervals,
-//!   sub-shards and hubs.
+//!   checksummed headers (word-wise FNV-1a since format v2); the on-disk
+//!   representation of intervals, sub-shards and hubs. Includes the
+//!   slice-level [`parse_blob`](format::parse_blob) used by zero-copy
+//!   views and the verify-once [`ChecksumPolicy`].
+//! * [`pool`] — page-aligned [`BufferPool`] read buffers and the
+//!   [`SharedBytes`] currency behind zero-copy decoding
+//!   ([`Disk::read_shared`]).
 //! * [`budget`] — explicit memory-budget accounting. The paper controls the
 //!   memory knob via kernel boot options; we model the budget directly since
 //!   it only ever acts through the engines' residency decisions.
@@ -30,10 +35,13 @@ pub mod disk;
 pub mod error;
 pub mod format;
 pub mod manifest;
+pub mod pool;
 pub mod profile;
 
 pub use budget::MemoryBudget;
 pub use counter::{IoCounters, IoSnapshot};
 pub use disk::{Disk, DiskRead, DiskWrite, FaultyDisk, MemDisk, OsDisk};
 pub use error::{StorageError, StorageResult};
+pub use format::{ChecksumMode, ChecksumPolicy};
+pub use pool::{AlignedBuf, BufferPool, PooledBuf, SharedBytes};
 pub use profile::DeviceProfile;

@@ -63,6 +63,45 @@ fn corrupt_subshard_is_rejected() {
 }
 
 #[test]
+fn corrupt_subshard_view_is_rejected_on_every_load() {
+    // The verify-once checksum policy must not be disarmed by a *failed*
+    // first load: a corrupt file stays detected on retry.
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(&raw_edges(), &PrepConfig::new("cv", 2), Arc::clone(&disk)).unwrap();
+    let name = GraphManifest::subshard_file(1, 0);
+    let mut bytes = disk.read_all(&name).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    disk.write_all_to(&name, &bytes).unwrap();
+    assert!(g.load_subshard_view(1, 0, false).is_err());
+    assert!(
+        g.load_subshard_view(1, 0, false).is_err(),
+        "retry must still verify the never-successfully-loaded file"
+    );
+}
+
+#[test]
+fn corrupt_hub_is_rejected_even_after_prior_reads() {
+    // Hubs are rewritten every iteration under the same name, so hub
+    // reads verify every time (the verify-once skip is only for the
+    // immutable sub-shard files).
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(&raw_edges(), &PrepConfig::new("ch", 2), Arc::clone(&disk)).unwrap();
+    g.write_hub(0, 1, &[4, 5], &[0.25f64, 0.75]).unwrap();
+    assert!(g.read_hub_view::<f64>(0, 1).unwrap().is_some());
+    // "Next iteration": same name, fresh (corrupt) content.
+    let name = GraphManifest::hub_file(0, 1);
+    let mut bytes = disk.read_all(&name).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    disk.write_all_to(&name, &bytes).unwrap();
+    assert!(
+        g.read_hub_view::<f64>(0, 1).is_err(),
+        "rewritten hub must be checksummed on every read"
+    );
+}
+
+#[test]
 fn corrupt_manifest_is_rejected() {
     let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
     preprocess(&raw_edges(), &PrepConfig::new("m", 2), Arc::clone(&disk)).unwrap();

@@ -431,16 +431,23 @@ fn matrix_prefetch_on_off_bitwise_identical() {
 #[test]
 fn prefetch_on_off_same_io_totals() {
     // Prefetching must not change *what* is read, only when: I/O totals
-    // are byte-identical across the two settings, for both DPU and the
-    // streaming (zero-budget) SPU path.
+    // are byte-identical across the two settings, for DPU, the streaming
+    // (zero-budget) SPU path, and MPU's half-resident phase B/C streams
+    // (which exercise both the row sub-shard stream and the mixed
+    // shard+hub column stream).
     let raw = rmat_raw(8, 4, 31);
-    for strategy in [Strategy::Dpu, Strategy::Spu] {
+    let n = prepare(&raw, 4).num_vertices() as u64;
+    for (strategy, budget) in [
+        (Strategy::Dpu, 0),
+        (Strategy::Spu, 0),
+        (Strategy::Mpu, 4 * n + n * 8),
+    ] {
         let mut totals = Vec::new();
         for prefetch in [true, false] {
             let g = prepare(&raw, 4);
             let cfg = EngineConfig::default()
                 .with_strategy(strategy)
-                .with_budget(0)
+                .with_budget(budget)
                 .with_prefetch(prefetch);
             let (_, stats) = algo::pagerank(&g, 3, &cfg).unwrap();
             totals.push((stats.io.read_bytes, stats.io.written_bytes));

@@ -7,11 +7,12 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use nxgraph::core::algo;
+use nxgraph::core::dsss::{SubShard, SubShardView};
 use nxgraph::core::engine::{EngineConfig, Strategy as UpdateStrategy, SyncMode};
 use nxgraph::core::prep::{self, PrepConfig};
 use nxgraph::core::reference;
 use nxgraph::core::PreparedGraph;
-use nxgraph::storage::{Disk, MemDisk};
+use nxgraph::storage::{Disk, MemDisk, SharedBytes};
 
 /// A random small graph: up to 40 vertices, up to 200 edges (duplicates
 /// and self-loops included, as in raw crawls).
@@ -66,6 +67,32 @@ proptest! {
         edges.sort_unstable();
         collected.sort_unstable();
         prop_assert_eq!(collected, edges);
+    }
+
+    #[test]
+    fn view_parse_equals_owned_decode(raw in arb_graph()) {
+        // The zero-copy view over encoded bytes must expose exactly what
+        // the owned decoder produces, for arbitrary edge sets (duplicates
+        // and self-loops included).
+        let (_, edges) = dense(&raw);
+        let ss = SubShard::from_edges(0, 0, edges);
+        let bytes = ss.encode();
+        let owned = SubShard::decode(&bytes, "prop").unwrap();
+        let view = SubShardView::parse(SharedBytes::from(bytes), "prop", true).unwrap();
+        prop_assert_eq!(view.dsts(), &owned.dsts[..]);
+        prop_assert_eq!(view.offsets(), &owned.offsets[..]);
+        prop_assert_eq!(view.srcs(), &owned.srcs[..]);
+        prop_assert_eq!(view.num_edges(), owned.num_edges());
+        prop_assert_eq!(view.to_subshard(), owned);
+        // And the streamed loader agrees with both, end to end.
+        let g = prepare(&raw, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = g.load_subshard_view(i, j, false).unwrap();
+                let o = g.load_subshard(i, j, false).unwrap();
+                prop_assert_eq!(v.to_subshard(), o);
+            }
+        }
     }
 
     #[test]
