@@ -22,8 +22,8 @@ use nxgraph_core::parallel::run_tasks;
 use nxgraph_core::program::VertexProgram;
 use nxgraph_core::types::VertexId;
 use nxgraph_graphgen::rmat::{self, RmatConfig};
-use nxgraph_storage::format;
-use nxgraph_storage::SharedBytes;
+use nxgraph_storage::format::{self, EncodingPolicy};
+use nxgraph_storage::{varint, SharedBytes};
 
 const SCALE: u32 = 14;
 const EDGE_FACTOR: u32 = 16;
@@ -169,10 +169,14 @@ fn bench_kernels(c: &mut Criterion) {
 ///
 /// * `fnv1a/{bytes,words}` — the byte-at-a-time checksum vs the
 ///   8-bytes-per-step variant used as the blob checksum since format v2.
-/// * `subshard_decode/{owned,view,view_checksummed}` — the legacy
-///   three-copy `SubShard::decode` vs `SubShardView::parse`. `view` skips
-///   the checksum (the steady state under the verify-once
-///   `ChecksumPolicy`); `view_checksummed` verifies like a first load.
+/// * `varint/{encode,decode}` — the LEB128 primitive behind format v3's
+///   delta+varint payloads, over a realistic gap distribution.
+/// * `subshard_decode/{owned,view,view_checksummed,compressed}` — the
+///   legacy three-copy `SubShard::decode` vs `SubShardView::parse` on a
+///   raw blob, and the delta+varint inflate path on the v3 blob of the
+///   same shard. `view` skips the checksum (the steady state under the
+///   verify-once `ChecksumPolicy`); `view_checksummed` verifies like a
+///   first load.
 fn bench_codec(c: &mut Criterion) {
     let (_, edges, _) = workload();
     let ss = SubShard::from_edges(0, 0, edges);
@@ -188,7 +192,42 @@ fn bench_codec(c: &mut Criterion) {
     });
     group.finish();
 
+    // The source column's in-run gaps are what the v3 codec spends most
+    // of its time on; benchmark the primitive over exactly those values.
+    let mut gaps: Vec<u32> = Vec::with_capacity(ss.num_edges());
+    for pos in 0..ss.num_dsts() {
+        let run = &ss.srcs[ss.src_range(pos)];
+        gaps.push(run[0]);
+        gaps.extend(run.windows(2).map(|w| w[1] - w[0]));
+    }
+    let mut encoded = Vec::with_capacity(2 * gaps.len());
+    for &g in &gaps {
+        varint::push_varint(&mut encoded, g);
+    }
+    let mut group = c.benchmark_group("varint");
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(2 * gaps.len());
+            for &g in &gaps {
+                varint::push_varint(&mut out, black_box(g));
+            }
+            black_box(out.len())
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut sum = 0u64;
+            while pos < encoded.len() {
+                sum += varint::read_varint(&encoded, &mut pos, "bench").unwrap() as u64;
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+
     let shared = SharedBytes::from(bytes.clone());
+    let compressed = SharedBytes::from(ss.encode_with(EncodingPolicy::Compressed));
     let mut group = c.benchmark_group("subshard_decode");
     group.bench_function("owned", |b| {
         b.iter(|| black_box(SubShard::decode(&bytes, "bench").unwrap().num_edges()))
@@ -206,6 +245,15 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 SubShardView::parse(shared.clone(), "bench", true)
+                    .unwrap()
+                    .num_edges(),
+            )
+        })
+    });
+    group.bench_function("compressed", |b| {
+        b.iter(|| {
+            black_box(
+                SubShardView::parse(compressed.clone(), "bench", false)
                     .unwrap()
                     .num_edges(),
             )

@@ -23,9 +23,18 @@ fn bench_prep(c: &mut Criterion) {
     });
     let deg = prep::degree(&raw);
     group.bench_function("sharding_p12", |b| {
+        let scfg = PrepConfig::forward_only("bench", 12);
         b.iter(|| {
             let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
-            black_box(prep::shard(&deg, "bench", 12, false, disk).unwrap());
+            black_box(prep::shard(&deg, &scfg, disk).unwrap());
+        })
+    });
+    group.bench_function("sharding_p12_compressed", |b| {
+        let scfg = PrepConfig::forward_only("bench", 12)
+            .with_encoding(nxgraph_storage::EncodingPolicy::Auto);
+        b.iter(|| {
+            let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+            black_box(prep::shard(&deg, &scfg, disk).unwrap());
         })
     });
     group.bench_function("full_prep_with_reverse", |b| {

@@ -3,23 +3,26 @@
 //! Unlike the exp*/fig* reproductions (which mirror the paper's tables),
 //! this experiment exists for the *repo's own* performance trajectory:
 //! fixed-seed R-MAT graphs at two scales, PageRank under every strategy
-//! with prefetch on and off, reported as iterations/sec and traversed
-//! edges/sec. With `--json` the results are written to
-//! `BENCH_pagerank.json` (override with `--out PATH`) so successive PRs
-//! can diff the numbers; CI runs it at a tiny scale to keep the harness
-//! from bit-rotting.
+//! with prefetch on and off — and, since format v3, under both the raw
+//! and the delta+varint `auto` blob encodings, reporting counted read
+//! bytes per iteration and the on-disk blob ratio alongside
+//! iterations/sec and traversed edges/sec. With `--json` the results are
+//! written to `BENCH_pagerank.json` (override with `--out PATH`) so
+//! successive PRs can diff the numbers; CI runs it at a tiny scale, once
+//! per encoding, to keep both paths from bit-rotting. `--encoding` pins a
+//! single policy; the default measures raw and auto side by side.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use nxgraph_bench::report::{fmt_secs, Table};
-use nxgraph_bench::workloads::prepare_os;
+use nxgraph_bench::workloads::prepare_os_enc;
 use nxgraph_core::algo;
 use nxgraph_core::dsss::{SubShard, SubShardView};
 use nxgraph_core::engine::Strategy;
 use nxgraph_graphgen::datasets::Dataset;
 use nxgraph_graphgen::rmat::{self, RmatConfig};
-use nxgraph_storage::SharedBytes;
+use nxgraph_storage::{EncodingPolicy, SharedBytes};
 
 use crate::exps::{half_resident_budget, nx_cfg};
 use crate::Opts;
@@ -32,11 +35,21 @@ const EDGE_FACTOR: u32 = 16;
 
 /// One measured configuration.
 struct Row {
+    encoding: String,
     strategy: &'static str,
     prefetch: bool,
     elapsed_secs: f64,
     iters_per_sec: f64,
     edges_per_sec: f64,
+    /// Counted disk read traffic divided by iterations — the lever the
+    /// compressed encoding moves.
+    read_bytes_per_iter: u64,
+}
+
+/// Aggregate on-disk footprint of one encoding at one scale.
+struct DiskReport {
+    encoding: String,
+    subshard_bytes: u64,
 }
 
 /// One measured dataset scale.
@@ -45,16 +58,21 @@ struct ScaleReport {
     scale: u32,
     vertices: u32,
     edges: u64,
+    disk: Vec<DiskReport>,
     rows: Vec<Row>,
 }
 
-/// Sub-shard decode throughput: the legacy owned `SubShard::decode` vs
-/// the zero-copy `SubShardView::parse` (checksum skipped, the steady
-/// state under the verify-once policy), in million edges per second.
+/// Sub-shard decode throughput: the legacy owned `SubShard::decode`, the
+/// zero-copy `SubShardView::parse` (checksum skipped, the steady state
+/// under the verify-once policy) and the delta+varint inflate path, in
+/// million edges per second.
 struct DecodeReport {
     edges: u64,
     owned_medges_per_sec: f64,
     view_medges_per_sec: f64,
+    compressed_medges_per_sec: f64,
+    /// Compressed blob bytes over raw blob bytes for the fixture shard.
+    compressed_blob_ratio: f64,
 }
 
 fn measure_decode(opts: &Opts) -> DecodeReport {
@@ -70,6 +88,8 @@ fn measure_decode(opts: &Opts) -> DecodeReport {
     let m = ss.num_edges() as u64;
     let bytes = ss.encode();
     let shared = SharedBytes::from(bytes.clone());
+    let compressed = ss.encode_with(EncodingPolicy::Compressed);
+    let shared_compressed = SharedBytes::from(compressed.clone());
     let medges = |reps: u32, secs: f64| (reps as u64 * m) as f64 / 1e6 / secs.max(1e-9);
 
     let time_median = |f: &mut dyn FnMut()| {
@@ -96,10 +116,19 @@ fn measure_decode(opts: &Opts) -> DecodeReport {
                 .num_edges(),
         );
     });
+    let inflate = time_median(&mut || {
+        std::hint::black_box(
+            SubShardView::parse(shared_compressed.clone(), "perf", false)
+                .unwrap()
+                .num_edges(),
+        );
+    });
     DecodeReport {
         edges: m,
         owned_medges_per_sec: owned,
         view_medges_per_sec: view,
+        compressed_medges_per_sec: inflate,
+        compressed_blob_ratio: compressed.len() as f64 / bytes.len() as f64,
     }
 }
 
@@ -111,60 +140,99 @@ fn dataset(scale: u32, opts: &Opts) -> Dataset {
     }
 }
 
+/// The encodings one run measures: both unless `--encoding` pins one.
+fn encodings(opts: &Opts) -> Vec<EncodingPolicy> {
+    match opts.encoding {
+        Some(p) => vec![p],
+        None => vec![EncodingPolicy::Raw, EncodingPolicy::Auto],
+    }
+}
+
 fn measure(scale: u32, opts: &Opts) -> ScaleReport {
     let d = dataset(scale, opts);
-    // Real files (OsDisk): an out-of-core system's wall clock includes
-    // read+decode, which is exactly what the prefetcher overlaps.
-    let root = std::env::temp_dir().join(format!("nxbench-perf-{}", std::process::id()));
-    let g = prepare_os(&d, 8, false, &root);
-    let n = g.num_vertices() as u64;
     let mut rows = Vec::new();
-    for (name, strategy, budget) in [
-        ("spu", Strategy::Spu, u64::MAX),
-        ("mpu", Strategy::Mpu, half_resident_budget(n, 8)),
-        ("dpu", Strategy::Dpu, 0),
-    ] {
-        for prefetch in [true, false] {
-            let cfg = nx_cfg(opts)
-                .with_strategy(strategy)
-                .with_budget(budget)
-                .with_prefetch(prefetch);
-            // One untimed warmup run, then the median of three measured
-            // runs — single engine runs at these scales are noisy.
-            algo::pagerank(&g, opts.iters, &cfg).expect("pagerank warmup");
-            let mut samples = Vec::with_capacity(3);
-            for _ in 0..3 {
-                let (_, stats) = algo::pagerank(&g, opts.iters, &cfg).expect("pagerank");
-                samples.push((stats.elapsed.as_secs_f64().max(1e-9), stats));
+    let mut disk = Vec::new();
+    let mut shape = (0u32, 0u64);
+    for encoding in encodings(opts) {
+        // Real files (OsDisk): an out-of-core system's wall clock includes
+        // read+decode, which is exactly what the prefetcher overlaps — and
+        // inflation runs on its decode thread.
+        let root = std::env::temp_dir().join(format!(
+            "nxbench-perf-{}-{scale}-{encoding}",
+            std::process::id()
+        ));
+        let g = prepare_os_enc(&d, 8, false, &root, encoding);
+        let n = g.num_vertices() as u64;
+        shape = (g.num_vertices(), g.num_edges());
+        disk.push(DiskReport {
+            encoding: encoding.to_string(),
+            subshard_bytes: g.total_subshard_bytes().expect("subshard sizes"),
+        });
+        for (name, strategy, budget) in [
+            ("spu", Strategy::Spu, u64::MAX),
+            ("mpu", Strategy::Mpu, half_resident_budget(n, 8)),
+            ("dpu", Strategy::Dpu, 0),
+        ] {
+            for prefetch in [true, false] {
+                let cfg = nx_cfg(opts)
+                    .with_strategy(strategy)
+                    .with_budget(budget)
+                    .with_prefetch(prefetch);
+                // One untimed warmup run, then the median of three measured
+                // runs — single engine runs at these scales are noisy.
+                algo::pagerank(&g, opts.iters, &cfg).expect("pagerank warmup");
+                let mut samples = Vec::with_capacity(3);
+                for _ in 0..3 {
+                    let (_, stats) = algo::pagerank(&g, opts.iters, &cfg).expect("pagerank");
+                    samples.push((stats.elapsed.as_secs_f64().max(1e-9), stats));
+                }
+                samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let (secs, stats) = &samples[1];
+                rows.push(Row {
+                    encoding: encoding.to_string(),
+                    strategy: name,
+                    prefetch,
+                    elapsed_secs: *secs,
+                    iters_per_sec: stats.iterations as f64 / secs,
+                    edges_per_sec: stats.edges_traversed as f64 / secs,
+                    read_bytes_per_iter: stats.io.read_bytes / stats.iterations.max(1) as u64,
+                });
             }
-            samples.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let (secs, stats) = &samples[1];
-            rows.push(Row {
-                strategy: name,
-                prefetch,
-                elapsed_secs: *secs,
-                iters_per_sec: stats.iterations as f64 / secs,
-                edges_per_sec: stats.edges_traversed as f64 / secs,
-            });
         }
+        drop(g);
+        let _ = std::fs::remove_dir_all(&root);
     }
-    let report = ScaleReport {
+    ScaleReport {
         dataset: d.name,
         scale,
-        vertices: g.num_vertices(),
-        edges: g.num_edges(),
+        vertices: shape.0,
+        edges: shape.1,
+        disk,
         rows,
-    };
-    drop(g);
-    let _ = std::fs::remove_dir_all(&root);
-    report
+    }
+}
+
+impl ScaleReport {
+    /// Raw-over-auto sub-shard byte ratio, when both encodings ran.
+    fn blob_ratio(&self) -> Option<f64> {
+        let find = |enc: &str| {
+            self.disk
+                .iter()
+                .find(|d| d.encoding == enc)
+                .map(|d| d.subshard_bytes)
+        };
+        match (find("raw"), find("auto")) {
+            (Some(raw), Some(auto)) if auto > 0 => Some(raw as f64 / auto as f64),
+            _ => None,
+        }
+    }
 }
 
 fn render_json(opts: &Opts, reports: &[ScaleReport], decode: &DecodeReport) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"pagerank\",");
-    let _ = writeln!(s, "  \"schema_version\": 2,");
+    let _ = writeln!(s, "  \"schema_version\": 3,");
     let _ = writeln!(s, "  \"seed\": {},", opts.seed);
     let _ = writeln!(s, "  \"iters\": {},", opts.iters);
     let _ = writeln!(s, "  \"threads\": {},", opts.threads);
@@ -181,16 +249,31 @@ fn render_json(opts: &Opts, reports: &[ScaleReport], decode: &DecodeReport) -> S
         let _ = writeln!(s, "      \"scale\": {},", r.scale);
         let _ = writeln!(s, "      \"vertices\": {},", r.vertices);
         let _ = writeln!(s, "      \"edges\": {},", r.edges);
+        // `blob_ratio` only exists when both encodings were measured — a
+        // pinned `--encoding` run must not fabricate a 1.0 ratio.
+        let mut disk_fields: Vec<String> = r
+            .disk
+            .iter()
+            .map(|d| format!("\"{}_subshard_bytes\": {}", d.encoding, d.subshard_bytes))
+            .collect();
+        if let Some(ratio) = r.blob_ratio() {
+            disk_fields.push(format!("\"blob_ratio\": {ratio:.3}"));
+        }
+        let _ = writeln!(s, "      \"disk\": {{");
+        let _ = writeln!(s, "        {}", disk_fields.join(",\n        "));
+        let _ = writeln!(s, "      }},");
         let _ = writeln!(s, "      \"strategies\": [");
         for (ri, row) in r.rows.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "        {{\"strategy\": \"{}\", \"prefetch\": {}, \"elapsed_secs\": {:.6}, \"iters_per_sec\": {:.3}, \"edges_per_sec\": {:.1}}}{}",
+                "        {{\"encoding\": \"{}\", \"strategy\": \"{}\", \"prefetch\": {}, \"elapsed_secs\": {:.6}, \"iters_per_sec\": {:.3}, \"edges_per_sec\": {:.1}, \"read_bytes_per_iter\": {}}}{}",
+                row.encoding,
                 row.strategy,
                 row.prefetch,
                 row.elapsed_secs,
                 row.iters_per_sec,
                 row.edges_per_sec,
+                row.read_bytes_per_iter,
                 if ri + 1 < r.rows.len() { "," } else { "" }
             );
         }
@@ -204,8 +287,12 @@ fn render_json(opts: &Opts, reports: &[ScaleReport], decode: &DecodeReport) -> S
     let _ = writeln!(s, "  ],");
     let _ = writeln!(
         s,
-        "  \"subshard_decode\": {{\"edges\": {}, \"owned_medges_per_sec\": {:.1}, \"view_medges_per_sec\": {:.1}}}",
-        decode.edges, decode.owned_medges_per_sec, decode.view_medges_per_sec
+        "  \"subshard_decode\": {{\"edges\": {}, \"owned_medges_per_sec\": {:.1}, \"view_medges_per_sec\": {:.1}, \"compressed_medges_per_sec\": {:.1}, \"compressed_blob_ratio\": {:.3}}}",
+        decode.edges,
+        decode.owned_medges_per_sec,
+        decode.view_medges_per_sec,
+        decode.compressed_medges_per_sec,
+        decode.compressed_blob_ratio
     );
     let _ = writeln!(s, "}}");
     s
@@ -227,25 +314,32 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
                 "perf — PageRank on {} ({} vertices, {} edges, {} iters)",
                 r.dataset, r.vertices, r.edges, opts.iters
             ),
-            &["strategy", "prefetch", "time (s)", "iters/s", "edges/s"],
+            &["encoding", "strategy", "prefetch", "time (s)", "iters/s", "edges/s", "read B/iter"],
         );
         for row in &r.rows {
             t.row(vec![
+                row.encoding.clone(),
                 row.strategy.to_string(),
                 row.prefetch.to_string(),
                 fmt_secs(std::time::Duration::from_secs_f64(row.elapsed_secs)),
                 format!("{:.2}", row.iters_per_sec),
                 format!("{:.3e}", row.edges_per_sec),
+                row.read_bytes_per_iter.to_string(),
             ]);
         }
         t.print();
+        if let Some(ratio) = r.blob_ratio() {
+            println!("on-disk sub-shard blob ratio (raw/auto): {ratio:.2}x");
+        }
     }
     println!(
-        "\nsubshard_decode ({} edges): owned {:.1} M edges/s, view {:.1} M edges/s ({:.2}x)",
+        "\nsubshard_decode ({} edges): owned {:.1} M edges/s, view {:.1} M edges/s ({:.2}x), compressed inflate {:.1} M edges/s (blob {:.2}x smaller)",
         decode.edges,
         decode.owned_medges_per_sec,
         decode.view_medges_per_sec,
-        decode.view_medges_per_sec / decode.owned_medges_per_sec.max(1e-9)
+        decode.view_medges_per_sec / decode.owned_medges_per_sec.max(1e-9),
+        decode.compressed_medges_per_sec,
+        1.0 / decode.compressed_blob_ratio.max(1e-9)
     );
 
     if let Some(path) = json_out {
@@ -273,14 +367,23 @@ mod tests {
         let decode = measure_decode(&opts);
         assert!(decode.edges > 0);
         assert!(decode.owned_medges_per_sec > 0.0 && decode.view_medges_per_sec > 0.0);
+        assert!(decode.compressed_medges_per_sec > 0.0);
+        assert!(decode.compressed_blob_ratio > 0.0 && decode.compressed_blob_ratio < 1.0);
         let json = render_json(&opts, &reports, &decode);
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"bench\": \"pagerank\""));
         assert!(json.contains("\"strategy\": \"spu\""));
         assert!(json.contains("\"strategy\": \"dpu\""));
         assert!(json.contains("\"prefetch\": true"));
         assert!(json.contains("\"prefetch\": false"));
+        assert!(json.contains("\"encoding\": \"raw\""));
+        assert!(json.contains("\"encoding\": \"auto\""));
+        assert!(json.contains("\"raw_subshard_bytes\""));
+        assert!(json.contains("\"auto_subshard_bytes\""));
+        assert!(json.contains("\"blob_ratio\""));
+        assert!(json.contains("\"read_bytes_per_iter\""));
         assert!(json.contains("\"subshard_decode\""));
-        assert!(json.contains("\"view_medges_per_sec\""));
+        assert!(json.contains("\"compressed_medges_per_sec\""));
         // Balanced braces/brackets — no JSON parser in-tree, so check the
         // structural invariants the consumer scripts rely on.
         assert_eq!(
@@ -293,5 +396,37 @@ mod tests {
             json.matches(']').count(),
             "{json}"
         );
+        // Auto must actually shrink the fixture and cut read traffic.
+        let r = &reports[0];
+        let ratio = r.blob_ratio().expect("both encodings measured");
+        assert!(ratio > 1.0, "auto encoding did not shrink blobs: {ratio}");
+        let read_of = |enc: &str, strat: &str| {
+            r.rows
+                .iter()
+                .find(|row| row.encoding == enc && row.strategy == strat && row.prefetch)
+                .map(|row| row.read_bytes_per_iter)
+                .unwrap()
+        };
+        assert!(read_of("auto", "spu") < read_of("raw", "spu"));
+    }
+
+    #[test]
+    fn pinned_encoding_measures_only_that_path() {
+        let opts = Opts {
+            scale_shift: -8,
+            encoding: Some(EncodingPolicy::Raw),
+            ..Opts::default()
+        };
+        let r = measure(5, &opts);
+        assert!(r.rows.iter().all(|row| row.encoding == "raw"));
+        assert_eq!(r.disk.len(), 1);
+        assert!(r.blob_ratio().is_none());
+        let json = render_json(&opts, &[r], &measure_decode(&opts));
+        assert!(!json.contains("\"encoding\": \"auto\""));
+        assert!(
+            !json.contains("\"blob_ratio\""),
+            "a pinned run must not fabricate a ratio"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

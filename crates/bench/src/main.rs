@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! nxbench <experiment> [--scale-shift N] [--seed N] [--threads N] [--iters N]
-//!                      [--json] [--out PATH]
+//!                      [--json] [--out PATH] [--encoding raw|auto|compressed]
 //!
 //! experiments:
 //!   table2   Table II  — analytic I/O bounds per strategy
@@ -16,9 +16,11 @@
 //!   exp7     Fig 12    — BFS/SCC/WCC across systems
 //!   exp8     Table V   — limited-resource comparison (+HDD model)
 //!   exp9     Table VI  — best-case comparison
-//!   perf     repo perf baseline — PageRank iters/sec & edges/sec per
-//!            strategy × prefetch on fixed-seed R-MAT at two scales;
-//!            `--json` writes BENCH_pagerank.json (`--out` overrides)
+//!   perf     repo perf baseline — PageRank iters/sec, edges/sec and read
+//!            bytes/iter per encoding × strategy × prefetch on fixed-seed
+//!            R-MAT at two scales; `--json` writes BENCH_pagerank.json
+//!            (`--out` overrides). Measures encodings raw *and* auto
+//!            unless `--encoding` pins one.
 //!   all                — run everything
 //! ```
 //!
@@ -44,6 +46,9 @@ pub struct Opts {
     pub json: bool,
     /// Output path for the JSON report (defaults to `BENCH_pagerank.json`).
     pub out: String,
+    /// On-disk blob encoding for `perf`: `None` measures raw *and* auto
+    /// side by side; `Some` pins a single policy (the CI per-path runs).
+    pub encoding: Option<nxgraph_storage::EncodingPolicy>,
 }
 
 impl Default for Opts {
@@ -58,6 +63,7 @@ impl Default for Opts {
             iters: 10,
             json: false,
             out: "BENCH_pagerank.json".to_string(),
+            encoding: None,
         }
     }
 }
@@ -97,6 +103,13 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
             }
             "--json" => opts.json = true,
             "--out" => opts.out = take_val(&mut k)?,
+            "--encoding" => {
+                opts.encoding = Some(
+                    take_val(&mut k)?
+                        .parse()
+                        .map_err(|e| format!("bad --encoding: {e}"))?,
+                )
+            }
             name if !name.starts_with('-') && exp.is_none() => exp = Some(name.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -110,7 +123,7 @@ fn main() -> ExitCode {
     let (exp, opts) = match parse(&args) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH]");
+            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH] [--encoding raw|auto|compressed]");
             return ExitCode::FAILURE;
         }
     };

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use nxgraph_core::dsss::PreparedGraph;
 use nxgraph_core::prep::{preprocess, PrepConfig};
 use nxgraph_graphgen::datasets::Dataset;
-use nxgraph_storage::{Disk, MemDisk};
+use nxgraph_storage::{Disk, EncodingPolicy, MemDisk};
 
 /// Convert generated raw edges into the `(u64, u64)` pairs preprocessing
 /// consumes.
@@ -13,28 +13,50 @@ pub fn raw_pairs(d: &Dataset) -> Vec<(u64, u64)> {
     d.edges.iter().map(|e| (e.src, e.dst)).collect()
 }
 
-/// Preprocess a dataset onto a fresh in-memory disk (all I/O still counted
-/// by the disk's counters).
-pub fn prepare_mem(d: &Dataset, p: u32, reverse: bool) -> PreparedGraph {
-    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+fn prep_cfg(d: &Dataset, p: u32, reverse: bool, encoding: EncodingPolicy) -> PrepConfig {
     let cfg = if reverse {
         PrepConfig::new(d.name.clone(), p)
     } else {
         PrepConfig::forward_only(d.name.clone(), p)
     };
-    preprocess(&raw_pairs(d), &cfg, disk).expect("preprocessing failed")
+    cfg.with_encoding(encoding)
+}
+
+/// Preprocess a dataset onto a fresh in-memory disk (all I/O still counted
+/// by the disk's counters).
+pub fn prepare_mem(d: &Dataset, p: u32, reverse: bool) -> PreparedGraph {
+    prepare_mem_enc(d, p, reverse, EncodingPolicy::Raw)
+}
+
+/// [`prepare_mem`] with an explicit on-disk blob encoding policy.
+pub fn prepare_mem_enc(
+    d: &Dataset,
+    p: u32,
+    reverse: bool,
+    encoding: EncodingPolicy,
+) -> PreparedGraph {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    preprocess(&raw_pairs(d), &prep_cfg(d, p, reverse, encoding), disk)
+        .expect("preprocessing failed")
 }
 
 /// Preprocess onto a real directory-backed disk under `root`.
 pub fn prepare_os(d: &Dataset, p: u32, reverse: bool, root: &std::path::Path) -> PreparedGraph {
+    prepare_os_enc(d, p, reverse, root, EncodingPolicy::Raw)
+}
+
+/// [`prepare_os`] with an explicit on-disk blob encoding policy.
+pub fn prepare_os_enc(
+    d: &Dataset,
+    p: u32,
+    reverse: bool,
+    root: &std::path::Path,
+    encoding: EncodingPolicy,
+) -> PreparedGraph {
     let disk: Arc<dyn Disk> =
         Arc::new(nxgraph_storage::OsDisk::new(root.join(&d.name)).expect("mkdir failed"));
-    let cfg = if reverse {
-        PrepConfig::new(d.name.clone(), p)
-    } else {
-        PrepConfig::forward_only(d.name.clone(), p)
-    };
-    preprocess(&raw_pairs(d), &cfg, disk).expect("preprocessing failed")
+    preprocess(&raw_pairs(d), &prep_cfg(d, p, reverse, encoding), disk)
+        .expect("preprocessing failed")
 }
 
 #[cfg(test)]

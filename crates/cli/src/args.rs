@@ -7,6 +7,7 @@ pub const USAGE: &str = "\
 usage:
   nxgraph-cli generate <rmat|mesh|er> --out <edges.txt> [--scale N] [--edge-factor N] [--seed N] [--vertices N] [--edges N]
   nxgraph-cli prep <edges.txt> <graph-dir> [--intervals P] [--no-reverse] [--name NAME]
+                   [--encoding raw|auto|compressed]
   nxgraph-cli info <graph-dir>
   nxgraph-cli pagerank <graph-dir> [--iters N] [--budget-mib N] [--threads N] [--top K]
   nxgraph-cli bfs <graph-dir> --root R [--threads N]

@@ -9,7 +9,7 @@ use nxgraph_core::engine::EngineConfig;
 use nxgraph_core::prep::{preprocess, PrepConfig};
 use nxgraph_core::PreparedGraph;
 use nxgraph_graphgen::{er, io as gio, mesh, rmat};
-use nxgraph_storage::{Disk, OsDisk};
+use nxgraph_storage::{Disk, EncodingPolicy, OsDisk};
 
 use crate::args::Args;
 
@@ -65,6 +65,7 @@ fn prep(args: &Args) -> Result<(), String> {
     let p = args.get_or("intervals", 16u32)?;
     let name: String = args.get_or("name", "graph".to_string())?;
     let reverse = !args.switch("--no-reverse");
+    let encoding: EncodingPolicy = args.get_or("encoding", EncodingPolicy::Raw)?;
 
     let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
     let edges = gio::read_text(file).map_err(|e| format!("parse {input}: {e}"))?;
@@ -75,17 +76,19 @@ fn prep(args: &Args) -> Result<(), String> {
         name,
         num_intervals: p,
         build_reverse: reverse,
+        encoding,
     };
     let started = std::time::Instant::now();
     let g = preprocess(&raw, &cfg, disk).map_err(|e| e.to_string())?;
     println!(
-        "prepared {}: {} vertices, {} edges, P={} ({} sub-shards{}), in {:?}",
+        "prepared {}: {} vertices, {} edges, P={} ({} sub-shards{}), encoding {}, in {:?}",
         dir,
         g.num_vertices(),
         g.num_edges(),
         p,
         p * p,
         if reverse { " + reverse" } else { "" },
+        encoding,
         started.elapsed()
     );
     Ok(())
@@ -125,6 +128,22 @@ fn info(args: &Args) -> Result<(), String> {
         "subshard bytes: {}",
         g.total_subshard_bytes().map_err(|e| e.to_string())?
     );
+    if let Some(enc) = m.extra.get(nxgraph_core::dsss::ENCODING_MANIFEST_KEY) {
+        println!("encoding      : {enc}");
+    }
+    if let (Some(Ok(raw)), Some(Ok(on_disk))) = (
+        m.extra
+            .get(nxgraph_core::dsss::SS_RAW_BYTES_MANIFEST_KEY)
+            .map(|v| v.parse::<u64>()),
+        m.extra
+            .get(nxgraph_core::dsss::SS_DISK_BYTES_MANIFEST_KEY)
+            .map(|v| v.parse::<u64>()),
+    ) {
+        println!(
+            "blob ratio    : {:.2}x ({raw} raw / {on_disk} on disk)",
+            raw as f64 / on_disk.max(1) as f64
+        );
+    }
     let deg = g.out_degrees();
     let max = deg.iter().max().copied().unwrap_or(0);
     println!(

@@ -1,0 +1,402 @@
+//! Delta+varint payload codecs — the compressed (format v3) encoding of
+//! sub-shards and hubs.
+//!
+//! Destination-sorting makes every persisted column locally monotone:
+//! `dsts` is strictly increasing, `offsets` is a prefix sum of per-slot
+//! degrees, and each destination's `srcs` run is sorted. The v3 payload
+//! therefore stores *gaps*, LEB128-coded ([`nxgraph_storage::varint`]),
+//! instead of raw `u32` words:
+//!
+//! ```text
+//! sub-shard v3 payload:
+//!   [src_interval, dst_interval, num_dsts, num_edges]   4 × u32 LE
+//!   varint dsts      num_dsts values: first absolute, then gaps
+//!   varint degrees   num_dsts values: offsets[k+1] − offsets[k]
+//!   varint srcs      per slot: first absolute, then in-run gaps
+//!
+//! hub v3 payload:
+//!   count                                               u32 LE
+//!   varint dsts      count values: first absolute, then gaps
+//!   raw accumulators count × A::SIZE bytes (f64 bits are incompressible
+//!                    and must round-trip bitwise)
+//! ```
+//!
+//! Gaps in sorted id columns are small, so the common varint is one byte
+//! where the raw format spends four — 2-4× smaller blobs, which is bytes
+//! *not read* on every streamed iteration. Decoding inflates into an
+//! aligned word buffer once per load (pooled on the view path), after
+//! which the engine-facing `&[u32]` slice API is byte-identical to a raw
+//! load; corrupt or truncated varint streams surface as
+//! [`StorageError::Corrupt`], never as wrong arrays or panics.
+
+use nxgraph_storage::varint::{push_varint, read_varint};
+use nxgraph_storage::{StorageError, StorageResult};
+
+use super::subshard::SubShard;
+
+/// Fixed little-endian prefix of a v3 sub-shard payload — the same four
+/// header words (src/dst interval, counts) as the raw layout.
+pub(crate) const SS_FIXED_BYTES: usize = 16;
+
+/// `Auto` keeps the compressed blob only when it is at most 15/16 of the
+/// raw blob: marginal wins do not pay for the inflate pass on every load.
+pub(crate) fn auto_keeps(compressed_len: usize, raw_len: usize) -> bool {
+    compressed_len * 16 <= raw_len * 15
+}
+
+fn corrupt(name: &str, reason: impl Into<String>) -> StorageError {
+    StorageError::Corrupt {
+        name: name.to_string(),
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sub-shards
+// ---------------------------------------------------------------------------
+
+/// The fixed header words of a v3 sub-shard payload.
+pub(crate) struct SsHeader {
+    pub src_interval: u32,
+    pub dst_interval: u32,
+    pub num_dsts: usize,
+    pub num_edges: usize,
+}
+
+impl SsHeader {
+    /// Length in words of the inflated payload
+    /// (`header + dsts + offsets + srcs`).
+    pub fn words_len(&self) -> usize {
+        4 + self.num_dsts + (self.num_dsts + 1) + self.num_edges
+    }
+}
+
+/// Read and sanity-check the fixed header of a v3 sub-shard payload.
+///
+/// The length lower bound (every varint is ≥ 1 byte) both rejects
+/// truncated payloads early and caps the inflated allocation at roughly
+/// 4× the compressed bytes — a header lying about its counts cannot
+/// trigger an oversized buffer.
+pub(crate) fn read_ss_header(payload: &[u8], name: &str) -> StorageResult<SsHeader> {
+    if payload.len() < SS_FIXED_BYTES {
+        return Err(corrupt(
+            name,
+            format!("compressed payload of {} bytes has no header", payload.len()),
+        ));
+    }
+    let word = |k: usize| u32::from_le_bytes(payload[4 * k..4 * k + 4].try_into().unwrap());
+    let h = SsHeader {
+        src_interval: word(0),
+        dst_interval: word(1),
+        num_dsts: word(2) as usize,
+        num_edges: word(3) as usize,
+    };
+    let min_len = SS_FIXED_BYTES + 2 * h.num_dsts + h.num_edges;
+    if payload.len() < min_len {
+        return Err(corrupt(
+            name,
+            format!(
+                "compressed payload of {} bytes cannot hold {} dsts / {} edges",
+                payload.len(),
+                h.num_dsts,
+                h.num_edges
+            ),
+        ));
+    }
+    Ok(h)
+}
+
+/// Encode a sub-shard as a v3 payload (no blob header).
+///
+/// Returns `None` when the columns violate the monotonicity the gap
+/// coding relies on (possible only for hand-constructed shards — the
+/// builder sorts); callers then fall back to the raw encoding.
+pub(crate) fn encode_subshard_payload(ss: &SubShard) -> Option<Vec<u8>> {
+    if ss.offsets.len() != ss.dsts.len() + 1 || ss.offsets.first() != Some(&0) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(SS_FIXED_BYTES + 2 * ss.dsts.len() + 2 * ss.srcs.len());
+    for v in [
+        ss.src_interval,
+        ss.dst_interval,
+        ss.dsts.len() as u32,
+        ss.srcs.len() as u32,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut prev = 0u32;
+    for (k, &d) in ss.dsts.iter().enumerate() {
+        if k > 0 && d <= prev {
+            return None;
+        }
+        push_varint(&mut out, d - prev);
+        prev = d;
+    }
+    for w in ss.offsets.windows(2) {
+        if w[1] < w[0] {
+            return None;
+        }
+        push_varint(&mut out, w[1] - w[0]);
+    }
+    if *ss.offsets.last().unwrap() as usize != ss.srcs.len() {
+        return None;
+    }
+    for k in 0..ss.dsts.len() {
+        let run = &ss.srcs[ss.offsets[k] as usize..ss.offsets[k + 1] as usize];
+        let mut prev = 0u32;
+        for (t, &s) in run.iter().enumerate() {
+            if t > 0 && s < prev {
+                return None;
+            }
+            push_varint(&mut out, s - prev);
+            prev = s;
+        }
+    }
+    Some(out)
+}
+
+/// Inflate a v3 sub-shard payload into `out`, which must hold exactly
+/// [`SsHeader::words_len`] words. The output layout is identical to a raw
+/// payload: 4 header words, `dsts`, `offsets`, `srcs`.
+pub(crate) fn decode_subshard_into(
+    payload: &[u8],
+    name: &str,
+    h: &SsHeader,
+    out: &mut [u32],
+) -> StorageResult<()> {
+    debug_assert_eq!(out.len(), h.words_len());
+    out[0] = h.src_interval;
+    out[1] = h.dst_interval;
+    out[2] = h.num_dsts as u32;
+    out[3] = h.num_edges as u32;
+    let mut pos = SS_FIXED_BYTES;
+
+    // dsts: cumulative gaps (checked — a corrupt stream must error, not
+    // wrap into a plausible-looking id).
+    let mut prev = 0u32;
+    for k in 0..h.num_dsts {
+        let gap = read_varint(payload, &mut pos, name)?;
+        prev = prev
+            .checked_add(gap)
+            .ok_or_else(|| corrupt(name, "dst gap overflows u32"))?;
+        out[4 + k] = prev;
+    }
+
+    // offsets: prefix sum of per-slot degrees.
+    let off_base = 4 + h.num_dsts;
+    out[off_base] = 0;
+    let mut off = 0u32;
+    for k in 0..h.num_dsts {
+        let deg = read_varint(payload, &mut pos, name)?;
+        off = off
+            .checked_add(deg)
+            .ok_or_else(|| corrupt(name, "degree sum overflows u32"))?;
+        out[off_base + 1 + k] = off;
+    }
+    if off as usize != h.num_edges {
+        return Err(corrupt(
+            name,
+            format!("degrees sum to {off}, header claims {} edges", h.num_edges),
+        ));
+    }
+
+    // srcs: per-run cumulative gaps, run lengths taken from the offsets
+    // just decoded.
+    let src_base = off_base + 1 + h.num_dsts;
+    let mut idx = 0usize;
+    for k in 0..h.num_dsts {
+        let run = (out[off_base + 1 + k] - out[off_base + k]) as usize;
+        let mut prev = 0u32;
+        for _ in 0..run {
+            let gap = read_varint(payload, &mut pos, name)?;
+            prev = prev
+                .checked_add(gap)
+                .ok_or_else(|| corrupt(name, "src gap overflows u32"))?;
+            out[src_base + idx] = prev;
+            idx += 1;
+        }
+    }
+    if pos != payload.len() {
+        return Err(corrupt(
+            name,
+            format!("{} trailing bytes after varint stream", payload.len() - pos),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Hubs
+// ---------------------------------------------------------------------------
+
+/// Encode a hub as a v3 payload: varint-coded destination ids followed by
+/// the raw accumulator bytes. `None` when `dsts` is not non-decreasing
+/// (hub compaction emits ascending ids; arbitrary caller input falls back
+/// to raw).
+pub(crate) fn encode_hub_payload(dsts: &[u32], acc_bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(4 + 2 * dsts.len() + acc_bytes.len());
+    out.extend_from_slice(&(dsts.len() as u32).to_le_bytes());
+    let mut prev = 0u32;
+    for (k, &d) in dsts.iter().enumerate() {
+        if k > 0 && d < prev {
+            return None;
+        }
+        push_varint(&mut out, d - prev);
+        prev = d;
+    }
+    out.extend_from_slice(acc_bytes);
+    Some(out)
+}
+
+/// Decode the destination ids of a v3 hub payload; returns the ids and
+/// the byte offset of the raw accumulator section (validated to hold
+/// exactly `count × acc_size` bytes).
+pub(crate) fn decode_hub_dsts(
+    payload: &[u8],
+    name: &str,
+    acc_size: usize,
+) -> StorageResult<(Vec<u32>, usize)> {
+    if payload.len() < 4 {
+        return Err(corrupt(name, "hub payload shorter than its count"));
+    }
+    let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+    // Lower bound: one byte per varint id plus the raw accumulators.
+    if payload.len() < 4 + count + count * acc_size {
+        return Err(corrupt(
+            name,
+            format!(
+                "hub payload of {} bytes cannot hold {count} entries",
+                payload.len()
+            ),
+        ));
+    }
+    let mut pos = 4usize;
+    let mut dsts = Vec::with_capacity(count);
+    let mut prev = 0u32;
+    for _ in 0..count {
+        let gap = read_varint(payload, &mut pos, name)?;
+        prev = prev
+            .checked_add(gap)
+            .ok_or_else(|| corrupt(name, "hub dst gap overflows u32"))?;
+        dsts.push(prev);
+    }
+    if payload.len() - pos != count * acc_size {
+        return Err(corrupt(
+            name,
+            format!(
+                "hub accumulator section holds {} bytes, expected {} for {count} entries",
+                payload.len() - pos,
+                count * acc_size
+            ),
+        ));
+    }
+    Ok((dsts, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SubShard {
+        SubShard::from_edges(2, 1, vec![(5, 3), (4, 3), (5, 2), (4, 3), (9, 2)])
+    }
+
+    /// Inflate a v3 payload into a fresh word vector (test convenience
+    /// around [`decode_subshard_into`]).
+    fn decode_subshard_words(payload: &[u8], name: &str) -> StorageResult<Vec<u32>> {
+        let h = read_ss_header(payload, name)?;
+        let mut words = vec![0u32; h.words_len()];
+        decode_subshard_into(payload, name, &h, &mut words)?;
+        Ok(words)
+    }
+
+    #[test]
+    fn subshard_payload_roundtrips() {
+        let ss = sample();
+        let payload = encode_subshard_payload(&ss).unwrap();
+        let words = decode_subshard_words(&payload, "t").unwrap();
+        assert_eq!(&words[..4], &[2, 1, 2, 5]);
+        assert_eq!(&words[4..6], &ss.dsts[..]);
+        assert_eq!(&words[6..9], &ss.offsets[..]);
+        assert_eq!(&words[9..], &ss.srcs[..]);
+        // Gap coding actually shrinks the columns: every id here fits in
+        // one varint byte.
+        assert!(payload.len() < SS_FIXED_BYTES + 4 * (2 + 3 + 5));
+    }
+
+    #[test]
+    fn empty_subshard_payload_is_header_only() {
+        let ss = SubShard::from_edges(0, 0, vec![]);
+        let payload = encode_subshard_payload(&ss).unwrap();
+        assert_eq!(payload.len(), SS_FIXED_BYTES);
+        let words = decode_subshard_words(&payload, "t").unwrap();
+        assert_eq!(words, vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn unsorted_columns_refuse_to_compress() {
+        let mut ss = sample();
+        ss.dsts.swap(0, 1);
+        assert!(encode_subshard_payload(&ss).is_none());
+        let mut ss = sample();
+        ss.srcs.swap(2, 4);
+        assert!(encode_subshard_payload(&ss).is_none());
+        let mut ss = sample();
+        ss.offsets[1] = 4;
+        ss.offsets[2] = 2;
+        assert!(encode_subshard_payload(&ss).is_none());
+    }
+
+    #[test]
+    fn corrupt_streams_error_cleanly() {
+        let payload = encode_subshard_payload(&sample()).unwrap();
+        // Truncation at every boundary inside the varint stream.
+        for cut in SS_FIXED_BYTES..payload.len() {
+            assert!(
+                decode_subshard_words(&payload[..cut], "t").is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage.
+        let mut long = payload.clone();
+        long.push(0x01);
+        assert!(decode_subshard_words(&long, "t").is_err());
+        // A header lying about counts beyond the byte budget.
+        let mut lie = payload.clone();
+        lie[12] = 0xff; // num_edges low byte
+        assert!(decode_subshard_words(&lie, "t").is_err());
+    }
+
+    #[test]
+    fn hub_payload_roundtrips() {
+        let dsts = [4u32, 5, 9];
+        let accs: Vec<u8> = (0..24).collect();
+        let payload = encode_hub_payload(&dsts, &accs).unwrap();
+        let (back, off) = decode_hub_dsts(&payload, "h", 8).unwrap();
+        assert_eq!(back, dsts);
+        assert_eq!(&payload[off..], &accs[..]);
+        // Unsorted ids fall back.
+        assert!(encode_hub_payload(&[5, 4], &[0u8; 16]).is_none());
+        // Duplicates (gap 0) are legal.
+        let p = encode_hub_payload(&[7, 7], &[0u8; 16]).unwrap();
+        assert_eq!(decode_hub_dsts(&p, "h", 8).unwrap().0, vec![7, 7]);
+    }
+
+    #[test]
+    fn hub_corruption_errors_cleanly() {
+        let payload = encode_hub_payload(&[1, 200, 70_000], &[9u8; 24]).unwrap();
+        for cut in 0..payload.len() {
+            assert!(decode_hub_dsts(&payload[..cut], "h", 8).is_err(), "cut {cut}");
+        }
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(decode_hub_dsts(&long, "h", 8).is_err());
+    }
+
+    #[test]
+    fn auto_threshold() {
+        assert!(auto_keeps(60, 64));
+        assert!(!auto_keeps(63, 64));
+        assert!(!auto_keeps(64, 64));
+    }
+}

@@ -5,13 +5,14 @@
 //! out-degree table (needed by scatter-style programs such as PageRank) and
 //! typed read/write access to interval, sub-shard and hub files.
 
+mod codec;
 pub mod subshard;
 pub mod view;
 
 use std::ops::Range;
 use std::sync::Arc;
 
-use nxgraph_storage::format::{self, FileKind};
+use nxgraph_storage::format::{self, Encoding, EncodingPolicy, FileKind};
 use nxgraph_storage::manifest::GraphManifest;
 use nxgraph_storage::{BufferPool, ChecksumPolicy, Disk};
 
@@ -49,14 +50,23 @@ pub fn read_hub_from<A: Attr>(
         return Ok(None);
     }
     let bytes = disk.read_all(&name)?;
-    let payload = format::read_blob(&mut bytes.as_slice(), FileKind::Hub, &name)?;
-    let mut c = format::Cursor::new(&payload);
-    let count = c.u32()? as usize;
-    let dsts = c.u32s(count)?;
-    let accs = A::decode_slice(c.rest());
-    if accs.len() != count {
+    let (encoding, payload) = format::read_blob_encoded(&mut bytes.as_slice(), FileKind::Hub, &name)?;
+    let (dsts, accs) = match encoding {
+        Encoding::Raw => {
+            let mut c = format::Cursor::new(&payload);
+            let count = c.u32()? as usize;
+            (c.u32s(count)?, A::decode_slice(c.rest()))
+        }
+        Encoding::DeltaVarint => {
+            let (dsts, accs_off) = codec::decode_hub_dsts(&payload, &name, A::SIZE)?;
+            let accs = A::decode_slice(&payload[accs_off..]);
+            (dsts, accs)
+        }
+    };
+    if accs.len() != dsts.len() {
         return Err(EngineError::Invalid(format!(
-            "hub {name} has {count} dsts but {} accumulators",
+            "hub {name} has {} dsts but {} accumulators",
+            dsts.len(),
             accs.len()
         )));
     }
@@ -92,7 +102,9 @@ impl ViewLoader {
         };
         let bytes = self.disk.read_shared(&name, &self.pool)?;
         let verify = self.checksums.should_verify(&name);
-        let view = SubShardView::parse(bytes, &name, verify)?;
+        // Compressed (v3) blobs inflate into a buffer from the same pool
+        // the read came from; raw blobs cast in place as before.
+        let view = SubShardView::parse_pooled(bytes, &name, verify, Some(&self.pool))?;
         if verify {
             self.checksums.note_verified(&name);
         }
@@ -117,6 +129,28 @@ impl ViewLoader {
     }
 }
 
+/// Manifest key under which the prep-time [`EncodingPolicy`] is recorded
+/// (as `x.encoding` in the text format), so reopening a graph restores
+/// the policy its hubs should be written with.
+pub const ENCODING_MANIFEST_KEY: &str = "encoding";
+
+/// Manifest key for the aggregate raw (uncompressed) size of all
+/// sub-shard blobs written at prep time.
+pub const SS_RAW_BYTES_MANIFEST_KEY: &str = "subshard_raw_bytes";
+
+/// Manifest key for the aggregate on-disk size of all sub-shard blobs
+/// written at prep time; together with
+/// [`SS_RAW_BYTES_MANIFEST_KEY`] it gives the blob compression ratio.
+pub const SS_DISK_BYTES_MANIFEST_KEY: &str = "subshard_disk_bytes";
+
+fn policy_from_manifest(manifest: &GraphManifest) -> EncodingPolicy {
+    manifest
+        .extra
+        .get(ENCODING_MANIFEST_KEY)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_default()
+}
+
 /// A preprocessed graph on disk: manifest + degree table + file access.
 pub struct PreparedGraph {
     disk: Arc<dyn Disk>,
@@ -127,6 +161,10 @@ pub struct PreparedGraph {
     /// Blob checksum verification policy (default: verify each file's
     /// first load, skip repeats).
     checksums: Arc<ChecksumPolicy>,
+    /// Encoding applied to blobs written *during* runs (hubs, dynamic
+    /// rebuilds). Restored from the manifest so a graph prepped with
+    /// `Auto` keeps compressing its iteration traffic after reopen.
+    encoding: EncodingPolicy,
 }
 
 impl PreparedGraph {
@@ -147,12 +185,14 @@ impl PreparedGraph {
                 manifest.num_vertices
             )));
         }
+        let encoding = policy_from_manifest(&manifest);
         Ok(Self {
             disk,
             manifest,
             out_degrees: Arc::new(out_degrees),
             pool: BufferPool::new(),
             checksums: Arc::new(ChecksumPolicy::default()),
+            encoding,
         })
     }
 
@@ -163,12 +203,14 @@ impl PreparedGraph {
         manifest: GraphManifest,
         out_degrees: Arc<Vec<u32>>,
     ) -> Self {
+        let encoding = policy_from_manifest(&manifest);
         Self {
             disk,
             manifest,
             out_degrees,
             pool: BufferPool::new(),
             checksums: Arc::new(ChecksumPolicy::default()),
+            encoding,
         }
     }
 
@@ -186,6 +228,19 @@ impl PreparedGraph {
     /// [`ChecksumMode::FirstLoad`](nxgraph_storage::ChecksumMode)).
     pub fn set_checksum_policy(&mut self, policy: ChecksumPolicy) {
         self.checksums = Arc::new(policy);
+    }
+
+    /// The encoding policy applied to blobs written during runs (hubs,
+    /// dynamic sub-shard rewrites). Defaults to what the graph was
+    /// prepped with, via the manifest.
+    pub fn encoding_policy(&self) -> EncodingPolicy {
+        self.encoding
+    }
+
+    /// Override the run-time write encoding policy (reads always sniff
+    /// per blob, so this never affects what can be *loaded*).
+    pub fn set_encoding_policy(&mut self, policy: EncodingPolicy) {
+        self.encoding = policy;
     }
 
     /// A cloneable loader for zero-copy sub-shard/hub views (usable from
@@ -298,18 +353,40 @@ impl PreparedGraph {
 
     /// Write hub `H(i→j)`: parallel arrays of destination ids and
     /// accumulators (the "incremental values" of §III-B2).
+    ///
+    /// Under a compressing [`EncodingPolicy`] the ascending destination
+    /// ids are delta+varint coded (format v3); accumulator bytes stay raw
+    /// in either encoding, so reloaded values are always bit-exact.
     pub fn write_hub<A: Attr>(&self, i: u32, j: u32, dsts: &[VertexId], accs: &[A]) -> EngineResult<()> {
         debug_assert_eq!(dsts.len(), accs.len());
-        let mut payload = Vec::with_capacity(4 + dsts.len() * (4 + A::SIZE));
-        format::push_u32(&mut payload, dsts.len() as u32);
-        for &d in dsts {
-            format::push_u32(&mut payload, d);
-        }
+        let mut acc_bytes = Vec::with_capacity(accs.len() * A::SIZE);
         for a in accs {
-            a.write_to(&mut payload);
+            a.write_to(&mut acc_bytes);
         }
-        let mut buf = Vec::with_capacity(payload.len() + 32);
-        format::write_blob(&mut buf, FileKind::Hub, &payload).expect("vec write is infallible");
+        let raw_len = 4 + dsts.len() * 4 + acc_bytes.len();
+        let compressed = match self.encoding {
+            EncodingPolicy::Raw => None,
+            EncodingPolicy::Auto => codec::encode_hub_payload(dsts, &acc_bytes)
+                .filter(|p| codec::auto_keeps(p.len(), raw_len)),
+            EncodingPolicy::Compressed => codec::encode_hub_payload(dsts, &acc_bytes),
+        };
+        let mut buf = Vec::with_capacity(raw_len + 32);
+        match compressed {
+            Some(payload) => {
+                format::write_blob_encoded(&mut buf, FileKind::Hub, &payload, Encoding::DeltaVarint)
+                    .expect("vec write is infallible");
+            }
+            None => {
+                let mut payload = Vec::with_capacity(raw_len);
+                format::push_u32(&mut payload, dsts.len() as u32);
+                for &d in dsts {
+                    format::push_u32(&mut payload, d);
+                }
+                payload.extend_from_slice(&acc_bytes);
+                format::write_blob(&mut buf, FileKind::Hub, &payload)
+                    .expect("vec write is infallible");
+            }
+        }
         self.disk.write_all_to(&GraphManifest::hub_file(i, j), &buf)?;
         Ok(())
     }
@@ -403,6 +480,79 @@ mod tests {
         assert_eq!(accs, vec![0.25, 0.75]);
         g.remove_hub(1, 2);
         assert!(g.read_hub::<f64>(1, 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn compressed_hub_roundtrips_bit_exact() {
+        let mut g = prepared();
+        let dsts = vec![4u32, 5, 6];
+        let accs = vec![0.25f64, -0.75, 1e-300];
+        g.write_hub(1, 2, &dsts, &accs).unwrap();
+        let raw_len = g.disk().len_of(&GraphManifest::hub_file(1, 2)).unwrap();
+
+        g.set_encoding_policy(EncodingPolicy::Compressed);
+        assert_eq!(g.encoding_policy(), EncodingPolicy::Compressed);
+        g.write_hub(1, 2, &dsts, &accs).unwrap();
+        let comp_len = g.disk().len_of(&GraphManifest::hub_file(1, 2)).unwrap();
+        assert!(comp_len < raw_len, "{comp_len} !< {raw_len}");
+
+        // Owned and view readers sniff v3 and agree bit-for-bit.
+        let (d, a) = g.read_hub::<f64>(1, 2).unwrap().unwrap();
+        assert_eq!(d, dsts);
+        assert_eq!(a, accs);
+        let hub = g.read_hub_view::<f64>(1, 2).unwrap().unwrap();
+        assert_eq!(hub.dsts(), &dsts[..]);
+        for (k, &want) in accs.iter().enumerate() {
+            assert_eq!(hub.acc(k).to_bits(), want.to_bits());
+        }
+
+        // Unsorted caller input falls back to raw rather than corrupting.
+        g.write_hub(1, 2, &[9, 4], &[1.0f64, 2.0]).unwrap();
+        let (d, a) = g.read_hub::<f64>(1, 2).unwrap().unwrap();
+        assert_eq!((d, a), (vec![9, 4], vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn compressed_prep_records_ratio_and_loads_identically() {
+        let edges: Vec<(u64, u64)> = crate::fig1_example_edges()
+            .into_iter()
+            .map(|(s, d)| (s as u64, d as u64))
+            .collect();
+        let disk_raw: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let g_raw = preprocess(&edges, &PrepConfig::new("fig1", 4), disk_raw).unwrap();
+        let disk_c: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let cfg = PrepConfig::new("fig1", 4).with_encoding(EncodingPolicy::Auto);
+        let g_c = preprocess(&edges, &cfg, disk_c).unwrap();
+
+        // The manifest records the policy and the aggregate blob ratio.
+        let m = g_c.manifest();
+        assert_eq!(m.extra.get(ENCODING_MANIFEST_KEY).unwrap(), "auto");
+        let raw: u64 = m.extra.get(SS_RAW_BYTES_MANIFEST_KEY).unwrap().parse().unwrap();
+        let disk: u64 = m.extra.get(SS_DISK_BYTES_MANIFEST_KEY).unwrap().parse().unwrap();
+        assert!(disk < raw, "{disk} !< {raw}");
+        assert!(g_c.total_subshard_bytes().unwrap() < g_raw.total_subshard_bytes().unwrap());
+
+        // Reopening restores the policy; a raw-prepped graph reports Raw.
+        let g2 = PreparedGraph::open(Arc::clone(g_c.disk())).unwrap();
+        assert_eq!(g2.encoding_policy(), EncodingPolicy::Auto);
+        assert_eq!(g_raw.encoding_policy(), EncodingPolicy::Raw);
+
+        // Every cell decodes to the same sub-shard through both the owned
+        // and the view loaders.
+        for i in 0..4 {
+            for j in 0..4 {
+                for rev in [false, true] {
+                    assert_eq!(
+                        g_c.load_subshard(i, j, rev).unwrap(),
+                        g_raw.load_subshard(i, j, rev).unwrap()
+                    );
+                    assert_eq!(
+                        g_c.load_subshard_view(i, j, rev).unwrap().to_subshard(),
+                        g_raw.load_subshard(i, j, rev).unwrap()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,10 +18,12 @@
 
 use std::ops::Range;
 
-use nxgraph_storage::format::{self, FileKind};
+use nxgraph_storage::format::{self, Encoding, EncodingPolicy, FileKind};
 use nxgraph_storage::{StorageError, StorageResult};
 
 use crate::types::VertexId;
+
+use super::codec;
 
 /// One destination-sorted sub-shard in compressed sparse (CSR) form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,13 +121,15 @@ impl SubShard {
         chunk_csr_by_edges(self.dsts.len(), &self.offsets, target_edges)
     }
 
-    /// Serialised byte size (header + payload) of this sub-shard; the
-    /// empirical `Be · edges` used for cache planning and I/O accounting.
+    /// Serialised *raw* byte size (header + payload) of this sub-shard;
+    /// the empirical `Be · edges` used for cache planning, I/O accounting
+    /// and as the denominator of the compression ratio (compressed blobs
+    /// are smaller — use the on-disk file length for actual sizes).
     pub fn encoded_len(&self) -> u64 {
         32 + 16 + 4 * (self.dsts.len() + self.offsets.len() + self.srcs.len()) as u64
     }
 
-    /// Encode into the checksummed blob format.
+    /// Encode into the checksummed blob format as raw (v2) words.
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::with_capacity(self.encoded_len() as usize - 32);
         format::push_u32(&mut payload, self.src_interval);
@@ -147,30 +151,74 @@ impl SubShard {
         out
     }
 
-    /// Decode from bytes produced by [`SubShard::encode`].
+    /// Encode under an [`EncodingPolicy`]: raw v2 words, delta+varint v3,
+    /// or — under `Auto` — whichever wins the ratio threshold for *this*
+    /// blob. Every decoder sniffs the version per blob, so the outputs mix
+    /// freely on one disk.
+    pub fn encode_with(&self, policy: EncodingPolicy) -> Vec<u8> {
+        if policy == EncodingPolicy::Raw {
+            return self.encode();
+        }
+        let Some(payload) = codec::encode_subshard_payload(self) else {
+            // Non-monotone hand-built columns: gap coding does not apply.
+            return self.encode();
+        };
+        let compressed_len = payload.len() + 32;
+        if policy == EncodingPolicy::Auto
+            && !codec::auto_keeps(compressed_len, self.encoded_len() as usize)
+        {
+            return self.encode();
+        }
+        let mut out = Vec::with_capacity(compressed_len);
+        format::write_blob_encoded(&mut out, FileKind::SubShard, &payload, Encoding::DeltaVarint)
+            .expect("writing to Vec cannot fail");
+        out
+    }
+
+    /// Decode from bytes produced by [`SubShard::encode`] or
+    /// [`SubShard::encode_with`] (the blob version selects the path).
     pub fn decode(bytes: &[u8], name: &str) -> StorageResult<Self> {
         let mut r = bytes;
-        let payload = format::read_blob(&mut r, FileKind::SubShard, name)?;
-        let mut c = format::Cursor::new(&payload);
-        let src_interval = c.u32()?;
-        let dst_interval = c.u32()?;
-        let num_dsts = c.u32()? as usize;
-        let num_edges = c.u32()? as usize;
-        let dsts = c.u32s(num_dsts)?;
-        let offsets = c.u32s(num_dsts + 1)?;
-        let srcs = c.u32s(num_edges)?;
-        if c.remaining() != 0 {
-            return Err(StorageError::Corrupt {
-                name: name.to_string(),
-                reason: format!("{} trailing bytes", c.remaining()),
-            });
-        }
-        let ss = Self {
-            src_interval,
-            dst_interval,
-            dsts,
-            offsets,
-            srcs,
+        let (encoding, payload) = format::read_blob_encoded(&mut r, FileKind::SubShard, name)?;
+        let ss = match encoding {
+            Encoding::Raw => {
+                let mut c = format::Cursor::new(&payload);
+                let src_interval = c.u32()?;
+                let dst_interval = c.u32()?;
+                let num_dsts = c.u32()? as usize;
+                let num_edges = c.u32()? as usize;
+                let dsts = c.u32s(num_dsts)?;
+                let offsets = c.u32s(num_dsts + 1)?;
+                let srcs = c.u32s(num_edges)?;
+                if c.remaining() != 0 {
+                    return Err(StorageError::Corrupt {
+                        name: name.to_string(),
+                        reason: format!("{} trailing bytes", c.remaining()),
+                    });
+                }
+                Self {
+                    src_interval,
+                    dst_interval,
+                    dsts,
+                    offsets,
+                    srcs,
+                }
+            }
+            Encoding::DeltaVarint => {
+                // Cold path (prep/rebuild tooling): one inflate into a
+                // words buffer, then split into the owned columns.
+                let h = codec::read_ss_header(&payload, name)?;
+                let mut words = vec![0u32; h.words_len()];
+                codec::decode_subshard_into(&payload, name, &h, &mut words)?;
+                let off_base = 4 + h.num_dsts;
+                Self {
+                    src_interval: h.src_interval,
+                    dst_interval: h.dst_interval,
+                    dsts: words[4..off_base].to_vec(),
+                    offsets: words[off_base..off_base + h.num_dsts + 1].to_vec(),
+                    srcs: words[off_base + h.num_dsts + 1..].to_vec(),
+                }
+            }
         };
         ss.validate(name)?;
         Ok(ss)
@@ -285,6 +333,47 @@ mod tests {
         assert_eq!(bytes.len() as u64, ss.encoded_len());
         let back = SubShard::decode(&bytes, "t").unwrap();
         assert_eq!(ss, back);
+    }
+
+    #[test]
+    fn compressed_encode_roundtrips_and_shrinks() {
+        let ss = sample();
+        let blob = ss.encode_with(EncodingPolicy::Compressed);
+        assert!(blob.len() < ss.encoded_len() as usize);
+        assert_eq!(SubShard::decode(&blob, "t").unwrap(), ss);
+        // Auto keeps the compressed bytes here (every gap is one byte)…
+        assert_eq!(ss.encode_with(EncodingPolicy::Auto), blob);
+        // …the Raw policy is byte-identical to `encode`…
+        assert_eq!(ss.encode_with(EncodingPolicy::Raw), ss.encode());
+        // …and even an empty shard compresses (header-only payload beats
+        // the raw layout's offsets word), so Auto keeps it.
+        let empty = SubShard::from_edges(0, 0, vec![]);
+        let forced = empty.encode_with(EncodingPolicy::Compressed);
+        assert!(forced.len() < empty.encode().len());
+        assert_eq!(empty.encode_with(EncodingPolicy::Auto), forced);
+        assert_eq!(SubShard::decode(&forced, "t").unwrap(), empty);
+        // A shard built from 2²⁸-wide source gaps inflates under varint
+        // (five bytes per gap vs four raw) — Auto detects it and stays
+        // raw; forcing Compressed still round-trips exactly.
+        let wide = SubShard::from_edges(0, 0, (1u32..=14).map(|k| (k << 28, 1)).collect());
+        assert_eq!(wide.encode_with(EncodingPolicy::Auto), wide.encode());
+        let forced_wide = wide.encode_with(EncodingPolicy::Compressed);
+        assert!(forced_wide.len() > wide.encode().len());
+        assert_eq!(SubShard::decode(&forced_wide, "t").unwrap(), wide);
+    }
+
+    #[test]
+    fn compressed_decode_rejects_corruption() {
+        let blob = sample().encode_with(EncodingPolicy::Compressed);
+        // Checksummed: any payload flip is caught.
+        let mut bytes = blob.clone();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x5a;
+        assert!(SubShard::decode(&bytes, "t").is_err());
+        // Truncations die cleanly in the varint stream or the header.
+        for cut in [33, n - 1] {
+            assert!(SubShard::decode(&blob[..cut], "t").is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -109,6 +109,7 @@ impl DynamicGraph {
         }
 
         let mut cells = 0;
+        let (mut raw_delta, mut disk_delta) = (0i64, 0i64);
         for (reverse, buckets) in [(false, &fwd), (true, &rev)] {
             for (&(i, j), extra) in buckets {
                 let ss = self.graph.load_subshard(i, j, reverse)?;
@@ -120,7 +121,14 @@ impl DynamicGraph {
                 } else {
                     GraphManifest::subshard_file(i, j)
                 };
-                self.graph.disk().write_all_to(&name, &merged.encode())?;
+                // Preserve the graph's on-disk encoding policy across the
+                // rewrite (readers sniff per blob either way), and track
+                // how the rewrite moves the manifest's blob-size totals.
+                let old_disk = self.graph.disk().len_of(&name)? as i64;
+                let blob = merged.encode_with(self.graph.encoding_policy());
+                raw_delta += merged.encoded_len() as i64 - ss.encoded_len() as i64;
+                disk_delta += blob.len() as i64 - old_disk;
+                self.graph.disk().write_all_to(&name, &blob)?;
                 cells += 1;
             }
         }
@@ -143,6 +151,17 @@ impl DynamicGraph {
 
         let mut manifest = self.graph.manifest().clone();
         manifest.num_edges += new_raw.len() as u64;
+        // Keep the recorded blob-size totals (and hence the reported
+        // compression ratio) in step with the rewritten cells.
+        for (key, delta) in [
+            (crate::dsss::SS_RAW_BYTES_MANIFEST_KEY, raw_delta),
+            (crate::dsss::SS_DISK_BYTES_MANIFEST_KEY, disk_delta),
+        ] {
+            if let Some(v) = manifest.extra.get_mut(key) {
+                let cur: i64 = v.parse().unwrap_or(0);
+                *v = (cur + delta).max(0).to_string();
+            }
+        }
         manifest.save(self.graph.disk().as_ref())?;
 
         // Reopen to refresh the in-memory handle.
@@ -161,6 +180,7 @@ impl DynamicGraph {
             name: self.graph.manifest().name.clone(),
             num_intervals: self.graph.num_intervals(),
             build_reverse: self.graph.has_reverse(),
+            encoding: self.graph.encoding_policy(),
         };
         let disk = std::sync::Arc::clone(self.graph.disk());
         self.graph = prep::preprocess(&raw, &cfg, disk)?;
@@ -213,6 +233,37 @@ mod tests {
         let mut full = base.clone();
         full.extend(extra);
         assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn incremental_commit_keeps_manifest_byte_totals_current() {
+        use crate::dsss::{SS_DISK_BYTES_MANIFEST_KEY, SS_RAW_BYTES_MANIFEST_KEY};
+        use nxgraph_storage::EncodingPolicy;
+
+        let base: Vec<(u64, u64)> = (0..200u64).map(|k| (k % 9, (k + 1) % 9)).collect();
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let cfg = PrepConfig::new("dyn", 3).with_encoding(EncodingPolicy::Auto);
+        let g = prep::preprocess(&base, &cfg, disk).unwrap();
+        let mut dg = DynamicGraph::new(g).unwrap();
+        let stats = dg.add_edges(&[(0, 5), (7, 2), (3, 3)]).unwrap();
+        assert!(!stats.rebuilt);
+
+        // The recorded totals must match what is actually on disk after
+        // the partial rewrite, so the reported ratio never goes stale.
+        let m = dg.graph().manifest();
+        let recorded: u64 = m.extra[SS_DISK_BYTES_MANIFEST_KEY].parse().unwrap();
+        let p = dg.graph().num_intervals();
+        let mut actual = 0u64;
+        for i in 0..p {
+            for j in 0..p {
+                for rev in [false, true] {
+                    actual += dg.graph().subshard_len(i, j, rev).unwrap();
+                }
+            }
+        }
+        assert_eq!(recorded, actual);
+        let raw: u64 = m.extra[SS_RAW_BYTES_MANIFEST_KEY].parse().unwrap();
+        assert!(raw > recorded, "auto-encoded graph must stay compressed");
     }
 
     #[test]

@@ -56,6 +56,16 @@ impl<'g> ShardStore<'g> {
     /// Greedily cache sub-shards (row-major, forward before reverse) until
     /// `budget` bytes are used. Returns the bytes actually cached.
     ///
+    /// The budget is charged in *resident* bytes
+    /// ([`SubShardView::resident_bytes`]): a delta+varint (format v3)
+    /// blob is 2-4× smaller on disk than the word buffer it inflates to
+    /// in memory, so charging file lengths would silently blow the
+    /// memory budget on compressed graphs. The file length still serves
+    /// as a cheap pre-read filter — for raw blobs it *is* the resident
+    /// size, so the filter stops before a wasted read; it can only ever
+    /// stop early (never admit too much), since admission itself charges
+    /// the real resident size.
+    ///
     /// The initial loads count as disk reads (they are the "initial load
     /// from disk" of §III-B1); subsequent `get`s of cached shards are free.
     pub fn plan_cache(&mut self, budget: u64, direction: Direction) -> EngineResult<u64> {
@@ -68,8 +78,14 @@ impl<'g> ShardStore<'g> {
                         break 'outer;
                     }
                     let ss = Arc::new(self.graph.load_subshard_view(i, j, reverse)?);
+                    let resident = ss.resident_bytes();
+                    if self.cached_bytes + resident > budget {
+                        // Inflated past the remaining budget: stream this
+                        // cell (and the rest) instead of caching it.
+                        break 'outer;
+                    }
                     self.cache.insert((i, j, reverse), ss);
-                    self.cached_bytes += len;
+                    self.cached_bytes += resident;
                 }
             }
         }
@@ -126,6 +142,41 @@ mod tests {
             .map(|(s, d)| (s as u64, d as u64))
             .collect();
         preprocess(&edges, &PrepConfig::new("fig1", 4), disk).unwrap()
+    }
+
+    #[test]
+    fn plan_cache_charges_resident_bytes_for_compressed_shards() {
+        use nxgraph_storage::EncodingPolicy;
+        // A dense small-id graph compresses ~3-4×, so its inflated views
+        // occupy far more memory than the files suggest. A budget equal
+        // to the on-disk total must NOT admit every shard.
+        let raw: Vec<(u64, u64)> = (0..4000u64).map(|k| (k % 61, k % 97)).collect();
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let cfg = PrepConfig::forward_only("dense", 4)
+            .with_encoding(EncodingPolicy::Auto);
+        let g = preprocess(&raw, &cfg, disk).unwrap();
+        let disk_total = g.total_subshard_bytes().unwrap();
+        // Sanity: compression actually kicked in for this fixture.
+        let sample = g.load_subshard_view(0, 0, false).unwrap();
+        assert!(sample.resident_bytes() > g.subshard_len(0, 0, false).unwrap());
+
+        let mut store = ShardStore::new(&g);
+        let cached = store.plan_cache(disk_total, Direction::Forward).unwrap();
+        assert!(cached <= disk_total, "resident charge must respect the budget");
+        assert!(
+            store.cached_count() < 16,
+            "a disk-sized budget cannot hold all inflated shards"
+        );
+        // A budget sized for the inflated views admits everything, and
+        // the reported total is the resident sum, not the file sum.
+        let resident_total: u64 = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .map(|(i, j)| g.load_subshard_view(i, j, false).unwrap().resident_bytes())
+            .sum();
+        let mut store = ShardStore::new(&g);
+        let cached = store.plan_cache(2 * resident_total, Direction::Forward).unwrap();
+        assert_eq!(cached, resident_total);
+        assert_eq!(store.cached_count(), 16);
     }
 
     #[test]

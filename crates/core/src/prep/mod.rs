@@ -5,7 +5,7 @@ pub mod shard;
 
 use std::sync::Arc;
 
-use nxgraph_storage::Disk;
+use nxgraph_storage::{Disk, EncodingPolicy};
 
 use crate::dsss::PreparedGraph;
 use crate::error::EngineResult;
@@ -23,6 +23,10 @@ pub struct PrepConfig {
     pub num_intervals: u32,
     /// Also build transposed sub-shards (required by WCC/SCC).
     pub build_reverse: bool,
+    /// On-disk blob encoding (format v3): `Raw` words, delta+varint
+    /// `Compressed`, or per-blob `Auto`. Recorded in the manifest so hub
+    /// writes during runs follow the same policy.
+    pub encoding: EncodingPolicy,
 }
 
 impl PrepConfig {
@@ -32,6 +36,7 @@ impl PrepConfig {
             name: name.into(),
             num_intervals,
             build_reverse: true,
+            encoding: EncodingPolicy::default(),
         }
     }
 
@@ -42,7 +47,14 @@ impl PrepConfig {
             name: name.into(),
             num_intervals,
             build_reverse: false,
+            encoding: EncodingPolicy::default(),
         }
+    }
+
+    /// Builder-style encoding override.
+    pub fn with_encoding(mut self, encoding: EncodingPolicy) -> Self {
+        self.encoding = encoding;
+        self
     }
 }
 
@@ -54,7 +66,7 @@ pub fn preprocess(
     disk: Arc<dyn Disk>,
 ) -> EngineResult<PreparedGraph> {
     let deg = degree::degree(raw_edges);
-    shard::shard(&deg, &cfg.name, cfg.num_intervals, cfg.build_reverse, disk)
+    shard::shard(&deg, cfg, disk)
 }
 
 #[cfg(test)]

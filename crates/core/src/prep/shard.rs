@@ -9,25 +9,31 @@
 
 use std::sync::Arc;
 
-use nxgraph_storage::format::{self, FileKind};
+use nxgraph_storage::format::{self, EncodingPolicy, FileKind};
 use nxgraph_storage::manifest::GraphManifest;
 use nxgraph_storage::Disk;
 
-use crate::dsss::{PreparedGraph, SubShard};
+use crate::dsss::{
+    PreparedGraph, SubShard, ENCODING_MANIFEST_KEY, SS_DISK_BYTES_MANIFEST_KEY,
+    SS_RAW_BYTES_MANIFEST_KEY,
+};
 use crate::error::{EngineError, EngineResult};
 use crate::types::VertexId;
 
 use super::degree::Degreeing;
+use super::PrepConfig;
 
 /// Write the full DSSS representation of `deg` onto `disk`.
+///
+/// Sub-shard blobs are encoded under `cfg.encoding`; the policy plus the
+/// aggregate raw-vs-on-disk byte totals (the compression ratio) are
+/// recorded as manifest extras.
 pub fn shard(
     deg: &Degreeing,
-    name: &str,
-    num_intervals: u32,
-    build_reverse: bool,
+    cfg: &PrepConfig,
     disk: Arc<dyn Disk>,
 ) -> EngineResult<PreparedGraph> {
-    if num_intervals == 0 {
+    if cfg.num_intervals == 0 {
         return Err(EngineError::Invalid("P must be positive".into()));
     }
     if deg.num_vertices == 0 {
@@ -35,24 +41,35 @@ pub fn shard(
             "cannot shard an empty graph (no edges)".into(),
         ));
     }
-    let p = num_intervals;
-    let manifest = GraphManifest::new(
-        name,
+    let p = cfg.num_intervals;
+    let mut manifest = GraphManifest::new(
+        cfg.name.as_str(),
         deg.num_vertices as u64,
         deg.edges.len() as u64,
         p,
-        build_reverse,
+        cfg.build_reverse,
     );
     let interval_len = manifest.interval_len() as VertexId;
     let interval_of = |v: VertexId| (v / interval_len).min(p - 1);
 
     // Bucket edges into the P×P grid, then build each sub-shard.
-    write_grid(&deg.edges, p, interval_of, false, disk.as_ref())?;
-    if build_reverse {
+    let mut sizes = write_grid(&deg.edges, p, interval_of, false, cfg.encoding, disk.as_ref())?;
+    if cfg.build_reverse {
         let transposed: Vec<(VertexId, VertexId)> =
             deg.edges.iter().map(|&(s, d)| (d, s)).collect();
-        write_grid(&transposed, p, interval_of, true, disk.as_ref())?;
+        let rev = write_grid(&transposed, p, interval_of, true, cfg.encoding, disk.as_ref())?;
+        sizes.0 += rev.0;
+        sizes.1 += rev.1;
     }
+    manifest
+        .extra
+        .insert(ENCODING_MANIFEST_KEY.to_string(), cfg.encoding.to_string());
+    manifest
+        .extra
+        .insert(SS_RAW_BYTES_MANIFEST_KEY.to_string(), sizes.0.to_string());
+    manifest
+        .extra
+        .insert(SS_DISK_BYTES_MANIFEST_KEY.to_string(), sizes.1.to_string());
 
     // Degree table.
     let mut blob = Vec::new();
@@ -82,20 +99,24 @@ pub fn shard(
 }
 
 /// Bucket `edges` by (source interval, destination interval) and write one
-/// sub-shard file per cell.
+/// sub-shard file per cell. Returns `(raw_bytes, disk_bytes)` — what the
+/// grid would occupy raw vs what was actually written, the aggregate
+/// compression ratio recorded in the manifest.
 fn write_grid(
     edges: &[(VertexId, VertexId)],
     p: u32,
     interval_of: impl Fn(VertexId) -> u32,
     reverse: bool,
+    encoding: EncodingPolicy,
     disk: &dyn Disk,
-) -> EngineResult<()> {
+) -> EngineResult<(u64, u64)> {
     let cells = (p as usize) * (p as usize);
     let mut buckets: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); cells];
     for &(s, d) in edges {
         let cell = interval_of(s) as usize * p as usize + interval_of(d) as usize;
         buckets[cell].push((s, d));
     }
+    let (mut raw_bytes, mut disk_bytes) = (0u64, 0u64);
     for i in 0..p {
         for j in 0..p {
             let cell = i as usize * p as usize + j as usize;
@@ -105,16 +126,20 @@ fn write_grid(
             } else {
                 GraphManifest::subshard_file(i, j)
             };
-            disk.write_all_to(&name, &ss.encode())?;
+            let blob = ss.encode_with(encoding);
+            raw_bytes += ss.encoded_len();
+            disk_bytes += blob.len() as u64;
+            disk.write_all_to(&name, &blob)?;
         }
     }
-    Ok(())
+    Ok((raw_bytes, disk_bytes))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::prep::degree::degree;
+    use crate::prep::PrepConfig;
     use nxgraph_storage::MemDisk;
     use std::collections::HashSet;
 
@@ -129,7 +154,7 @@ mod tests {
     fn every_edge_lands_in_exactly_one_subshard() {
         let deg = degree(&fig1_raw());
         let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
-        let g = shard(&deg, "fig1", 4, false, disk).unwrap();
+        let g = shard(&deg, &PrepConfig::forward_only("fig1", 4), disk).unwrap();
         let mut collected = Vec::new();
         for i in 0..4 {
             for j in 0..4 {
@@ -154,7 +179,7 @@ mod tests {
         // the paper's Fig 1 layout.
         let deg = degree(&fig1_raw());
         let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
-        let g = shard(&deg, "fig1", 4, false, disk).unwrap();
+        let g = shard(&deg, &PrepConfig::forward_only("fig1", 4), disk).unwrap();
         // SS3.2 (paper 1-based) = our (2,1): edges 5→2, 4→3, 5→3.
         let ss = g.load_subshard(2, 1, false).unwrap();
         let edges: Vec<_> = ss.iter_edges().collect();
@@ -169,7 +194,7 @@ mod tests {
     fn reverse_shards_are_the_transpose() {
         let deg = degree(&fig1_raw());
         let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
-        let g = shard(&deg, "fig1", 3, true, disk).unwrap();
+        let g = shard(&deg, &PrepConfig::new("fig1", 3), disk).unwrap();
         let mut fwd = HashSet::new();
         let mut rev = HashSet::new();
         for i in 0..3 {
@@ -190,16 +215,16 @@ mod tests {
     fn rejects_empty_graph_and_zero_p() {
         let deg = degree(&[]);
         let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
-        assert!(shard(&deg, "e", 4, false, Arc::clone(&disk)).is_err());
+        assert!(shard(&deg, &PrepConfig::forward_only("e", 4), Arc::clone(&disk)).is_err());
         let deg = degree(&[(0, 1)]);
-        assert!(shard(&deg, "e", 0, false, disk).is_err());
+        assert!(shard(&deg, &PrepConfig::forward_only("e", 0), disk).is_err());
     }
 
     #[test]
     fn p_larger_than_n_works() {
         let deg = degree(&[(0u64, 1u64), (1, 2)]);
         let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
-        let g = shard(&deg, "tiny", 8, false, disk).unwrap();
+        let g = shard(&deg, &PrepConfig::forward_only("tiny", 8), disk).unwrap();
         assert_eq!(g.num_intervals(), 8);
         let mut total = 0;
         for i in 0..8 {

@@ -17,9 +17,89 @@ use crate::error::{StorageError, StorageResult};
 /// Magic bytes identifying NXgraph binary files.
 pub const MAGIC: [u8; 8] = *b"NXGRAPH\0";
 
-/// Current format version. Version 2 switched the payload checksum from
-/// byte-at-a-time [`fnv1a`] to the 8-bytes-per-step [`fnv1a_words`].
+/// Version tag of raw (uncompressed) blobs. Version 2 switched the payload
+/// checksum from byte-at-a-time [`fnv1a`] to the 8-bytes-per-step
+/// [`fnv1a_words`]; raw blobs are still written as version 2 bytes, so
+/// every pre-v3 file loads unchanged.
 pub const VERSION: u32 = 2;
+
+/// Version tag of delta+varint compressed blobs (format v3). The header
+/// layout is identical to v2 — only the payload bytes differ — and readers
+/// sniff the version per blob, so raw and compressed files mix freely
+/// within one prepared graph.
+pub const VERSION_COMPRESSED: u32 = 3;
+
+/// How a blob's payload is encoded on disk (sniffed from the header
+/// version at load time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Little-endian `u32` words — the v2 layout the zero-copy views cast
+    /// in place.
+    Raw,
+    /// Delta-coded monotone columns as LEB128 varints (v3), inflated into
+    /// an aligned buffer once per load.
+    DeltaVarint,
+}
+
+impl Encoding {
+    /// The header version tag blobs of this encoding carry.
+    pub fn version(self) -> u32 {
+        match self {
+            Encoding::Raw => VERSION,
+            Encoding::DeltaVarint => VERSION_COMPRESSED,
+        }
+    }
+
+    /// The encoding a sniffed header version denotes, if supported.
+    pub fn from_version(version: u32) -> Option<Self> {
+        match version {
+            VERSION => Some(Encoding::Raw),
+            VERSION_COMPRESSED => Some(Encoding::DeltaVarint),
+            _ => None,
+        }
+    }
+}
+
+/// Writer-side choice of blob encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncodingPolicy {
+    /// Encode both ways per blob and keep the compressed bytes only when
+    /// they beat the ratio threshold — the recommended setting for
+    /// disk-budgeted runs.
+    Auto,
+    /// Always write raw v2 words (the default: byte-compatible with every
+    /// pre-v3 reader, and the zero-copy cast needs no inflation).
+    #[default]
+    Raw,
+    /// Write delta+varint whenever the blob's columns permit it, even when
+    /// the bytes saved are marginal (testing / forced-compression runs).
+    Compressed,
+}
+
+impl std::str::FromStr for EncodingPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(EncodingPolicy::Auto),
+            "raw" => Ok(EncodingPolicy::Raw),
+            "compressed" => Ok(EncodingPolicy::Compressed),
+            other => Err(format!(
+                "unknown encoding {other:?} (expected raw|auto|compressed)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EncodingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EncodingPolicy::Auto => "auto",
+            EncodingPolicy::Raw => "raw",
+            EncodingPolicy::Compressed => "compressed",
+        })
+    }
+}
 
 /// Kind tags for the different file types (stored in the header).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,11 +172,23 @@ pub fn fnv1a_words(data: &[u8]) -> u64 {
     h
 }
 
-/// Write a header + payload to `w`.
+/// Write a raw (v2) header + payload to `w`.
 pub fn write_blob(w: &mut dyn Write, kind: FileKind, payload: &[u8]) -> StorageResult<()> {
+    write_blob_encoded(w, kind, payload, Encoding::Raw)
+}
+
+/// Write a header + payload to `w` with the given encoding's version tag.
+/// The checksum always covers the stored (possibly compressed) payload
+/// bytes, so verification cost scales with what is actually read.
+pub fn write_blob_encoded(
+    w: &mut dyn Write,
+    kind: FileKind,
+    payload: &[u8],
+    encoding: Encoding,
+) -> StorageResult<()> {
     let mut header = [0u8; 32];
     header[0..8].copy_from_slice(&MAGIC);
-    header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    header[8..12].copy_from_slice(&encoding.version().to_le_bytes());
     header[12..16].copy_from_slice(&(kind as u32).to_le_bytes());
     header[16..24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
     header[24..32].copy_from_slice(&fnv1a_words(payload).to_le_bytes());
@@ -106,8 +198,12 @@ pub fn write_blob(w: &mut dyn Write, kind: FileKind, payload: &[u8]) -> StorageR
 }
 
 /// Validate a 32-byte header (magic, version, kind); returns the payload
-/// length and expected checksum.
-fn check_header(header: &[u8; 32], expect: FileKind, name: &str) -> StorageResult<(usize, u64)> {
+/// encoding, length and expected checksum.
+fn check_header(
+    header: &[u8; 32],
+    expect: FileKind,
+    name: &str,
+) -> StorageResult<(Encoding, usize, u64)> {
     if header[0..8] != MAGIC {
         return Err(StorageError::Corrupt {
             name: name.to_string(),
@@ -115,12 +211,12 @@ fn check_header(header: &[u8; 32], expect: FileKind, name: &str) -> StorageResul
         });
     }
     let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
-    if version != VERSION {
+    let Some(encoding) = Encoding::from_version(version) else {
         return Err(StorageError::Corrupt {
             name: name.to_string(),
             reason: format!("unsupported version {version}"),
         });
-    }
+    };
     let kind_raw = u32::from_le_bytes(header[12..16].try_into().unwrap());
     match FileKind::from_u32(kind_raw) {
         Some(k) if k == expect => {}
@@ -139,18 +235,23 @@ fn check_header(header: &[u8; 32], expect: FileKind, name: &str) -> StorageResul
     }
     let len = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
     let checksum = u64::from_le_bytes(header[24..32].try_into().unwrap());
-    Ok((len, checksum))
+    Ok((encoding, len, checksum))
 }
 
 /// Read a header + payload from `r`, verifying magic, version, kind and
-/// checksum. `name` is used only for error messages.
-pub fn read_blob(r: &mut dyn Read, expect: FileKind, name: &str) -> StorageResult<Vec<u8>> {
+/// checksum, and report the sniffed payload encoding alongside the bytes.
+/// Callers of compressible kinds (sub-shards, hubs) dispatch on it.
+pub fn read_blob_encoded(
+    r: &mut dyn Read,
+    expect: FileKind,
+    name: &str,
+) -> StorageResult<(Encoding, Vec<u8>)> {
     let mut header = [0u8; 32];
     r.read_exact(&mut header).map_err(|e| StorageError::Corrupt {
         name: name.to_string(),
         reason: format!("short header: {e}"),
     })?;
-    let (len, checksum) = check_header(&header, expect, name)?;
+    let (encoding, len, checksum) = check_header(&header, expect, name)?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload).map_err(|e| StorageError::Corrupt {
         name: name.to_string(),
@@ -160,6 +261,20 @@ pub fn read_blob(r: &mut dyn Read, expect: FileKind, name: &str) -> StorageResul
         return Err(StorageError::Corrupt {
             name: name.to_string(),
             reason: "checksum mismatch".into(),
+        });
+    }
+    Ok((encoding, payload))
+}
+
+/// Read a header + payload from `r`, requiring the raw encoding — the
+/// entry point for kinds that are never compressed (intervals, degree and
+/// mapping tables). `name` is used only for error messages.
+pub fn read_blob(r: &mut dyn Read, expect: FileKind, name: &str) -> StorageResult<Vec<u8>> {
+    let (encoding, payload) = read_blob_encoded(r, expect, name)?;
+    if encoding != Encoding::Raw {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: format!("unexpected {encoding:?} payload for a raw-only kind"),
         });
     }
     Ok(payload)
@@ -179,13 +294,34 @@ pub fn parse_blob(
     name: &str,
     verify_checksum: bool,
 ) -> StorageResult<Range<usize>> {
+    let (encoding, payload) = parse_blob_encoded(blob, expect, name, verify_checksum)?;
+    // Raw-only, like `read_blob`: handing a compressed payload range to a
+    // caller that casts words would yield garbage, not an error.
+    if encoding != Encoding::Raw {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: format!("unexpected {encoding:?} payload for a raw-only kind"),
+        });
+    }
+    Ok(payload)
+}
+
+/// Like [`parse_blob`], additionally reporting the sniffed payload
+/// encoding so view parsers can pick the in-place cast (raw) or the
+/// inflate path (delta+varint) per blob.
+pub fn parse_blob_encoded(
+    blob: &[u8],
+    expect: FileKind,
+    name: &str,
+    verify_checksum: bool,
+) -> StorageResult<(Encoding, Range<usize>)> {
     let Some(header) = blob.get(0..32) else {
         return Err(StorageError::Corrupt {
             name: name.to_string(),
             reason: format!("short header: {} bytes", blob.len()),
         });
     };
-    let (len, checksum) = check_header(header.try_into().unwrap(), expect, name)?;
+    let (encoding, len, checksum) = check_header(header.try_into().unwrap(), expect, name)?;
     let Some(payload) = blob.get(32..32 + len) else {
         return Err(StorageError::Corrupt {
             name: name.to_string(),
@@ -198,7 +334,7 @@ pub fn parse_blob(
             reason: "checksum mismatch".into(),
         });
     }
-    Ok(32..32 + len)
+    Ok((encoding, 32..32 + len))
 }
 
 /// When blob payload checksums are verified.
@@ -308,6 +444,21 @@ pub fn cast_u32s(data: &[u8]) -> Option<&[u32]> {
     // patterns; on little-endian hosts the in-memory and on-disk byte
     // orders coincide.
     Some(unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u32>(), data.len() / 4) })
+}
+
+/// Mutable counterpart of [`cast_u32s`]: borrow a little-endian byte
+/// buffer as `&mut [u32]` so a decoder can inflate words directly into a
+/// pooled page-aligned read buffer. Same preconditions, same `None`
+/// fallback contract.
+pub fn cast_u32s_mut(data: &mut [u8]) -> Option<&mut [u32]> {
+    if !data.len().is_multiple_of(4)
+        || !(data.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u32>())
+        || cfg!(target_endian = "big")
+    {
+        return None;
+    }
+    // Safety: as in `cast_u32s`, plus exclusive access via `&mut`.
+    Some(unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr().cast::<u32>(), data.len() / 4) })
 }
 
 /// Decode little-endian bytes into a `u32` vector.
@@ -529,6 +680,63 @@ mod tests {
         assert!(cast_u32s(&bytes[..7]).is_none());
         // Either way the copying decode agrees.
         assert_eq!(decode_u32s(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn encoded_blob_roundtrip_and_sniff() {
+        let payload = b"varint soup".to_vec();
+        let mut v3 = Vec::new();
+        write_blob_encoded(&mut v3, FileKind::SubShard, &payload, Encoding::DeltaVarint).unwrap();
+        // The versioned readers sniff DeltaVarint…
+        let (enc, back) =
+            read_blob_encoded(&mut v3.as_slice(), FileKind::SubShard, "t").unwrap();
+        assert_eq!((enc, back), (Encoding::DeltaVarint, payload.clone()));
+        let (enc, range) = parse_blob_encoded(&v3, FileKind::SubShard, "t", true).unwrap();
+        assert_eq!(enc, Encoding::DeltaVarint);
+        assert_eq!(&v3[range], &payload[..]);
+        // …while the raw-only readers reject it with a clear error.
+        let err = read_blob(&mut v3.as_slice(), FileKind::SubShard, "t").unwrap_err();
+        assert!(err.to_string().contains("DeltaVarint"), "{err}");
+        let err = parse_blob(&v3, FileKind::SubShard, "t", true).unwrap_err();
+        assert!(err.to_string().contains("DeltaVarint"), "{err}");
+        // Raw blobs report Raw through the encoded entry points too.
+        let mut v2 = Vec::new();
+        write_blob(&mut v2, FileKind::SubShard, &payload).unwrap();
+        let (enc, _) = parse_blob_encoded(&v2, FileKind::SubShard, "t", true).unwrap();
+        assert_eq!(enc, Encoding::Raw);
+        // Unknown versions stay rejected.
+        let mut v9 = v2.clone();
+        v9[8] = 9;
+        assert!(parse_blob_encoded(&v9, FileKind::SubShard, "t", false).is_err());
+    }
+
+    #[test]
+    fn encoding_maps_to_versions() {
+        assert_eq!(Encoding::Raw.version(), VERSION);
+        assert_eq!(Encoding::DeltaVarint.version(), VERSION_COMPRESSED);
+        assert_eq!(Encoding::from_version(2), Some(Encoding::Raw));
+        assert_eq!(Encoding::from_version(3), Some(Encoding::DeltaVarint));
+        assert_eq!(Encoding::from_version(1), None);
+        assert_eq!("raw".parse::<EncodingPolicy>().unwrap(), EncodingPolicy::Raw);
+        assert_eq!("auto".parse::<EncodingPolicy>().unwrap(), EncodingPolicy::Auto);
+        assert_eq!(
+            "compressed".parse::<EncodingPolicy>().unwrap(),
+            EncodingPolicy::Compressed
+        );
+        assert!("gzip".parse::<EncodingPolicy>().is_err());
+        assert_eq!(EncodingPolicy::Auto.to_string(), "auto");
+        assert_eq!(EncodingPolicy::default(), EncodingPolicy::Raw);
+    }
+
+    #[test]
+    fn cast_u32s_mut_matches_const_cast() {
+        let mut bytes = encode_u32s(&[10u32, 20, 30]);
+        if cfg!(target_endian = "little") {
+            let words = cast_u32s_mut(&mut bytes).unwrap();
+            words[1] = 99;
+            assert_eq!(decode_u32s(&bytes).unwrap(), vec![10, 99, 30]);
+        }
+        assert!(cast_u32s_mut(&mut [0u8; 7][..]).is_none());
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   checksummed headers (word-wise FNV-1a since format v2); the on-disk
 //!   representation of intervals, sub-shards and hubs. Includes the
 //!   slice-level [`parse_blob`](format::parse_blob) used by zero-copy
-//!   views and the verify-once [`ChecksumPolicy`].
+//!   views and the verify-once [`ChecksumPolicy`]. Since format v3,
+//!   sub-shard and hub blobs may carry delta+varint compressed payloads
+//!   (sniffed per blob via [`Encoding`], chosen at write time via
+//!   [`EncodingPolicy`]).
+//! * [`varint`] — the LEB128 primitive behind the v3 compressed payloads.
 //! * [`pool`] — page-aligned [`BufferPool`] read buffers and the
 //!   [`SharedBytes`] currency behind zero-copy decoding
 //!   ([`Disk::read_shared`]).
@@ -37,11 +41,12 @@ pub mod format;
 pub mod manifest;
 pub mod pool;
 pub mod profile;
+pub mod varint;
 
 pub use budget::MemoryBudget;
 pub use counter::{IoCounters, IoSnapshot};
 pub use disk::{Disk, DiskRead, DiskWrite, FaultyDisk, MemDisk, OsDisk};
 pub use error::{StorageError, StorageResult};
-pub use format::{ChecksumMode, ChecksumPolicy};
+pub use format::{ChecksumMode, ChecksumPolicy, Encoding, EncodingPolicy};
 pub use pool::{AlignedBuf, BufferPool, PooledBuf, SharedBytes};
 pub use profile::DeviceProfile;

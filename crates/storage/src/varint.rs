@@ -1,0 +1,164 @@
+//! LEB128 variable-length integers — the byte-level primitive behind the
+//! compressed (format v3) sub-shard and hub encodings.
+//!
+//! A `u32` is stored as 1–5 bytes of 7 payload bits each, low groups
+//! first, with the high bit of every byte except the last set as a
+//! continuation marker. The destination-sorted sub-shard columns are
+//! locally monotone, so their deltas are small and the common case is a
+//! single byte where the raw format spends four.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Longest LEB128 encoding of a `u32` (⌈32/7⌉ bytes).
+pub const MAX_VARINT_LEN: usize = 5;
+
+/// Append `v` to `buf` as LEB128.
+#[inline]
+pub fn push_varint(buf: &mut Vec<u8>, mut v: u32) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Encoded length of `v` in bytes (1–5), without writing it.
+#[inline]
+pub fn varint_len(v: u32) -> usize {
+    // 0 encodes in one byte; otherwise one byte per started 7-bit group.
+    ((32 - (v | 1).leading_zeros()) as usize).div_ceil(7)
+}
+
+/// Decode one LEB128 `u32` from `data` starting at `*pos`, advancing
+/// `*pos` past it.
+///
+/// Errors (as [`StorageError::Corrupt`]) on truncation — the slice ends
+/// mid-value — on overflow (more than [`MAX_VARINT_LEN`] bytes or set
+/// bits past bit 31) and on non-canonical padding (a zero final group
+/// after a continuation byte, which [`push_varint`] never emits).
+/// Rejecting padding makes the encoding bijective: a checksummed v3 blob
+/// is the *unique* byte string for its decoded arrays. Corrupt
+/// compressed blobs therefore surface as clean errors, never as wrapped
+/// values or panics.
+#[inline]
+pub fn read_varint(data: &[u8], pos: &mut usize, name: &str) -> StorageResult<u32> {
+    let corrupt = |reason: &str| StorageError::Corrupt {
+        name: name.to_string(),
+        reason: reason.to_string(),
+    };
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = data.get(*pos) else {
+            return Err(corrupt("truncated varint"));
+        };
+        *pos += 1;
+        let group = (byte & 0x7f) as u32;
+        if shift == 28 && group > 0x0f {
+            return Err(corrupt("varint overflows u32"));
+        }
+        value |= group << shift;
+        if byte & 0x80 == 0 {
+            if byte == 0 && shift > 0 {
+                return Err(corrupt("non-canonical varint (padded with zero group)"));
+            }
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(corrupt("varint longer than 5 bytes"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u32) -> usize {
+        let mut buf = Vec::new();
+        push_varint(&mut buf, v);
+        assert_eq!(buf.len(), varint_len(v), "len of {v}");
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos, "t").unwrap(), v);
+        assert_eq!(pos, buf.len());
+        buf.len()
+    }
+
+    #[test]
+    fn known_lengths() {
+        assert_eq!(roundtrip(0), 1);
+        assert_eq!(roundtrip(1), 1);
+        assert_eq!(roundtrip(127), 1);
+        assert_eq!(roundtrip(128), 2);
+        assert_eq!(roundtrip(16_383), 2);
+        assert_eq!(roundtrip(16_384), 3);
+        assert_eq!(roundtrip(2_097_151), 3);
+        assert_eq!(roundtrip(2_097_152), 4);
+        assert_eq!(roundtrip(268_435_455), 4);
+        assert_eq!(roundtrip(268_435_456), 5);
+        assert_eq!(roundtrip(u32::MAX), MAX_VARINT_LEN);
+    }
+
+    #[test]
+    fn roundtrips_across_the_range() {
+        let mut v = 1u64;
+        while v <= u32::MAX as u64 {
+            roundtrip(v as u32);
+            roundtrip((v - 1) as u32);
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn sequences_decode_in_order() {
+        let vals = [0u32, 7, 300, 1 << 20, u32::MAX, 42];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            push_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(read_varint(&buf, &mut pos, "t").unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut buf = Vec::new();
+        push_varint(&mut buf, 1 << 20);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                read_varint(&buf[..cut], &mut pos, "t").is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        // Empty input.
+        let mut pos = 0;
+        assert!(read_varint(&[], &mut pos, "t").is_err());
+    }
+
+    #[test]
+    fn overlong_and_overflowing_are_errors() {
+        // Six continuation bytes: longer than any u32 encoding.
+        let mut pos = 0;
+        assert!(read_varint(&[0x80; 6], &mut pos, "t").is_err());
+        // Non-canonical zero padding: decodes to 0 / 1 byte-wise but the
+        // encoder never produces it, so it is rejected as corrupt.
+        let mut pos = 0;
+        assert!(read_varint(&[0x80, 0x00], &mut pos, "t").is_err());
+        let mut pos = 0;
+        assert!(read_varint(&[0x81, 0x80, 0x00], &mut pos, "t").is_err());
+        // Five bytes whose top group sets bits past bit 31.
+        let mut pos = 0;
+        assert!(read_varint(&[0xff, 0xff, 0xff, 0xff, 0x7f], &mut pos, "t").is_err());
+        // The maximal legal encoding still decodes.
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0xff, 0xff, 0xff, 0xff, 0x0f], &mut pos, "t").unwrap(),
+            u32::MAX
+        );
+    }
+}

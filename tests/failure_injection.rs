@@ -4,11 +4,15 @@
 use std::sync::Arc;
 
 use nxgraph::core::algo;
+use nxgraph::core::dsss::{SubShard, SubShardView};
 use nxgraph::core::engine::{EngineConfig, Strategy};
 use nxgraph::core::prep::{preprocess, PrepConfig};
 use nxgraph::core::{EngineError, PreparedGraph};
+use nxgraph::storage::format::{self, Encoding, FileKind};
 use nxgraph::storage::manifest::GraphManifest;
-use nxgraph::storage::{Disk, FaultyDisk, MemDisk};
+use nxgraph::storage::{
+    Disk, EncodingPolicy, FaultyDisk, MemDisk, SharedBytes, StorageError,
+};
 
 fn raw_edges() -> Vec<(u64, u64)> {
     nxgraph::core::fig1_example_edges()
@@ -99,6 +103,98 @@ fn corrupt_hub_is_rejected_even_after_prior_reads() {
         g.read_hub_view::<f64>(0, 1).is_err(),
         "rewritten hub must be checksummed on every read"
     );
+}
+
+#[test]
+fn corrupt_compressed_subshard_is_rejected() {
+    // Same contract as the raw path, for delta+varint (v3) blobs: a byte
+    // flip is caught by the checksum, and stays caught on retry.
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let cfg = PrepConfig::new("cv3", 2).with_encoding(EncodingPolicy::Compressed);
+    let g = preprocess(&raw_edges(), &cfg, Arc::clone(&disk)).unwrap();
+    let name = GraphManifest::subshard_file(1, 0);
+    let mut bytes = disk.read_all(&name).unwrap();
+    assert_eq!(bytes[8], 3, "fixture must actually be a v3 blob");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    disk.write_all_to(&name, &bytes).unwrap();
+    assert!(g.load_subshard_view(1, 0, false).is_err());
+    assert!(g.load_subshard_view(1, 0, false).is_err(), "retry must re-verify");
+    assert!(g.load_subshard(1, 0, false).is_err());
+}
+
+#[test]
+fn truncated_compressed_subshard_is_rejected() {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let cfg = PrepConfig::new("tv3", 2).with_encoding(EncodingPolicy::Compressed);
+    let g = preprocess(&raw_edges(), &cfg, Arc::clone(&disk)).unwrap();
+    let name = GraphManifest::subshard_file(1, 0);
+    let bytes = disk.read_all(&name).unwrap();
+    for cut in [16usize, 33, bytes.len() - 1] {
+        disk.write_all_to(&name, &bytes[..cut]).unwrap();
+        assert!(g.load_subshard_view(1, 0, false).is_err(), "cut at {cut}");
+        assert!(g.load_subshard(1, 0, false).is_err(), "cut at {cut}");
+    }
+}
+
+#[test]
+fn corrupt_varint_stream_is_a_clean_format_error() {
+    // A v3 blob whose *checksum is valid* but whose varint stream is
+    // garbage: the decoder must surface a clean Corrupt error — never a
+    // panic, hang or silently wrong arrays. Header claims 2 dsts and 3
+    // edges; the stream is runaway continuation bytes.
+    let mut payload = Vec::new();
+    for w in [0u32, 0, 2, 3] {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    payload.extend_from_slice(&[0x80; 7]);
+    let mut blob = Vec::new();
+    format::write_blob_encoded(&mut blob, FileKind::SubShard, &payload, Encoding::DeltaVarint)
+        .unwrap();
+    let err = SubShardView::parse(SharedBytes::from(blob.clone()), "garbage", true).unwrap_err();
+    assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+    assert!(SubShard::decode(&blob, "garbage").is_err());
+
+    // A stream that decodes but contradicts its own header (degrees sum
+    // to 1, header says 3 edges) is rejected too.
+    let mut payload = Vec::new();
+    for w in [0u32, 0, 1, 3] {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    payload.extend_from_slice(&[1, 1, 1, 1, 1]); // dst gap, degree=1, srcs…
+    let mut blob = Vec::new();
+    format::write_blob_encoded(&mut blob, FileKind::SubShard, &payload, Encoding::DeltaVarint)
+        .unwrap();
+    let err = SubShardView::parse(SharedBytes::from(blob), "lying", true).unwrap_err();
+    assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+}
+
+#[test]
+fn golden_v2_subshard_blob_still_loads() {
+    // Byte-for-byte output of the format-v2 writer (PR 3 era) for the
+    // sample sub-shard SS(2→1) with edges 5→3, 4→3, 5→2, 4→3, 9→2.
+    // Pinned so v3 writers/readers stay backward-compatible: if this test
+    // fails, existing prepared graphs on disk would no longer open.
+    const GOLDEN_V2: [u8; 88] = [
+        0x4e, 0x58, 0x47, 0x52, 0x41, 0x50, 0x48, 0x00, 0x02, 0x00, 0x00, 0x00,
+        0x03, 0x00, 0x00, 0x00, 0x38, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x53, 0x3b, 0x15, 0x18, 0x4d, 0xc2, 0xec, 0x8d, 0x02, 0x00, 0x00, 0x00,
+        0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x05, 0x00, 0x00, 0x00,
+        0x02, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x02, 0x00, 0x00, 0x00, 0x05, 0x00, 0x00, 0x00, 0x05, 0x00, 0x00, 0x00,
+        0x09, 0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00,
+        0x05, 0x00, 0x00, 0x00,
+    ];
+    let want = SubShard::from_edges(2, 1, vec![(5, 3), (4, 3), (5, 2), (4, 3), (9, 2)]);
+    // Today's raw writer still produces exactly these bytes…
+    assert_eq!(want.encode(), GOLDEN_V2, "raw v2 writer output changed");
+    // …and both decoders load them with full checksum verification.
+    assert_eq!(SubShard::decode(&GOLDEN_V2, "golden").unwrap(), want);
+    let view = SubShardView::parse(SharedBytes::from(GOLDEN_V2.to_vec()), "golden", true).unwrap();
+    assert_eq!(view.to_subshard(), want);
+    assert_eq!(view.dsts(), &[2, 3]);
+    assert_eq!(view.offsets(), &[0, 2, 5]);
+    assert_eq!(view.srcs(), &[5, 9, 4, 4, 5]);
 }
 
 #[test]

@@ -9,11 +9,16 @@ use nxgraph::core::prep::{preprocess, PrepConfig};
 use nxgraph::core::reference;
 use nxgraph::core::PreparedGraph;
 use nxgraph::graphgen::{er, rmat};
-use nxgraph::storage::{Disk, MemDisk};
+use nxgraph::storage::{Disk, EncodingPolicy, MemDisk};
 
 fn prepare(raw: &[(u64, u64)], p: u32) -> PreparedGraph {
+    prepare_enc(raw, p, EncodingPolicy::Raw)
+}
+
+fn prepare_enc(raw: &[(u64, u64)], p: u32, encoding: EncodingPolicy) -> PreparedGraph {
     let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
-    preprocess(raw, &PrepConfig::new("pipeline", p), disk).unwrap()
+    let cfg = PrepConfig::new("pipeline", p).with_encoding(encoding);
+    preprocess(raw, &cfg, disk).unwrap()
 }
 
 fn dense_edges(g: &PreparedGraph, raw: &[(u64, u64)]) -> Vec<(u32, u32)> {
@@ -453,6 +458,76 @@ fn prefetch_on_off_same_io_totals() {
             totals.push((stats.io.read_bytes, stats.io.written_bytes));
         }
         assert_eq!(totals[0], totals[1], "{strategy:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding equivalence (format v3): the delta+varint blobs inflate to the
+// same words a raw load casts in place, so the choice of on-disk encoding
+// can never change computed results — pinned bitwise across the full
+// algorithm × strategy matrix — while the counted disk traffic of the
+// streamed strategies must drop.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matrix_raw_and_auto_encodings_bitwise_identical() {
+    const ALGOS: [&str; 8] = [
+        "pagerank", "bfs", "sssp", "wcc", "scc", "kcore", "hits", "ppr",
+    ];
+    let raw_edges = rmat_raw(8, 6, 41);
+    let sym: Vec<(u64, u64)> = raw_edges
+        .iter()
+        .flat_map(|&(s, d)| [(s, d), (d, s)])
+        .collect();
+    for algo_name in ALGOS {
+        let edges: &[(u64, u64)] = if algo_name == "kcore" { &sym } else { &raw_edges };
+        let g_raw = prepare_enc(edges, 5, EncodingPolicy::Raw);
+        let g_auto = prepare_enc(edges, 5, EncodingPolicy::Auto);
+        assert!(
+            g_auto.total_subshard_bytes().unwrap() < g_raw.total_subshard_bytes().unwrap(),
+            "auto encoding must shrink the on-disk sub-shards"
+        );
+        let n = g_raw.num_vertices() as u64;
+        for (strategy, budget) in [
+            (Strategy::Spu, 0),
+            (Strategy::Dpu, 0),
+            (Strategy::Mpu, 4 * n + n * 8),
+        ] {
+            let cfg = EngineConfig::default()
+                .with_strategy(strategy)
+                .with_budget(budget)
+                .with_sync(SyncMode::Callback)
+                .with_threads(3);
+            let raw_fp = algo_fingerprint(algo_name, &g_raw, &cfg);
+            let auto_fp = algo_fingerprint(algo_name, &g_auto, &cfg);
+            assert_eq!(
+                raw_fp, auto_fp,
+                "{algo_name}/{strategy:?}: raw vs auto encoding diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_encoding_cuts_streamed_read_bytes() {
+    let raw = rmat_raw(10, 8, 7);
+    for (strategy, budget) in [(Strategy::Spu, 0u64), (Strategy::Dpu, 0)] {
+        let mut reads = Vec::new();
+        for encoding in [EncodingPolicy::Raw, EncodingPolicy::Auto] {
+            let g = prepare_enc(&raw, 4, encoding);
+            let cfg = EngineConfig::default()
+                .with_strategy(strategy)
+                .with_budget(budget);
+            let (_, stats) = algo::pagerank(&g, 3, &cfg).unwrap();
+            reads.push(stats.io.read_bytes as f64 / stats.iterations as f64);
+        }
+        let ratio = reads[0] / reads[1];
+        assert!(
+            ratio >= 1.5,
+            "{strategy:?}: bytes/iter only dropped {ratio:.2}x ({} -> {})",
+            reads[0],
+            reads[1]
+        );
     }
 }
 

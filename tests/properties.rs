@@ -12,7 +12,7 @@ use nxgraph::core::engine::{EngineConfig, Strategy as UpdateStrategy, SyncMode};
 use nxgraph::core::prep::{self, PrepConfig};
 use nxgraph::core::reference;
 use nxgraph::core::PreparedGraph;
-use nxgraph::storage::{Disk, MemDisk, SharedBytes};
+use nxgraph::storage::{Disk, EncodingPolicy, MemDisk, SharedBytes};
 
 /// A random small graph: up to 40 vertices, up to 200 edges (duplicates
 /// and self-loops included, as in raw crawls).
@@ -83,14 +83,33 @@ proptest! {
         prop_assert_eq!(view.offsets(), &owned.offsets[..]);
         prop_assert_eq!(view.srcs(), &owned.srcs[..]);
         prop_assert_eq!(view.num_edges(), owned.num_edges());
-        prop_assert_eq!(view.to_subshard(), owned);
-        // And the streamed loader agrees with both, end to end.
-        let g = prepare(&raw, 3);
-        for i in 0..3 {
-            for j in 0..3 {
-                let v = g.load_subshard_view(i, j, false).unwrap();
-                let o = g.load_subshard(i, j, false).unwrap();
-                prop_assert_eq!(v.to_subshard(), o);
+        prop_assert_eq!(&view.to_subshard(), &owned);
+
+        // The v3 delta+varint round trip must land on the same arrays:
+        // compressed blob -> view inflate, and compressed blob -> owned
+        // decode, under both the forced and the adaptive policy.
+        let compressed = ss.encode_with(EncodingPolicy::Compressed);
+        let cview =
+            SubShardView::parse(SharedBytes::from(compressed.clone()), "prop", true).unwrap();
+        prop_assert_eq!(&cview.to_subshard(), &owned);
+        prop_assert_eq!(&SubShard::decode(&compressed, "prop").unwrap(), &owned);
+        prop_assert_eq!(
+            &SubShard::decode(&ss.encode_with(EncodingPolicy::Auto), "prop").unwrap(),
+            &owned
+        );
+
+        // And the streamed loader agrees with both, end to end — for a
+        // raw-encoded and an auto-encoded prepared graph alike.
+        for encoding in [EncodingPolicy::Raw, EncodingPolicy::Auto] {
+            let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+            let cfg = PrepConfig::new("prop", 3).with_encoding(encoding);
+            let g = prep::preprocess(&raw, &cfg, disk).unwrap();
+            for i in 0..3 {
+                for j in 0..3 {
+                    let v = g.load_subshard_view(i, j, false).unwrap();
+                    let o = g.load_subshard(i, j, false).unwrap();
+                    prop_assert_eq!(v.to_subshard(), o);
+                }
             }
         }
     }
