@@ -1,0 +1,292 @@
+//! `updates` — the tracked streaming-update baseline.
+//!
+//! Like `perf`, this experiment exists for the *repo's own* trajectory
+//! rather than a paper table: a fixed-seed R-MAT fixture receives a
+//! stream of edge batches through [`DynamicGraph`] under both commit
+//! modes — the delta log (default compaction thresholds) and the legacy
+//! whole-cell rewrite — measuring edges-applied/sec and counted disk
+//! write bytes per batch. After the stream, PageRank on each dynamic
+//! graph must be bitwise-identical to PageRank on a from-scratch
+//! preprocessing of the same final edge set; the run *fails* otherwise.
+//! With `--json` the results land in `BENCH_updates.json` so successive
+//! PRs can diff the numbers; CI uploads a tiny-scale run as an artifact.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use nxgraph_bench::report::{fmt_secs, Table};
+use nxgraph_core::algo;
+use nxgraph_core::dynamic::{DynamicConfig, DynamicGraph};
+use nxgraph_core::engine::EngineConfig;
+use nxgraph_core::prep::{preprocess, PrepConfig};
+use nxgraph_core::PreparedGraph;
+use nxgraph_graphgen::rmat::{self, RmatConfig};
+use nxgraph_storage::{Disk, EncodingPolicy, MemDisk};
+use rand::{Rng, SeedableRng};
+
+use crate::Opts;
+
+/// Baseline R-MAT log2 scale before `--scale-shift` is applied.
+const BASE_SCALE: i32 = 12;
+
+/// Edges per vertex of the fixture.
+const EDGE_FACTOR: u32 = 16;
+
+/// Number of intervals of the prepared fixture.
+const P: u32 = 8;
+
+/// Batches applied per mode.
+const NUM_BATCHES: usize = 16;
+
+/// One measured commit mode.
+struct ModeReport {
+    mode: &'static str,
+    elapsed_secs: f64,
+    edges_per_sec: f64,
+    write_bytes_total: u64,
+    write_bytes_per_batch: u64,
+    deltas_appended: usize,
+    cells_rewritten: usize,
+    cells_compacted: usize,
+    /// PageRank bits after the stream (compared across modes and against
+    /// the from-scratch preparation).
+    fingerprint: Vec<u64>,
+}
+
+struct Report {
+    scale: u32,
+    vertices: u32,
+    edges_base: u64,
+    batch_size: usize,
+    modes: Vec<ModeReport>,
+    identical: bool,
+}
+
+fn fingerprint(g: &PreparedGraph, iters: usize) -> Vec<u64> {
+    let cfg = EngineConfig::default().with_max_iterations(iters);
+    let (ranks, _) = algo::pagerank(g, iters, &cfg).expect("pagerank");
+    ranks.into_iter().map(f64::to_bits).collect()
+}
+
+/// The randomized batch stream: edges between vertices the base graph
+/// already knows, so every commit takes the incremental path.
+fn batches(known: &[u64], batch_size: usize, seed: u64) -> Vec<Vec<(u64, u64)>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed_u64);
+    (0..NUM_BATCHES)
+        .map(|_| {
+            (0..batch_size)
+                .map(|_| {
+                    let s = known[rng.random_range(0..known.len())];
+                    let d = known[rng.random_range(0..known.len())];
+                    (s, d)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn measure(opts: &Opts) -> Report {
+    let scale = (BASE_SCALE + opts.scale_shift).max(6) as u32;
+    let raw: Vec<(u64, u64)> = rmat::generate(&RmatConfig::graph500(scale, EDGE_FACTOR, opts.seed))
+        .into_iter()
+        .map(|e| (e.src, e.dst))
+        .collect();
+    let encoding = opts.encoding.unwrap_or(EncodingPolicy::Raw);
+    let prep_cfg = PrepConfig::new("updates", P).with_encoding(encoding);
+
+    // Shared batch stream, sized to the fixture.
+    let probe: std::sync::Arc<dyn Disk> = std::sync::Arc::new(MemDisk::new());
+    let probe_graph = preprocess(&raw, &prep_cfg, probe).expect("prep");
+    let known = probe_graph.load_reverse_mapping().expect("mapping");
+    let batch_size = (raw.len() / 64).clamp(64, 4096);
+    let stream = batches(&known, batch_size, opts.seed);
+    let total_edges: usize = stream.iter().map(Vec::len).sum();
+
+    let mut modes = Vec::new();
+    for (mode, config) in [
+        ("delta", DynamicConfig::default()),
+        ("rewrite", DynamicConfig::rewrite()),
+    ] {
+        // RAM-disk profile (the methodology of the exp* suite): counted
+        // write bytes are byte-exact on any disk, and wall time then
+        // measures the commit paths themselves instead of host I/O
+        // jitter. Feed the counted bytes to a `DeviceProfile` for
+        // modeled-device comparisons. Median of three fresh replays —
+        // single sub-second streams are noisy.
+        let mut samples = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let disk: std::sync::Arc<dyn Disk> = std::sync::Arc::new(MemDisk::new());
+            let g = preprocess(&raw, &prep_cfg, std::sync::Arc::clone(&disk)).expect("prep");
+            let mut dg = DynamicGraph::with_config(g, config.clone()).expect("dynamic");
+            let write_before = disk.counters().written_bytes();
+            let (mut deltas, mut rewrites, mut compactions) = (0usize, 0usize, 0usize);
+            let started = Instant::now();
+            for batch in &stream {
+                let stats = dg.add_edges(batch).expect("add_edges");
+                assert!(!stats.rebuilt, "batches only touch known vertices");
+                deltas += stats.deltas_appended;
+                rewrites += stats.cells_rewritten;
+                compactions += stats.cells_compacted;
+            }
+            let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+            let written = disk.counters().written_bytes() - write_before;
+            samples.push((elapsed, written, deltas, rewrites, compactions, dg));
+        }
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (elapsed, written, deltas, rewrites, compactions, dg) = samples.remove(1);
+        modes.push(ModeReport {
+            mode,
+            elapsed_secs: elapsed,
+            edges_per_sec: total_edges as f64 / elapsed,
+            write_bytes_total: written,
+            write_bytes_per_batch: written / NUM_BATCHES as u64,
+            deltas_appended: deltas,
+            cells_rewritten: rewrites,
+            cells_compacted: compactions,
+            fingerprint: fingerprint(dg.graph(), opts.iters.min(5)),
+        });
+    }
+
+    // The correctness gate: both dynamic paths must land bit-for-bit on
+    // the from-scratch preparation of the final edge set.
+    let mut full = raw.clone();
+    full.extend(stream.iter().flatten());
+    let fresh_disk: std::sync::Arc<dyn Disk> = std::sync::Arc::new(MemDisk::new());
+    let fresh = preprocess(&full, &prep_cfg, fresh_disk).expect("fresh prep");
+    let want = fingerprint(&fresh, opts.iters.min(5));
+    let identical = modes.iter().all(|m| m.fingerprint == want);
+
+    Report {
+        scale,
+        vertices: probe_graph.num_vertices(),
+        edges_base: probe_graph.num_edges(),
+        batch_size,
+        modes,
+        identical,
+    }
+}
+
+impl Report {
+    fn mode(&self, name: &str) -> &ModeReport {
+        self.modes.iter().find(|m| m.mode == name).expect("mode")
+    }
+
+    /// Delta-log edges-applied/sec over the rewrite path's.
+    fn speedup(&self) -> f64 {
+        self.mode("delta").edges_per_sec / self.mode("rewrite").edges_per_sec.max(1e-9)
+    }
+
+    /// Rewrite-path write bytes per batch over the delta log's.
+    fn write_ratio(&self) -> f64 {
+        self.mode("rewrite").write_bytes_per_batch as f64
+            / self.mode("delta").write_bytes_per_batch.max(1) as f64
+    }
+}
+
+fn render_json(opts: &Opts, r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"updates\",");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(s, "  \"scale\": {},", r.scale);
+    let _ = writeln!(s, "  \"edge_factor\": {EDGE_FACTOR},");
+    let _ = writeln!(s, "  \"intervals\": {P},");
+    let _ = writeln!(s, "  \"vertices\": {},", r.vertices);
+    let _ = writeln!(s, "  \"edges_base\": {},", r.edges_base);
+    let _ = writeln!(s, "  \"batches\": {NUM_BATCHES},");
+    let _ = writeln!(s, "  \"batch_size\": {},", r.batch_size);
+    let _ = writeln!(s, "  \"modes\": [");
+    for (k, m) in r.modes.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"mode\": \"{}\", \"elapsed_secs\": {:.6}, \"edges_per_sec\": {:.1}, \"write_bytes_total\": {}, \"write_bytes_per_batch\": {}, \"deltas_appended\": {}, \"cells_rewritten\": {}, \"cells_compacted\": {}}}{}",
+            m.mode,
+            m.elapsed_secs,
+            m.edges_per_sec,
+            m.write_bytes_total,
+            m.write_bytes_per_batch,
+            m.deltas_appended,
+            m.cells_rewritten,
+            m.cells_compacted,
+            if k + 1 < r.modes.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"speedup_edges_per_sec\": {:.2},", r.speedup());
+    let _ = writeln!(s, "  \"write_bytes_ratio\": {:.2},", r.write_ratio());
+    let _ = writeln!(s, "  \"identical_to_fresh_prep\": {}", r.identical);
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Run the streaming-update baseline; when `json_out` is set, also write
+/// the JSON report there. Returns `false` (failing the harness) when a
+/// dynamic path diverges bitwise from the from-scratch preparation.
+pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
+    let r = measure(opts);
+    let mut t = Table::new(
+        format!(
+            "updates — {} batches of {} edges onto rmat-{}x{} ({} vertices, {} base edges)",
+            NUM_BATCHES, r.batch_size, r.scale, EDGE_FACTOR, r.vertices, r.edges_base
+        ),
+        &["mode", "time", "edges/s", "write B/batch", "deltas", "rewrites", "compactions"],
+    );
+    for m in &r.modes {
+        t.row(vec![
+            m.mode.to_string(),
+            fmt_secs(std::time::Duration::from_secs_f64(m.elapsed_secs)),
+            format!("{:.3e}", m.edges_per_sec),
+            m.write_bytes_per_batch.to_string(),
+            m.deltas_appended.to_string(),
+            m.cells_rewritten.to_string(),
+            m.cells_compacted.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "delta log vs rewrite: {:.1}x edges-applied/sec, {:.1}x fewer write bytes/batch; bitwise identical to fresh prep: {}",
+        r.speedup(),
+        r.write_ratio(),
+        r.identical
+    );
+    if let Some(path) = json_out {
+        let json = render_json(opts, &r);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("updates: failed to write {path}: {e}");
+            return false;
+        }
+        println!("wrote {path}");
+    }
+    r.identical
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_json_is_well_formed_and_identical() {
+        let opts = Opts {
+            scale_shift: -6,
+            iters: 3,
+            ..Opts::default()
+        };
+        let r = measure(&opts);
+        assert!(r.identical, "dynamic paths diverged from fresh prep");
+        assert_eq!(r.modes.len(), 2);
+        assert!(r.mode("delta").deltas_appended > 0);
+        assert_eq!(r.mode("delta").cells_rewritten, 0);
+        assert!(r.mode("rewrite").cells_rewritten > 0);
+        assert_eq!(r.mode("rewrite").deltas_appended, 0);
+        // The delta log must write less per batch even at tiny scale.
+        assert!(r.write_ratio() > 1.0, "write ratio {}", r.write_ratio());
+        let json = render_json(&opts, &r);
+        assert!(json.contains("\"bench\": \"updates\""));
+        assert!(json.contains("\"mode\": \"delta\""));
+        assert!(json.contains("\"mode\": \"rewrite\""));
+        assert!(json.contains("\"identical_to_fresh_prep\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count(), "{json}");
+    }
+}

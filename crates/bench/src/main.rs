@@ -21,6 +21,12 @@
 //!            R-MAT at two scales; `--json` writes BENCH_pagerank.json
 //!            (`--out` overrides). Measures encodings raw *and* auto
 //!            unless `--encoding` pins one.
+//!   updates  repo streaming-update baseline — edges-applied/sec and disk
+//!            write bytes/batch for DynamicGraph's delta-log commit path
+//!            vs the legacy whole-cell rewrite, on a fixed-seed R-MAT
+//!            stream; fails unless both land bitwise on a from-scratch
+//!            prep. `--json` writes BENCH_updates.json (`--out`
+//!            overrides).
 //!   all                — run everything
 //! ```
 //!
@@ -42,10 +48,11 @@ pub struct Opts {
     pub threads: usize,
     /// PageRank iterations (the paper uses 10).
     pub iters: usize,
-    /// Whether `perf` should write its JSON report.
+    /// Whether `perf`/`updates` should write their JSON reports.
     pub json: bool,
-    /// Output path for the JSON report (defaults to `BENCH_pagerank.json`).
-    pub out: String,
+    /// Output path override for the JSON report; each experiment has its
+    /// own default (`BENCH_pagerank.json`, `BENCH_updates.json`).
+    pub out: Option<String>,
     /// On-disk blob encoding for `perf`: `None` measures raw *and* auto
     /// side by side; `Some` pins a single policy (the CI per-path runs).
     pub encoding: Option<nxgraph_storage::EncodingPolicy>,
@@ -62,7 +69,7 @@ impl Default for Opts {
                 .min(12),
             iters: 10,
             json: false,
-            out: "BENCH_pagerank.json".to_string(),
+            out: None,
             encoding: None,
         }
     }
@@ -102,7 +109,7 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     .map_err(|e| format!("bad --iters: {e}"))?
             }
             "--json" => opts.json = true,
-            "--out" => opts.out = take_val(&mut k)?,
+            "--out" => opts.out = Some(take_val(&mut k)?),
             "--encoding" => {
                 opts.encoding = Some(
                     take_val(&mut k)?
@@ -123,9 +130,20 @@ fn main() -> ExitCode {
     let (exp, opts) = match parse(&args) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH] [--encoding raw|auto|compressed]");
+            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|updates|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH] [--encoding raw|auto|compressed]");
             return ExitCode::FAILURE;
         }
+    };
+    // JSON lands at `--out` when given, else the experiment's own
+    // default. Under `all`, two experiments write JSON — honouring one
+    // `--out` would silently clobber the first report, so ignore it.
+    let mut opts = opts;
+    if exp == "all" && opts.out.take().is_some() {
+        eprintln!("nxbench: --out ignored for 'all' (each experiment writes its own default path)");
+    }
+    let json_out = |default: &'static str| -> Option<String> {
+        opts.json
+            .then(|| opts.out.clone().unwrap_or_else(|| default.to_string()))
     };
     let run_one = |name: &str| match name {
         "table2" => exps::table2::run(&opts),
@@ -139,7 +157,8 @@ fn main() -> ExitCode {
         "exp7" => exps::exp7_tasks::run(&opts),
         "exp8" => exps::exp8_limited::run(&opts),
         "exp9" => exps::exp9_best::run(&opts),
-        "perf" => exps::perf::run(&opts, opts.json.then_some(opts.out.as_str())),
+        "perf" => exps::perf::run(&opts, json_out("BENCH_pagerank.json").as_deref()),
+        "updates" => exps::updates::run(&opts, json_out("BENCH_updates.json").as_deref()),
         other => {
             eprintln!("unknown experiment {other:?}");
             false
@@ -148,7 +167,7 @@ fn main() -> ExitCode {
     let ok = if exp == "all" {
         [
             "table2", "fig6", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8",
-            "exp9", "perf",
+            "exp9", "perf", "updates",
         ]
         .iter()
         .all(|e| run_one(e))

@@ -9,6 +9,7 @@ usage:
   nxgraph-cli prep <edges.txt> <graph-dir> [--intervals P] [--no-reverse] [--name NAME]
                    [--encoding raw|auto|compressed]
   nxgraph-cli info <graph-dir>
+  nxgraph-cli compact <graph-dir>
   nxgraph-cli pagerank <graph-dir> [--iters N] [--budget-mib N] [--threads N] [--top K]
   nxgraph-cli bfs <graph-dir> --root R [--threads N]
   nxgraph-cli sssp <graph-dir> --root R [--threads N]

@@ -21,6 +21,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "generate" => generate(&args),
         "prep" => prep(&args),
         "info" => info(&args),
+        "compact" => compact(&args),
         "pagerank" => pagerank(&args),
         "bfs" => bfs(&args),
         "sssp" => sssp(&args),
@@ -144,12 +145,40 @@ fn info(args: &Args) -> Result<(), String> {
             raw as f64 / on_disk.max(1) as f64
         );
     }
+    let chains = m.chains().map_err(|e| e.to_string())?;
+    let pending: Vec<_> = chains.iter().filter(|c| c.3.deltas > 0).collect();
+    if !pending.is_empty() {
+        let total: u32 = pending.iter().map(|c| c.3.deltas).sum();
+        println!(
+            "delta chains  : {} cells with {} pending delta blobs (run `compact`)",
+            pending.len(),
+            total
+        );
+    }
     let deg = g.out_degrees();
     let max = deg.iter().max().copied().unwrap_or(0);
     println!(
         "out-degree    : mean {:.2}, max {}",
         m.num_edges as f64 / m.num_vertices as f64,
         max
+    );
+    Ok(())
+}
+
+/// Fold every pending delta chain back into single base blobs.
+fn compact(args: &Args) -> Result<(), String> {
+    let g = open(args)?;
+    let before = g.total_subshard_bytes().map_err(|e| e.to_string())?;
+    let mut dg = nxgraph_core::dynamic::DynamicGraph::new(g).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let folded = dg.compact().map_err(|e| e.to_string())?;
+    let after = dg
+        .graph()
+        .total_subshard_bytes()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "compacted {folded} cells in {:?}; forward sub-shard bytes {before} -> {after}",
+        started.elapsed()
     );
     Ok(())
 }

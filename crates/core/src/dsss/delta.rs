@@ -1,0 +1,266 @@
+//! Delta-chain merging — the read side of the streaming-update log.
+//!
+//! A dynamically updated cell is stored as one *base* sub-shard blob plus
+//! an append-only chain of *delta* blobs, each a destination-sorted
+//! sub-shard of the edges one batch added (see
+//! [`DynamicGraph`](crate::dynamic::DynamicGraph)). Every part individually
+//! satisfies the DSSS invariants, so the union is recovered by a k-way
+//! merge in `(dst, src)` order — no re-sort, one pass over the parts.
+//!
+//! [`merge_edges`] is that lazy merge-iterator; [`MergedSubShardView`]
+//! drives it once to materialise a words-backed [`SubShardView`], which is
+//! what the loaders hand to the engines — SPU/DPU/MPU, the prefetcher and
+//! the plan cache consume the merged cell through the exact same view API
+//! as a bare base blob, and never learn that a chain existed.
+
+use crate::types::VertexId;
+
+use super::{SubShard, SubShardView};
+
+/// Borrowed CSR columns of one chain part — the common denominator of
+/// [`SubShardView`] (engine path) and owned [`SubShard`]s (the
+/// rewrite/compaction path), so one merge serves both.
+#[derive(Clone, Copy)]
+pub(crate) struct CsrCols<'a> {
+    dsts: &'a [VertexId],
+    offsets: &'a [u32],
+    srcs: &'a [VertexId],
+}
+
+impl<'a> From<&'a SubShardView> for CsrCols<'a> {
+    fn from(v: &'a SubShardView) -> Self {
+        Self {
+            dsts: v.dsts(),
+            offsets: v.offsets(),
+            srcs: v.srcs(),
+        }
+    }
+}
+
+impl<'a> From<&'a SubShard> for CsrCols<'a> {
+    fn from(ss: &'a SubShard) -> Self {
+        Self {
+            dsts: &ss.dsts,
+            offsets: &ss.offsets,
+            srcs: &ss.srcs,
+        }
+    }
+}
+
+/// Cursor over one part of a chain: the current destination slot and the
+/// absolute index of the next source within it.
+struct PartCursor<'a> {
+    cols: CsrCols<'a>,
+    /// Destination slot (`0..dsts.len()`).
+    pos: usize,
+    /// Absolute index into `srcs` (always within slot `pos`'s range while
+    /// the cursor is live).
+    idx: usize,
+}
+
+impl<'a> PartCursor<'a> {
+    fn new(cols: CsrCols<'a>) -> Self {
+        Self { cols, pos: 0, idx: 0 }
+    }
+
+    /// The `(dst, src)` key at the cursor, `None` when exhausted.
+    #[inline]
+    fn peek(&self) -> Option<(VertexId, VertexId)> {
+        if self.pos >= self.cols.dsts.len() {
+            return None;
+        }
+        Some((self.cols.dsts[self.pos], self.cols.srcs[self.idx]))
+    }
+
+    /// Advance past the current edge.
+    #[inline]
+    fn bump(&mut self) {
+        self.idx += 1;
+        while self.pos < self.cols.dsts.len()
+            && self.idx >= self.cols.offsets[self.pos + 1] as usize
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+/// Lazy k-way merge over destination-sorted CSR parts, yielding
+/// `(src, dst)` pairs in global `(dst, src)` order. Duplicate edges are
+/// preserved (raw crawls contain them and PageRank counts them).
+///
+/// Cost is `O(parts)` per edge with no allocation; chains are short by
+/// construction (compaction folds them), so this beats heap bookkeeping.
+fn merge_csr<'a>(
+    parts: impl IntoIterator<Item = CsrCols<'a>>,
+) -> impl Iterator<Item = (VertexId, VertexId)> + 'a {
+    let mut cursors: Vec<PartCursor<'a>> = parts.into_iter().map(PartCursor::new).collect();
+    std::iter::from_fn(move || {
+        let mut best: Option<(usize, (VertexId, VertexId))> = None;
+        for (k, c) in cursors.iter().enumerate() {
+            if let Some(key) = c.peek() {
+                if best.map(|(_, b)| key < b).unwrap_or(true) {
+                    best = Some((k, key));
+                }
+            }
+        }
+        let (k, (dst, src)) = best?;
+        cursors[k].bump();
+        Some((src, dst))
+    })
+}
+
+/// [`merge_csr`] over engine-facing views — the same order
+/// [`SubShardView::iter_edges`] walks a single shard.
+pub fn merge_edges<'a>(
+    parts: &'a [SubShardView],
+) -> impl Iterator<Item = (VertexId, VertexId)> + 'a {
+    merge_csr(parts.iter().map(CsrCols::from))
+}
+
+/// One-pass streaming CSR build from edges arriving in `(dst, src)`
+/// order — the append loop of `SubShard::from_edges`, minus its sort.
+fn build_csr(
+    edges: impl Iterator<Item = (VertexId, VertexId)>,
+    total_edges: usize,
+) -> (Vec<VertexId>, Vec<u32>, Vec<VertexId>) {
+    let mut dsts: Vec<VertexId> = Vec::new();
+    let mut offsets: Vec<u32> = vec![0];
+    let mut srcs: Vec<VertexId> = Vec::with_capacity(total_edges);
+    for (s, d) in edges {
+        if dsts.last() != Some(&d) {
+            if !srcs.is_empty() {
+                offsets.push(srcs.len() as u32);
+            }
+            dsts.push(d);
+        }
+        srcs.push(s);
+    }
+    if !srcs.is_empty() {
+        offsets.push(srcs.len() as u32);
+    }
+    (dsts, offsets, srcs)
+}
+
+/// Merge owned chain parts (base first, then deltas) into a single
+/// [`SubShard`] without re-sorting — every part is already
+/// destination-sorted, so the k-way merge suffices. This is the
+/// compaction fold.
+pub fn merge_subshards(src_interval: u32, dst_interval: u32, parts: &[SubShard]) -> SubShard {
+    let total: usize = parts.iter().map(SubShard::num_edges).sum();
+    let (dsts, offsets, srcs) = build_csr(merge_csr(parts.iter().map(CsrCols::from)), total);
+    SubShard {
+        src_interval,
+        dst_interval,
+        dsts,
+        offsets,
+        srcs,
+    }
+}
+
+/// The merged read-side view over a base sub-shard and its delta chain.
+///
+/// Constructed by the loaders when a cell's manifest chain is non-empty:
+/// one pass of [`merge_edges`] builds the merged CSR columns directly (the
+/// edges arrive in `(dst, src)` order, so this is the same
+/// streaming-append loop `SubShard::from_edges` runs after its sort —
+/// minus the sort), and [`MergedSubShardView::into_view`] hands the result
+/// to the engines as an ordinary words-backed [`SubShardView`].
+pub struct MergedSubShardView {
+    view: SubShardView,
+    parts: usize,
+}
+
+impl MergedSubShardView {
+    /// Merge `parts[0]` (the base) with its deltas. All parts must belong
+    /// to the same cell; interval tags are taken from the base.
+    pub fn merge(parts: &[SubShardView]) -> Self {
+        assert!(!parts.is_empty(), "a chain always has a base part");
+        debug_assert!(parts
+            .iter()
+            .all(|p| p.src_interval() == parts[0].src_interval()
+                && p.dst_interval() == parts[0].dst_interval()));
+        let total_edges: usize = parts.iter().map(|p| p.num_edges()).sum();
+        let (dsts, offsets, srcs) = build_csr(merge_edges(parts), total_edges);
+        Self {
+            view: SubShardView::from_columns(
+                parts[0].src_interval(),
+                parts[0].dst_interval(),
+                dsts,
+                offsets,
+                srcs,
+            ),
+            parts: parts.len(),
+        }
+    }
+
+    /// Number of chain parts (base + deltas) that fed the merge.
+    pub fn parts_merged(&self) -> usize {
+        self.parts
+    }
+
+    /// The merged engine-facing view.
+    pub fn into_view(self) -> SubShardView {
+        self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsss::SubShard;
+
+    fn view(edges: Vec<(VertexId, VertexId)>) -> SubShardView {
+        SubShardView::from(&SubShard::from_edges(0, 0, edges))
+    }
+
+    #[test]
+    fn merge_equals_from_edges_of_the_concat() {
+        let base = vec![(5, 3), (4, 3), (5, 2), (9, 2)];
+        let d1 = vec![(1, 3), (7, 2), (2, 8)];
+        let d2 = vec![(4, 3), (0, 0)]; // duplicate edge (4,3) must survive
+        let parts = [view(base.clone()), view(d1.clone()), view(d2.clone())];
+        let merged = MergedSubShardView::merge(&parts);
+        assert_eq!(merged.parts_merged(), 3);
+        let got = merged.into_view();
+        let mut all = base;
+        all.extend(d1);
+        all.extend(d2);
+        let want = SubShard::from_edges(0, 0, all);
+        assert_eq!(got.to_subshard(), want);
+        // The lazy iterator walks the same order as the merged view.
+        assert_eq!(
+            merge_edges(&parts).collect::<Vec<_>>(),
+            want.iter_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn merge_subshards_equals_sorted_concat() {
+        let a = SubShard::from_edges(1, 2, vec![(9, 8), (3, 8), (3, 7)]);
+        let b = SubShard::from_edges(1, 2, vec![(3, 8), (1, 6), (2, 9)]);
+        let c = SubShard::from_edges(1, 2, vec![]);
+        let merged = merge_subshards(1, 2, &[a.clone(), b.clone(), c]);
+        let mut all: Vec<_> = a.iter_edges().collect();
+        all.extend(b.iter_edges());
+        assert_eq!(merged, SubShard::from_edges(1, 2, all));
+        merged.validate("merged").unwrap();
+    }
+
+    #[test]
+    fn merging_the_base_alone_is_the_identity() {
+        let base = view(vec![(3, 1), (2, 1), (9, 4)]);
+        let merged = MergedSubShardView::merge(std::slice::from_ref(&base)).into_view();
+        assert_eq!(merged, base);
+    }
+
+    #[test]
+    fn empty_parts_merge_cleanly() {
+        let parts = [view(vec![]), view(vec![(1, 2)]), view(vec![])];
+        let merged = MergedSubShardView::merge(&parts).into_view();
+        assert_eq!(merged.to_subshard(), SubShard::from_edges(0, 0, vec![(1, 2)]));
+        let all_empty = [view(vec![]), view(vec![])];
+        let merged = MergedSubShardView::merge(&all_empty).into_view();
+        assert!(merged.is_empty());
+        assert_eq!(merged.offsets(), &[0]);
+    }
+}

@@ -6,35 +6,103 @@
 //! typed read/write access to interval, sub-shard and hub files.
 
 mod codec;
+pub mod delta;
 pub mod subshard;
 pub mod view;
 
+use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
 
 use nxgraph_storage::format::{self, Encoding, EncodingPolicy, FileKind};
-use nxgraph_storage::manifest::GraphManifest;
-use nxgraph_storage::{BufferPool, ChecksumPolicy, Disk};
+use nxgraph_storage::manifest::{ChainInfo, GraphManifest};
+use nxgraph_storage::{BufferPool, ChecksumPolicy, Disk, StorageError, StorageResult};
 
 use crate::error::{EngineError, EngineResult};
 use crate::types::{Attr, VertexId};
 
+pub use delta::{merge_edges, merge_subshards, MergedSubShardView};
 pub use subshard::SubShard;
 pub use view::{HubView, SubShardView};
 
-/// Load sub-shard `SS(i→j)` straight from a disk handle.
+/// Immutable snapshot of the manifest's per-cell delta chains, shared by
+/// every loader of one [`PreparedGraph`] instance (including background
+/// prefetch jobs, which clone the [`ViewLoader`] holding it).
+#[derive(Debug, Default)]
+pub(crate) struct DeltaIndex {
+    cells: HashMap<(u32, u32, bool), ChainInfo>,
+}
+
+impl DeltaIndex {
+    fn from_manifest(manifest: &GraphManifest) -> StorageResult<Self> {
+        let mut cells = HashMap::new();
+        for (i, j, reverse, info) in manifest.chains()? {
+            cells.insert((i, j, reverse), info);
+        }
+        Ok(Self { cells })
+    }
+
+    fn info(&self, i: u32, j: u32, reverse: bool) -> ChainInfo {
+        self.cells.get(&(i, j, reverse)).copied().unwrap_or_default()
+    }
+}
+
+/// Reject a delta blob whose header tags it for a different cell than the
+/// chain that listed it — checksums only prove the file is intact, not
+/// that it is the file the manifest meant.
+fn check_delta_cell(src: u32, dst: u32, i: u32, j: u32, name: &str) -> StorageResult<()> {
+    if src != i || dst != j {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: format!("delta blob tagged ({src}, {dst}), chain expects ({i}, {j})"),
+        });
+    }
+    Ok(())
+}
+
+/// Load sub-shard `SS(i→j)` (base blob plus any delta chain) straight from
+/// a disk handle as an owned [`SubShard`].
 ///
 /// Same file layout as [`PreparedGraph::load_subshard`], but free of the
-/// graph borrow — prefetch jobs run on a background thread and can only
-/// capture the `'static` `Arc<dyn Disk>`.
-pub fn load_subshard_from(disk: &dyn Disk, i: u32, j: u32, reverse: bool) -> EngineResult<SubShard> {
-    let name = if reverse {
-        GraphManifest::rev_subshard_file(i, j)
-    } else {
-        GraphManifest::subshard_file(i, j)
-    };
+/// graph borrow; `chain` names the cell's base generation and delta count
+/// (pass [`ChainInfo::default`] for a freshly prepped graph).
+pub fn load_subshard_from(
+    disk: &dyn Disk,
+    i: u32,
+    j: u32,
+    reverse: bool,
+    chain: ChainInfo,
+) -> EngineResult<SubShard> {
+    let mut parts = load_chain_parts(disk, i, j, reverse, chain)?;
+    if parts.len() == 1 {
+        return Ok(parts.pop().expect("base part always present"));
+    }
+    Ok(merge_subshards(i, j, &parts))
+}
+
+/// Load every part of a cell's chain — the base blob first, then each
+/// delta in append order — as owned [`SubShard`]s. The rewrite and
+/// compaction paths need the parts individually (their raw sizes feed the
+/// manifest's byte totals); plain readers use [`load_subshard_from`].
+pub(crate) fn load_chain_parts(
+    disk: &dyn Disk,
+    i: u32,
+    j: u32,
+    reverse: bool,
+    chain: ChainInfo,
+) -> EngineResult<Vec<SubShard>> {
+    let mut parts = Vec::with_capacity(chain.deltas as usize + 1);
+    let name = GraphManifest::subshard_base_file(i, j, reverse, chain.gen);
     let bytes = disk.read_all(&name)?;
-    Ok(SubShard::decode(&bytes, &name)?)
+    parts.push(SubShard::decode(&bytes, &name)?);
+    for k in 1..=chain.deltas {
+        let name = GraphManifest::subshard_delta_file(i, j, reverse, chain.gen, k);
+        let bytes = disk.read_all(&name)?;
+        let d = SubShard::decode(&bytes, &name)?;
+        check_delta_cell(d.src_interval, d.dst_interval, i, j, &name)?;
+        parts.push(d);
+    }
+    Ok(parts)
 }
 
 /// Read hub `H(i→j)` straight from a disk handle (see
@@ -85,28 +153,50 @@ pub struct ViewLoader {
     disk: Arc<dyn Disk>,
     pool: Arc<BufferPool>,
     checksums: Arc<ChecksumPolicy>,
+    /// Delta-chain snapshot from the manifest this loader was built from;
+    /// a dynamic commit reopens the graph, producing fresh loaders.
+    chains: Arc<DeltaIndex>,
 }
 
 impl ViewLoader {
     /// Load sub-shard `SS(i→j)` (transposed when `reverse`) as a
     /// zero-copy view: one pooled read (or a `MemDisk` handout with no
-    /// copy at all), parsed and validated in place. Sub-shard files are
-    /// immutable for the lifetime of a run, so the verify-once policy
-    /// applies — and a name is marked verified only after its checksum
+    /// copy at all), parsed and validated in place. When the cell carries
+    /// a delta chain, the base and every delta blob are loaded the same
+    /// way and lazily merge-iterated into one words-backed view
+    /// ([`MergedSubShardView`]) — the engines never see the chain.
+    ///
+    /// Base and delta files alike are immutable once referenced by a
+    /// manifest (compaction bumps the base *generation* instead of
+    /// rewriting in place), so the verify-once policy applies to every
+    /// part — and a name is marked verified only after its checksum
     /// actually passed.
     pub fn load_subshard(&self, i: u32, j: u32, reverse: bool) -> EngineResult<SubShardView> {
-        let name = if reverse {
-            GraphManifest::rev_subshard_file(i, j)
-        } else {
-            GraphManifest::subshard_file(i, j)
-        };
-        let bytes = self.disk.read_shared(&name, &self.pool)?;
-        let verify = self.checksums.should_verify(&name);
+        let chain = self.chains.info(i, j, reverse);
+        let base = self.load_part(&GraphManifest::subshard_base_file(i, j, reverse, chain.gen))?;
+        if chain.deltas == 0 {
+            return Ok(base);
+        }
+        let mut parts = Vec::with_capacity(chain.deltas as usize + 1);
+        parts.push(base);
+        for k in 1..=chain.deltas {
+            let name = GraphManifest::subshard_delta_file(i, j, reverse, chain.gen, k);
+            let part = self.load_part(&name)?;
+            check_delta_cell(part.src_interval(), part.dst_interval(), i, j, &name)?;
+            parts.push(part);
+        }
+        Ok(MergedSubShardView::merge(&parts).into_view())
+    }
+
+    /// One chain part (base or delta blob) as a zero-copy view.
+    fn load_part(&self, name: &str) -> EngineResult<SubShardView> {
+        let bytes = self.disk.read_shared(name, &self.pool)?;
+        let verify = self.checksums.should_verify(name);
         // Compressed (v3) blobs inflate into a buffer from the same pool
         // the read came from; raw blobs cast in place as before.
-        let view = SubShardView::parse_pooled(bytes, &name, verify, Some(&self.pool))?;
+        let view = SubShardView::parse_pooled(bytes, name, verify, Some(&self.pool))?;
         if verify {
-            self.checksums.note_verified(&name);
+            self.checksums.note_verified(name);
         }
         Ok(view)
     }
@@ -165,6 +255,8 @@ pub struct PreparedGraph {
     /// rebuilds). Restored from the manifest so a graph prepped with
     /// `Auto` keeps compressing its iteration traffic after reopen.
     encoding: EncodingPolicy,
+    /// Per-cell delta-chain snapshot parsed from the manifest.
+    chains: Arc<DeltaIndex>,
 }
 
 impl PreparedGraph {
@@ -186,6 +278,7 @@ impl PreparedGraph {
             )));
         }
         let encoding = policy_from_manifest(&manifest);
+        let chains = Arc::new(DeltaIndex::from_manifest(&manifest)?);
         Ok(Self {
             disk,
             manifest,
@@ -193,6 +286,7 @@ impl PreparedGraph {
             pool: BufferPool::new(),
             checksums: Arc::new(ChecksumPolicy::default()),
             encoding,
+            chains,
         })
     }
 
@@ -202,16 +296,18 @@ impl PreparedGraph {
         disk: Arc<dyn Disk>,
         manifest: GraphManifest,
         out_degrees: Arc<Vec<u32>>,
-    ) -> Self {
+    ) -> EngineResult<Self> {
         let encoding = policy_from_manifest(&manifest);
-        Self {
+        let chains = Arc::new(DeltaIndex::from_manifest(&manifest)?);
+        Ok(Self {
             disk,
             manifest,
             out_degrees,
             pool: BufferPool::new(),
             checksums: Arc::new(ChecksumPolicy::default()),
             encoding,
-        }
+            chains,
+        })
     }
 
     /// The underlying disk.
@@ -250,7 +346,14 @@ impl PreparedGraph {
             disk: Arc::clone(&self.disk),
             pool: Arc::clone(&self.pool),
             checksums: Arc::clone(&self.checksums),
+            chains: Arc::clone(&self.chains),
         }
+    }
+
+    /// Delta-chain state of cell `(i, j, reverse)` — the default for any
+    /// cell a dynamic update never touched.
+    pub fn chain_info(&self, i: u32, j: u32, reverse: bool) -> ChainInfo {
+        self.chains.info(i, j, reverse)
     }
 
     /// The graph manifest.
@@ -297,9 +400,10 @@ impl PreparedGraph {
 
     /// Load sub-shard `SS(i→j)` (or the transposed `SS'(i→j)` when
     /// `reverse`) as an owned, mutable [`SubShard`] — the prep/rebuild
-    /// path. The engines use [`PreparedGraph::load_subshard_view`].
+    /// path, merged across any delta chain. The engines use
+    /// [`PreparedGraph::load_subshard_view`].
     pub fn load_subshard(&self, i: u32, j: u32, reverse: bool) -> EngineResult<SubShard> {
-        load_subshard_from(self.disk.as_ref(), i, j, reverse)
+        load_subshard_from(self.disk.as_ref(), i, j, reverse, self.chains.info(i, j, reverse))
     }
 
     /// Load sub-shard `SS(i→j)` as a zero-copy [`SubShardView`].
@@ -313,14 +417,20 @@ impl PreparedGraph {
         self.view_loader().read_hub(i, j)
     }
 
-    /// On-disk size in bytes of a sub-shard file (for cache planning).
+    /// On-disk size in bytes of a sub-shard cell — base blob plus any
+    /// delta chain, since a streamed access reads the whole chain (for
+    /// cache planning and I/O accounting).
     pub fn subshard_len(&self, i: u32, j: u32, reverse: bool) -> EngineResult<u64> {
-        let name = if reverse {
-            GraphManifest::rev_subshard_file(i, j)
-        } else {
-            GraphManifest::subshard_file(i, j)
-        };
-        Ok(self.disk.len_of(&name)?)
+        let chain = self.chains.info(i, j, reverse);
+        let mut total = self
+            .disk
+            .len_of(&GraphManifest::subshard_base_file(i, j, reverse, chain.gen))?;
+        for k in 1..=chain.deltas {
+            total += self
+                .disk
+                .len_of(&GraphManifest::subshard_delta_file(i, j, reverse, chain.gen, k))?;
+        }
+        Ok(total)
     }
 
     /// Write interval `j`'s attribute array.

@@ -316,6 +316,43 @@ impl SubShardView {
     }
 }
 
+impl SubShardView {
+    /// Build a words-backed view directly from already-valid CSR columns —
+    /// the output side of the delta-chain merge
+    /// ([`MergedSubShardView`](super::MergedSubShardView)). No validation
+    /// is performed: the columns come from views that were each validated
+    /// at parse time, and the merge preserves the CSR invariants by
+    /// construction.
+    pub(crate) fn from_columns(
+        src_interval: u32,
+        dst_interval: u32,
+        dsts: Vec<VertexId>,
+        offsets: Vec<u32>,
+        srcs: Vec<VertexId>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), dsts.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, srcs.len());
+        let mut words =
+            Vec::with_capacity(SS_HEADER_WORDS + dsts.len() + offsets.len() + srcs.len());
+        words.extend_from_slice(&[
+            src_interval,
+            dst_interval,
+            dsts.len() as u32,
+            srcs.len() as u32,
+        ]);
+        words.extend_from_slice(&dsts);
+        words.extend_from_slice(&offsets);
+        words.extend_from_slice(&srcs);
+        Self {
+            src_interval,
+            dst_interval,
+            num_dsts: dsts.len(),
+            num_edges: srcs.len(),
+            backing: Backing::Words(Arc::new(words)),
+        }
+    }
+}
+
 impl From<&SubShard> for SubShardView {
     /// Build a view over an owned sub-shard (one copy into the words
     /// backing). Used by benches and in-memory tooling; no validation is

@@ -2,33 +2,114 @@
 //! be extended to support dynamic change on graph structure").
 //!
 //! [`DynamicGraph`] wraps a [`PreparedGraph`] and accepts batches of new
-//! edges. Edges between *existing* vertices are merged incrementally: only
-//! the `(i, j)` sub-shard cells they fall into are rewritten (plus the
-//! degree table), preserving all DSSS invariants. A batch that introduces
-//! previously unseen vertex indices changes the dense id space, so it
-//! triggers a full re-preprocessing — reconstructing the raw edge list
-//! from the sub-shards and the mapping table — which is reported in the
-//! [`CommitStats`] so callers can batch accordingly.
+//! edges. Under the default [`UpdateMode::DeltaLog`], a batch touching
+//! existing vertices is committed by *appending*: each touched `(i, j)`
+//! cell gets one small destination-sorted delta blob written next to its
+//! base blob (same checksummed sub-shard format, compressed under the
+//! graph's [`EncodingPolicy`](nxgraph_storage::EncodingPolicy)), and the
+//! manifest records the chain. Readers merge-iterate base + deltas behind
+//! the ordinary view API, so the engines are untouched; a configurable
+//! compaction policy ([`DynamicConfig`]) folds long or heavy chains back
+//! into a single base blob at the *next generation*, committing via the
+//! manifest save so a crash at any point leaves a fully consistent chain
+//! (stale files from the losing side are never referenced, and the
+//! orphan sweep in [`DynamicGraph::compact`] reclaims them).
+//!
+//! [`UpdateMode::Rewrite`] keeps the pre-delta-log behaviour — every
+//! touched cell is read, merged and rewritten whole — as the baseline the
+//! `nxbench updates` workload measures the log against.
+//!
+//! A batch that introduces previously unseen vertex indices changes the
+//! dense id space, so it still triggers a full re-preprocessing —
+//! reconstructing the raw edge list from the sub-shards and the mapping
+//! table — which is reported in the [`CommitStats`] so callers can batch
+//! accordingly.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use nxgraph_storage::manifest::GraphManifest;
+use nxgraph_storage::manifest::{ChainInfo, GraphManifest};
 
-use crate::dsss::{PreparedGraph, SubShard};
+use crate::dsss::{self, PreparedGraph, SubShard};
 use crate::error::EngineResult;
 use crate::prep::{self, PrepConfig};
 use crate::types::VertexId;
 
+/// How [`DynamicGraph::add_edges`] commits a batch of known-vertex edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateMode {
+    /// Append a delta blob per touched cell and let compaction fold the
+    /// chains — O(batch) write traffic per commit.
+    #[default]
+    DeltaLog,
+    /// Read-merge-rewrite every touched cell whole (the pre-delta-log
+    /// behaviour) — O(touched sub-shard bytes) per commit.
+    Rewrite,
+}
+
+/// Update-mode and compaction-policy knobs for a [`DynamicGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicConfig {
+    /// How batches are committed.
+    pub mode: UpdateMode,
+    /// Fold a cell's chain once it holds this many delta blobs.
+    pub max_deltas: u32,
+    /// …or once the chain's on-disk delta bytes exceed this fraction of
+    /// the base blob (long chains over a small base cost merge time; heavy
+    /// chains over any base cost read amplification).
+    pub max_delta_ratio: f64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        // The byte ratio is the primary bound (it caps read amplification
+        // at 2× the base bytes); the count is a cap on merge width, which
+        // costs O(parts) per edge on chained reads.
+        Self {
+            mode: UpdateMode::DeltaLog,
+            max_deltas: 32,
+            max_delta_ratio: 1.0,
+        }
+    }
+}
+
+impl DynamicConfig {
+    /// The pre-delta-log whole-cell rewrite behaviour.
+    pub fn rewrite() -> Self {
+        Self {
+            mode: UpdateMode::Rewrite,
+            ..Self::default()
+        }
+    }
+
+    /// Delta logging with automatic compaction disabled — chains only fold
+    /// on an explicit [`DynamicGraph::compact`] (tests and benchmarks that
+    /// want to observe raw chains).
+    pub fn never_compact() -> Self {
+        Self {
+            mode: UpdateMode::DeltaLog,
+            max_deltas: u32::MAX,
+            max_delta_ratio: f64::INFINITY,
+        }
+    }
+}
+
 /// Result of one [`DynamicGraph::add_edges`] commit.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CommitStats {
     /// Edges added in this batch.
     pub edges_added: usize,
     /// Whether the whole graph had to be re-preprocessed (new vertices).
     pub rebuilt: bool,
-    /// Sub-shard cells rewritten (forward + reverse counted separately);
-    /// zero when `rebuilt`.
+    /// Sub-shard cells rewritten whole (forward + reverse counted
+    /// separately); only under [`UpdateMode::Rewrite`], zero when
+    /// `rebuilt`.
     pub cells_rewritten: usize,
+    /// Delta blobs appended (one per touched cell; forward + reverse
+    /// counted separately); only under [`UpdateMode::DeltaLog`].
+    pub deltas_appended: usize,
+    /// Cells whose chains the compaction policy folded after the append.
+    pub cells_compacted: usize,
 }
 
 /// A prepared graph accepting structural updates.
@@ -36,18 +117,34 @@ pub struct DynamicGraph {
     graph: PreparedGraph,
     /// Sorted original indices; position = dense id.
     mapping: Vec<u64>,
+    config: DynamicConfig,
 }
 
 impl DynamicGraph {
-    /// Wrap a prepared graph (loads the mapping table).
+    /// Wrap a prepared graph (loads the mapping table) with the default
+    /// delta-log configuration.
     pub fn new(graph: PreparedGraph) -> EngineResult<Self> {
+        Self::with_config(graph, DynamicConfig::default())
+    }
+
+    /// Wrap a prepared graph with an explicit [`DynamicConfig`].
+    pub fn with_config(graph: PreparedGraph, config: DynamicConfig) -> EngineResult<Self> {
         let mapping = graph.load_reverse_mapping()?;
-        Ok(Self { graph, mapping })
+        Ok(Self {
+            graph,
+            mapping,
+            config,
+        })
     }
 
     /// The current prepared graph (always consistent after each commit).
     pub fn graph(&self) -> &PreparedGraph {
         &self.graph
+    }
+
+    /// The update-mode and compaction configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.config
     }
 
     /// Dense id of an original index, if known.
@@ -73,11 +170,7 @@ impl DynamicGraph {
     /// Add a batch of edges (original indices) and commit to disk.
     pub fn add_edges(&mut self, new_raw: &[(u64, u64)]) -> EngineResult<CommitStats> {
         if new_raw.is_empty() {
-            return Ok(CommitStats {
-                edges_added: 0,
-                rebuilt: false,
-                cells_rewritten: 0,
-            });
+            return Ok(CommitStats::default());
         }
         let all_known = new_raw
             .iter()
@@ -86,73 +179,275 @@ impl DynamicGraph {
             return self.rebuild_with(new_raw);
         }
 
-        // Incremental path: bucket dense edges by grid cell and rewrite
-        // only the touched sub-shards.
+        // Incremental path: bucket dense edges by grid cell.
         let p = self.graph.num_intervals();
         let interval_len = self.graph.manifest().interval_len() as VertexId;
         let interval_of = |v: VertexId| (v / interval_len).min(p - 1);
 
-        let mut fwd: BTreeMap<(u32, u32), Vec<(VertexId, VertexId)>> = BTreeMap::new();
-        let mut rev: BTreeMap<(u32, u32), Vec<(VertexId, VertexId)>> = BTreeMap::new();
+        let mut buckets: BTreeMap<(u32, u32, bool), Vec<(VertexId, VertexId)>> = BTreeMap::new();
         let mut degree_bump: BTreeMap<VertexId, u32> = BTreeMap::new();
         for &(s, d) in new_raw {
             let (s, d) = (self.id_of(s).unwrap(), self.id_of(d).unwrap());
-            fwd.entry((interval_of(s), interval_of(d)))
+            buckets
+                .entry((interval_of(s), interval_of(d), false))
                 .or_default()
                 .push((s, d));
             if self.graph.has_reverse() {
-                rev.entry((interval_of(d), interval_of(s)))
+                buckets
+                    .entry((interval_of(d), interval_of(s), true))
                     .or_default()
                     .push((d, s));
             }
             *degree_bump.entry(s).or_default() += 1;
         }
 
-        let mut cells = 0;
+        let mut stats = CommitStats {
+            edges_added: new_raw.len(),
+            ..CommitStats::default()
+        };
+        let mut manifest = self.graph.manifest().clone();
         let (mut raw_delta, mut disk_delta) = (0i64, 0i64);
-        for (reverse, buckets) in [(false, &fwd), (true, &rev)] {
-            for (&(i, j), extra) in buckets {
-                let ss = self.graph.load_subshard(i, j, reverse)?;
-                let mut edges: Vec<(VertexId, VertexId)> = ss.iter_edges().collect();
-                edges.extend_from_slice(extra);
-                let merged = SubShard::from_edges(i, j, edges);
-                let name = if reverse {
-                    GraphManifest::rev_subshard_file(i, j)
-                } else {
-                    GraphManifest::subshard_file(i, j)
-                };
-                // Preserve the graph's on-disk encoding policy across the
-                // rewrite (readers sniff per blob either way), and track
-                // how the rewrite moves the manifest's blob-size totals.
-                let old_disk = self.graph.disk().len_of(&name)? as i64;
-                let blob = merged.encode_with(self.graph.encoding_policy());
-                raw_delta += merged.encoded_len() as i64 - ss.encoded_len() as i64;
-                disk_delta += blob.len() as i64 - old_disk;
-                self.graph.disk().write_all_to(&name, &blob)?;
-                cells += 1;
+        let mut stale: Vec<String> = Vec::new();
+
+        for ((i, j, reverse), extra) in buckets {
+            let chain = manifest.chain_info(i, j, reverse)?;
+            match self.config.mode {
+                UpdateMode::DeltaLog => {
+                    let d = SubShard::from_edges(i, j, extra);
+                    let blob = d.encode_with(self.graph.encoding_policy());
+                    let base_name = GraphManifest::subshard_base_file(i, j, reverse, chain.gen);
+                    // Fold-before-append check, O(1) in the chain length:
+                    // accumulated delta bytes ride in the ChainInfo, and
+                    // the base is stat'ed only when the ratio can trip.
+                    let due = chain.deltas + 1 >= self.config.max_deltas
+                        || (self.config.max_delta_ratio.is_finite()
+                            && (chain.delta_bytes + blob.len() as u64) as f64
+                                > self.graph.disk().len_of(&base_name)? as f64
+                                    * self.config.max_delta_ratio);
+                    if due {
+                        // The chain would cross a threshold: fold it and
+                        // this batch's edges into a fresh base in the same
+                        // commit, instead of appending a delta only to
+                        // read it straight back.
+                        let mut parts = dsss::load_chain_parts(
+                            self.graph.disk().as_ref(),
+                            i,
+                            j,
+                            reverse,
+                            chain,
+                        )?;
+                        let old_raw: u64 = parts.iter().map(|p| p.encoded_len()).sum();
+                        let old_disk =
+                            self.graph.disk().len_of(&base_name)? + chain.delta_bytes;
+                        parts.push(d); // the new batch, already dst-sorted
+                        let merged = dsss::merge_subshards(i, j, &parts);
+                        let blob = merged.encode_with(self.graph.encoding_policy());
+                        let new_gen = chain.gen + 1;
+                        let name = GraphManifest::subshard_base_file(i, j, reverse, new_gen);
+                        self.graph.disk().write_all_to(&name, &blob)?;
+                        raw_delta += merged.encoded_len() as i64 - old_raw as i64;
+                        disk_delta += blob.len() as i64 - old_disk as i64;
+                        manifest.set_chain_info(
+                            i,
+                            j,
+                            reverse,
+                            ChainInfo { gen: new_gen, ..ChainInfo::default() },
+                        );
+                        stale.extend(chain_files(i, j, reverse, chain));
+                        stats.cells_compacted += 1;
+                    } else {
+                        // Append one destination-sorted delta blob; the
+                        // base and earlier deltas are not even read.
+                        let name = GraphManifest::subshard_delta_file(
+                            i,
+                            j,
+                            reverse,
+                            chain.gen,
+                            chain.deltas + 1,
+                        );
+                        raw_delta += d.encoded_len() as i64;
+                        disk_delta += blob.len() as i64;
+                        self.graph.disk().write_all_to(&name, &blob)?;
+                        manifest.set_chain_info(
+                            i,
+                            j,
+                            reverse,
+                            ChainInfo {
+                                gen: chain.gen,
+                                deltas: chain.deltas + 1,
+                                delta_bytes: chain.delta_bytes + blob.len() as u64,
+                            },
+                        );
+                        stats.deltas_appended += 1;
+                    }
+                }
+                UpdateMode::Rewrite => {
+                    // Read-merge-rewrite the whole cell (chain included, so
+                    // mixing modes folds any pending deltas in passing).
+                    let parts =
+                        dsss::load_chain_parts(self.graph.disk().as_ref(), i, j, reverse, chain)?;
+                    let old_raw: u64 = parts.iter().map(|p| p.encoded_len()).sum();
+                    let old_disk = self.graph.subshard_len(i, j, reverse)?;
+                    let mut edges: Vec<(VertexId, VertexId)> =
+                        parts.iter().flat_map(|p| p.iter_edges()).collect();
+                    edges.extend(extra);
+                    let merged = SubShard::from_edges(i, j, edges);
+                    let blob = merged.encode_with(self.graph.encoding_policy());
+                    raw_delta += merged.encoded_len() as i64 - old_raw as i64;
+                    disk_delta += blob.len() as i64 - old_disk as i64;
+                    if chain.deltas == 0 {
+                        // Bare base: rewrite in place under its own name,
+                        // exactly like the pre-delta-log path.
+                        let name = GraphManifest::subshard_base_file(i, j, reverse, chain.gen);
+                        self.graph.disk().write_all_to(&name, &blob)?;
+                    } else {
+                        // A chain is folded into the next generation so the
+                        // still-referenced old base is never clobbered.
+                        let new_gen = chain.gen + 1;
+                        let name = GraphManifest::subshard_base_file(i, j, reverse, new_gen);
+                        self.graph.disk().write_all_to(&name, &blob)?;
+                        manifest.set_chain_info(
+                            i,
+                            j,
+                            reverse,
+                            ChainInfo { gen: new_gen, ..ChainInfo::default() },
+                        );
+                        stale.extend(chain_files(i, j, reverse, chain));
+                    }
+                    stats.cells_rewritten += 1;
+                }
             }
         }
 
-        // Degree table and manifest update.
-        let mut degrees = (**self.graph.out_degrees()).clone();
-        for (v, bump) in degree_bump {
-            degrees[v as usize] += bump;
-        }
-        let mut blob = Vec::new();
-        nxgraph_storage::format::write_blob(
-            &mut blob,
-            nxgraph_storage::format::FileKind::Degrees,
-            &nxgraph_storage::format::encode_u32s(&degrees),
-        )
-        .expect("vec write is infallible");
-        self.graph
-            .disk()
-            .write_all_to(GraphManifest::degree_file(), &blob)?;
-
-        let mut manifest = self.graph.manifest().clone();
         manifest.num_edges += new_raw.len() as u64;
+        self.commit(manifest, &degree_bump, raw_delta, disk_delta, &stale)?;
+        Ok(stats)
+    }
+
+    /// Fold every cell's delta chain into a single base blob (regardless
+    /// of the thresholds), then sweep any unreferenced chain files that an
+    /// interrupted fold or rebuild left behind. Returns the number of
+    /// cells folded.
+    pub fn compact(&mut self) -> EngineResult<usize> {
+        let cells: Vec<(u32, u32, bool)> = self
+            .graph
+            .manifest()
+            .chains()?
+            .into_iter()
+            .filter(|&(_, _, _, info)| info.deltas > 0)
+            .map(|(i, j, reverse, _)| (i, j, reverse))
+            .collect();
+        let folded = self.compact_cells(&cells)?;
+        self.sweep_orphans()?;
+        Ok(folded)
+    }
+
+    /// Remove every generation-tagged base or delta file the manifest does
+    /// not reference. The per-fold sweep only covers the chain being
+    /// superseded, so a crash *between* the manifest save and that sweep
+    /// orphans one generation's files — this pass (run by
+    /// [`DynamicGraph::compact`], i.e. `nxgraph-cli compact`) is the
+    /// garbage collector that reclaims them. Plain generation-0 names are
+    /// never candidates: they are the prep-time layout.
+    fn sweep_orphans(&self) -> EngineResult<usize> {
+        let manifest = self.graph.manifest();
+        let mut removed = 0usize;
+        for name in self.graph.disk().list() {
+            let Some((i, j, reverse, gen, delta)) = parse_chain_file(&name) else {
+                continue;
+            };
+            let chain = manifest.chain_info(i, j, reverse)?;
+            let referenced = gen == chain.gen
+                && match delta {
+                    None => gen > 0,
+                    Some(k) => k >= 1 && k <= chain.deltas,
+                };
+            if !referenced {
+                let _ = self.graph.disk().remove(&name);
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Fold the chains of the given cells. The merged base is written
+    /// under the *next* generation, the manifest save is the commit point,
+    /// and the superseded files are removed only afterwards — a crash
+    /// anywhere leaves either the old chain or the new base fully
+    /// referenced, never a half-state (leftovers are unreferenced and
+    /// harmless).
+    fn compact_cells(&mut self, cells: &[(u32, u32, bool)]) -> EngineResult<usize> {
+        if cells.is_empty() {
+            return Ok(0);
+        }
+        let disk = Arc::clone(self.graph.disk());
+        let mut manifest = self.graph.manifest().clone();
+        let (mut raw_delta, mut disk_delta) = (0i64, 0i64);
+        let mut stale: Vec<String> = Vec::new();
+        let mut folded = 0usize;
+        for &(i, j, reverse) in cells {
+            let chain = manifest.chain_info(i, j, reverse)?;
+            if chain.deltas == 0 {
+                continue;
+            }
+            let parts = dsss::load_chain_parts(disk.as_ref(), i, j, reverse, chain)?;
+            let old_raw: u64 = parts.iter().map(|p| p.encoded_len()).sum();
+            let old_base =
+                disk.len_of(&GraphManifest::subshard_base_file(i, j, reverse, chain.gen))?;
+            let merged = dsss::merge_subshards(i, j, &parts);
+            let blob = merged.encode_with(self.graph.encoding_policy());
+            let new_gen = chain.gen + 1;
+            disk.write_all_to(&GraphManifest::subshard_base_file(i, j, reverse, new_gen), &blob)?;
+            raw_delta += merged.encoded_len() as i64 - old_raw as i64;
+            disk_delta += blob.len() as i64 - (old_base + chain.delta_bytes) as i64;
+            manifest.set_chain_info(
+                i,
+                j,
+                reverse,
+                ChainInfo { gen: new_gen, ..ChainInfo::default() },
+            );
+            stale.extend(chain_files(i, j, reverse, chain));
+            folded += 1;
+        }
+        self.commit(manifest, &BTreeMap::new(), raw_delta, disk_delta, &stale)?;
+        Ok(folded)
+    }
+
+    /// Shared commit tail: degree table (when bumped), manifest byte
+    /// totals, manifest save (the durability point), stale-file sweep, and
+    /// a refresh of the in-memory handle. The refresh rebuilds the
+    /// [`PreparedGraph`] from the manifest and degree table already in
+    /// hand — commits are frequent on streaming workloads and re-reading
+    /// what was just written would double the per-batch fixed cost.
+    fn commit(
+        &mut self,
+        mut manifest: GraphManifest,
+        degree_bump: &BTreeMap<VertexId, u32>,
+        raw_delta: i64,
+        disk_delta: i64,
+        stale: &[String],
+    ) -> EngineResult<()> {
+        let out_degrees = if degree_bump.is_empty() {
+            Arc::clone(self.graph.out_degrees())
+        } else {
+            let mut degrees = (**self.graph.out_degrees()).clone();
+            for (&v, &bump) in degree_bump {
+                degrees[v as usize] += bump;
+            }
+            let mut blob = Vec::new();
+            nxgraph_storage::format::write_blob(
+                &mut blob,
+                nxgraph_storage::format::FileKind::Degrees,
+                &nxgraph_storage::format::encode_u32s(&degrees),
+            )
+            .expect("vec write is infallible");
+            self.graph
+                .disk()
+                .write_all_to(GraphManifest::degree_file(), &blob)?;
+            Arc::new(degrees)
+        };
         // Keep the recorded blob-size totals (and hence the reported
-        // compression ratio) in step with the rewritten cells.
+        // compression ratio) in step with what the commit wrote.
         for (key, delta) in [
             (crate::dsss::SS_RAW_BYTES_MANIFEST_KEY, raw_delta),
             (crate::dsss::SS_DISK_BYTES_MANIFEST_KEY, disk_delta),
@@ -163,34 +458,91 @@ impl DynamicGraph {
             }
         }
         manifest.save(self.graph.disk().as_ref())?;
-
-        // Reopen to refresh the in-memory handle.
-        self.graph = PreparedGraph::open(std::sync::Arc::clone(self.graph.disk()))?;
-        Ok(CommitStats {
-            edges_added: new_raw.len(),
-            rebuilt: false,
-            cells_rewritten: cells,
-        })
+        for name in stale {
+            // Best-effort: an unreferenced leftover is invisible to every
+            // reader and gets another sweep chance at the next fold.
+            let _ = self.graph.disk().remove(name);
+        }
+        let disk = Arc::clone(self.graph.disk());
+        self.graph = PreparedGraph::from_parts(disk, manifest, out_degrees)?;
+        Ok(())
     }
 
     fn rebuild_with(&mut self, new_raw: &[(u64, u64)]) -> EngineResult<CommitStats> {
+        // Fold every chain first: re-preprocessing overwrites the
+        // generation-0 base names in place, and doing that while the
+        // on-disk manifest still lists deltas for those cells would merge
+        // old delta blobs into new-id-space bases (double-counted edges)
+        // if the rebuild were interrupted. After the fold, every chained
+        // cell lives at a generation > 0 — names preprocessing never
+        // touches — so an interrupted rebuild reopens as the intact
+        // pre-rebuild graph. (Cells that never chained are overwritten in
+        // place, as every rebuild has done; mid-prep crash atomicity for
+        // those is out of scope.)
+        self.compact()?;
         let mut raw = self.raw_edges()?;
         raw.extend_from_slice(new_raw);
+        // The folded bases, swept only after the new manifest is saved.
+        let mut stale = Vec::new();
+        for (i, j, reverse, chain) in self.graph.manifest().chains()? {
+            stale.extend(chain_files(i, j, reverse, chain));
+        }
         let cfg = PrepConfig {
             name: self.graph.manifest().name.clone(),
             num_intervals: self.graph.num_intervals(),
             build_reverse: self.graph.has_reverse(),
             encoding: self.graph.encoding_policy(),
         };
-        let disk = std::sync::Arc::clone(self.graph.disk());
+        let disk = Arc::clone(self.graph.disk());
         self.graph = prep::preprocess(&raw, &cfg, disk)?;
+        for name in &stale {
+            let _ = self.graph.disk().remove(name);
+        }
         self.mapping = self.graph.load_reverse_mapping()?;
         Ok(CommitStats {
             edges_added: new_raw.len(),
             rebuilt: true,
-            cells_rewritten: 0,
+            ..CommitStats::default()
         })
     }
+}
+
+/// Every file a chain occupies — the base blob first, then all delta
+/// blobs. Fold paths sweep the whole list once the manifest references
+/// the next generation (the generation-0 base included: a fold is the
+/// only thing that ever supersedes it, and leaving it would leak the
+/// original cell's bytes forever).
+fn chain_files(i: u32, j: u32, reverse: bool, chain: ChainInfo) -> Vec<String> {
+    let mut out = Vec::with_capacity(chain.deltas as usize + 1);
+    out.push(GraphManifest::subshard_base_file(i, j, reverse, chain.gen));
+    for k in 1..=chain.deltas {
+        out.push(GraphManifest::subshard_delta_file(i, j, reverse, chain.gen, k));
+    }
+    out
+}
+
+/// Parse a generation-tagged chain file name —
+/// `[r]ss_{i}_{j}.g{gen}[.d{k}].bin` — into `(i, j, reverse, gen,
+/// delta_index)`. Plain prep-time names (`ss_i_j.bin`) and every other
+/// file kind return `None`; only parseable names are orphan-sweep
+/// candidates.
+fn parse_chain_file(name: &str) -> Option<(u32, u32, bool, u32, Option<u32>)> {
+    let rest = name.strip_suffix(".bin")?;
+    let (reverse, rest) = match rest.strip_prefix("rss_") {
+        Some(r) => (true, r),
+        None => (false, rest.strip_prefix("ss_")?),
+    };
+    let mut parts = rest.split('.');
+    let (i, j) = parts.next()?.split_once('_')?;
+    let gen = parts.next()?.strip_prefix('g')?.parse().ok()?;
+    let delta = match parts.next() {
+        None => None,
+        Some(d) => Some(d.strip_prefix('d')?.parse().ok()?),
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((i.parse().ok()?, j.parse().ok()?, reverse, gen, delta))
 }
 
 #[cfg(test)]
@@ -220,19 +572,94 @@ mod tests {
     }
 
     #[test]
-    fn incremental_commit_for_known_vertices() {
+    fn delta_log_commit_for_known_vertices() {
         let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
-        let mut dg = DynamicGraph::new(prepare(&base)).unwrap();
+        // Automatic compaction off so the chain is observable.
+        let mut dg =
+            DynamicGraph::with_config(prepare(&base), DynamicConfig::never_compact()).unwrap();
+        let extra = vec![(0u64, 2u64), (3, 1)];
+        let stats = dg.add_edges(&extra).unwrap();
+        assert!(!stats.rebuilt);
+        assert_eq!(stats.edges_added, 2);
+        assert_eq!(stats.cells_rewritten, 0);
+        assert!(stats.deltas_appended > 0);
+        assert_eq!(dg.graph().num_edges(), 6);
+        // The chain is visible in the manifest until compaction.
+        assert!(dg.graph().manifest().chains().unwrap().iter().any(|c| c.3.deltas > 0));
+
+        let mut full = base.clone();
+        full.extend(extra);
+        assert_equivalent(&dg, &full);
+
+        // An explicit fold leaves single-base cells and the same results.
+        let folded = dg.compact().unwrap();
+        assert!(folded > 0);
+        assert!(dg.graph().manifest().chains().unwrap().iter().all(|c| c.3.deltas == 0));
+        assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn rewrite_mode_commit_for_known_vertices() {
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
+        let mut dg =
+            DynamicGraph::with_config(prepare(&base), DynamicConfig::rewrite()).unwrap();
         let extra = vec![(0u64, 2u64), (3, 1)];
         let stats = dg.add_edges(&extra).unwrap();
         assert!(!stats.rebuilt);
         assert_eq!(stats.edges_added, 2);
         assert!(stats.cells_rewritten > 0);
+        assert_eq!(stats.deltas_appended, 0);
         assert_eq!(dg.graph().num_edges(), 6);
+        assert!(dg.graph().manifest().chains().unwrap().is_empty());
 
         let mut full = base.clone();
         full.extend(extra);
         assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn compaction_policy_folds_long_chains() {
+        let base: Vec<(u64, u64)> = (0..200u64).map(|k| (k % 9, (k + 1) % 9)).collect();
+        let cfg = DynamicConfig {
+            max_deltas: 3,
+            max_delta_ratio: f64::INFINITY, // only the count threshold
+            ..DynamicConfig::default()
+        };
+        let mut dg = DynamicGraph::with_config(prepare(&base), cfg).unwrap();
+        let mut full = base.clone();
+        let mut saw_compaction = false;
+        // Every batch lands in cell (0, 0): ids 0..3 are interval 0 of the
+        // 9-vertex, P=3 graph, so the same chain grows batch after batch.
+        for k in 0..9u64 {
+            let batch = vec![(k % 3, (k + 1) % 3)];
+            let stats = dg.add_edges(&batch).unwrap();
+            saw_compaction |= stats.cells_compacted > 0;
+            full.extend(batch);
+            // The policy bounds every chain at the threshold.
+            for (_, _, _, info) in dg.graph().manifest().chains().unwrap() {
+                assert!(info.deltas < 3, "chain grew past max_deltas: {info:?}");
+            }
+        }
+        assert!(saw_compaction, "nine single-cell batches must trigger a fold");
+        assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn byte_ratio_threshold_folds_heavy_chains() {
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 0)];
+        let cfg = DynamicConfig {
+            max_deltas: u32::MAX,
+            max_delta_ratio: 0.0, // any delta byte is "too heavy"
+            ..DynamicConfig::default()
+        };
+        let mut dg = DynamicGraph::with_config(prepare(&base), cfg).unwrap();
+        let stats = dg.add_edges(&[(0, 2)]).unwrap();
+        // Every touched cell is over the (zero) byte budget, so each one
+        // folds directly instead of appending.
+        assert_eq!(stats.deltas_appended, 0);
+        assert!(stats.cells_compacted > 0);
+        assert!(dg.graph().manifest().chains().unwrap().iter().all(|c| c.3.deltas == 0));
+        assert_equivalent(&dg, &[(0, 1), (1, 2), (2, 0), (0, 2)]);
     }
 
     #[test]
@@ -241,42 +668,56 @@ mod tests {
         use nxgraph_storage::EncodingPolicy;
 
         let base: Vec<(u64, u64)> = (0..200u64).map(|k| (k % 9, (k + 1) % 9)).collect();
-        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
-        let cfg = PrepConfig::new("dyn", 3).with_encoding(EncodingPolicy::Auto);
-        let g = prep::preprocess(&base, &cfg, disk).unwrap();
-        let mut dg = DynamicGraph::new(g).unwrap();
-        let stats = dg.add_edges(&[(0, 5), (7, 2), (3, 3)]).unwrap();
-        assert!(!stats.rebuilt);
-
-        // The recorded totals must match what is actually on disk after
-        // the partial rewrite, so the reported ratio never goes stale.
-        let m = dg.graph().manifest();
-        let recorded: u64 = m.extra[SS_DISK_BYTES_MANIFEST_KEY].parse().unwrap();
-        let p = dg.graph().num_intervals();
-        let mut actual = 0u64;
-        for i in 0..p {
-            for j in 0..p {
-                for rev in [false, true] {
-                    actual += dg.graph().subshard_len(i, j, rev).unwrap();
+        let check = |dg: &DynamicGraph| {
+            // The recorded totals must match what is actually on disk
+            // (chains included), so the reported ratio never goes stale.
+            let m = dg.graph().manifest();
+            let recorded: u64 = m.extra[SS_DISK_BYTES_MANIFEST_KEY].parse().unwrap();
+            let p = dg.graph().num_intervals();
+            let mut actual = 0u64;
+            for i in 0..p {
+                for j in 0..p {
+                    for rev in [false, true] {
+                        actual += dg.graph().subshard_len(i, j, rev).unwrap();
+                    }
                 }
             }
+            assert_eq!(recorded, actual);
+            let raw: u64 = m.extra[SS_RAW_BYTES_MANIFEST_KEY].parse().unwrap();
+            assert!(raw > recorded, "auto-encoded graph must stay compressed");
+        };
+        for config in [
+            DynamicConfig::never_compact(),
+            DynamicConfig::default(),
+            DynamicConfig::rewrite(),
+        ] {
+            let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+            let cfg = PrepConfig::new("dyn", 3).with_encoding(EncodingPolicy::Auto);
+            let g = prep::preprocess(&base, &cfg, disk).unwrap();
+            let mut dg = DynamicGraph::with_config(g, config.clone()).unwrap();
+            let stats = dg.add_edges(&[(0, 5), (7, 2), (3, 3)]).unwrap();
+            assert!(!stats.rebuilt);
+            check(&dg);
+            dg.compact().unwrap();
+            check(&dg);
         }
-        assert_eq!(recorded, actual);
-        let raw: u64 = m.extra[SS_RAW_BYTES_MANIFEST_KEY].parse().unwrap();
-        assert!(raw > recorded, "auto-encoded graph must stay compressed");
     }
 
     #[test]
     fn new_vertices_trigger_rebuild() {
         let base: Vec<(u64, u64)> = vec![(0, 1), (1, 0)];
         let mut dg = DynamicGraph::new(prepare(&base)).unwrap();
+        // Build up a chain first so the rebuild also has files to sweep.
+        dg.add_edges(&[(0, 0)]).unwrap();
         let extra = vec![(1u64, 99u64)]; // 99 unseen
         let stats = dg.add_edges(&extra).unwrap();
         assert!(stats.rebuilt);
         assert_eq!(dg.graph().num_vertices(), 3);
         assert_eq!(dg.id_of(99), Some(2));
+        assert!(dg.graph().manifest().chains().unwrap().is_empty());
 
         let mut full = base.clone();
+        full.push((0, 0));
         full.extend(extra);
         assert_equivalent(&dg, &full);
     }
@@ -292,10 +733,12 @@ mod tests {
     #[test]
     fn raw_edges_roundtrip() {
         let base: Vec<(u64, u64)> = vec![(10, 20), (20, 30), (30, 10)];
-        let dg = DynamicGraph::new(prepare(&base)).unwrap();
+        let mut dg = DynamicGraph::new(prepare(&base)).unwrap();
+        dg.add_edges(&[(20, 10)]).unwrap();
         let mut back = dg.raw_edges().unwrap();
         back.sort_unstable();
         let mut want = base.clone();
+        want.push((20, 10));
         want.sort_unstable();
         assert_eq!(back, want);
     }
@@ -304,7 +747,7 @@ mod tests {
     fn empty_batch_is_a_noop() {
         let mut dg = DynamicGraph::new(prepare(&[(0, 1)])).unwrap();
         let stats = dg.add_edges(&[]).unwrap();
-        assert_eq!(stats, CommitStats { edges_added: 0, rebuilt: false, cells_rewritten: 0 });
+        assert_eq!(stats, CommitStats::default());
     }
 
     #[test]
@@ -319,5 +762,27 @@ mod tests {
         }
         assert_eq!(dg.graph().num_edges() as usize, full.len());
         assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn delta_log_writes_less_than_rewrite() {
+        // The whole point: committing a small batch must cost O(batch)
+        // writes, not O(touched sub-shards).
+        let base: Vec<(u64, u64)> = (0..4000u64).map(|k| (k % 61, (k * 7 + 1) % 61)).collect();
+        let batch: Vec<(u64, u64)> = (0..10u64).map(|k| (k % 61, (k + 13) % 61)).collect();
+        let written = |config: DynamicConfig| {
+            let g = prepare(&base);
+            let disk = Arc::clone(g.disk());
+            let mut dg = DynamicGraph::with_config(g, config).unwrap();
+            let before = disk.counters().written_bytes();
+            dg.add_edges(&batch).unwrap();
+            disk.counters().written_bytes() - before
+        };
+        let delta = written(DynamicConfig::never_compact());
+        let rewrite = written(DynamicConfig::rewrite());
+        assert!(
+            delta * 2 < rewrite,
+            "delta log wrote {delta} bytes, rewrite {rewrite}"
+        );
     }
 }

@@ -91,11 +91,7 @@ pub fn shard(
     disk.write_all_to(GraphManifest::reverse_mapping_file(), &blob)?;
 
     manifest.save(disk.as_ref())?;
-    Ok(PreparedGraph::from_parts(
-        disk,
-        manifest,
-        Arc::new(deg.out_degrees.clone()),
-    ))
+    PreparedGraph::from_parts(disk, manifest, Arc::new(deg.out_degrees.clone()))
 }
 
 /// Bucket `edges` by (source interval, destination interval) and write one

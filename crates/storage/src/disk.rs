@@ -244,6 +244,18 @@ impl Disk for OsDisk {
     fn counters(&self) -> &Arc<IoCounters> {
         &self.counters
     }
+
+    /// Whole-buffer override: one `create` + one `write_all`, skipping the
+    /// streaming writer's megabyte `BufWriter`. Streaming-update commits
+    /// write hundreds of small delta blobs per batch, where the buffered
+    /// path's allocation dwarfs the payload.
+    fn write_all_to(&self, name: &str, data: &[u8]) -> StorageResult<()> {
+        let mut file = fs::File::create(self.path_of(name))?;
+        self.counters.record_seek();
+        file.write_all(data)?;
+        self.counters.record_write(data.len() as u64);
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -423,6 +435,17 @@ impl Disk for MemDisk {
 
     fn counters(&self) -> &Arc<IoCounters> {
         &self.counters
+    }
+
+    /// Whole-buffer override: insert the stored vector directly (bytes
+    /// still counted), skipping the `MemWrite` commit machinery.
+    fn write_all_to(&self, name: &str, data: &[u8]) -> StorageResult<()> {
+        self.counters.record_seek();
+        self.counters.record_write(data.len() as u64);
+        self.files
+            .lock()
+            .insert(name.to_string(), Arc::new(data.to_vec()));
+        Ok(())
     }
 }
 

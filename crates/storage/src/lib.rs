@@ -48,5 +48,6 @@ pub use counter::{IoCounters, IoSnapshot};
 pub use disk::{Disk, DiskRead, DiskWrite, FaultyDisk, MemDisk, OsDisk};
 pub use error::{StorageError, StorageResult};
 pub use format::{ChecksumMode, ChecksumPolicy, Encoding, EncodingPolicy};
+pub use manifest::{ChainInfo, GraphManifest};
 pub use pool::{AlignedBuf, BufferPool, PooledBuf, SharedBytes};
 pub use profile::DeviceProfile;

@@ -18,6 +18,37 @@ use crate::error::{StorageError, StorageResult};
 /// Name of the manifest file on a prepared-graph disk.
 pub const MANIFEST_FILE: &str = "graph.manifest";
 
+/// Per-cell delta-chain bookkeeping for streaming updates.
+///
+/// A sub-shard cell `(i, j, reverse)` is stored as one *base* blob plus an
+/// append-only chain of *delta* blobs (each a destination-sorted sub-shard
+/// of just the edges added by one batch). `gen` tags the base blob's file
+/// name: compaction folds the chain into a fresh base under the *next*
+/// generation and commits by saving the manifest, so a crash at any point
+/// leaves either the old chain or the new base fully referenced — stale
+/// files from the other side are simply never read. `gen == 0` maps to the
+/// historical un-suffixed file names, so prepared graphs that never saw an
+/// update keep their exact on-disk layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct ChainInfo {
+    /// Generation of the base blob (0 = the original prep-time file name).
+    pub gen: u32,
+    /// Number of delta blobs appended on top of the base.
+    pub deltas: u32,
+    /// Total on-disk bytes of those delta blobs, accumulated at append
+    /// time so the writer's compaction check needs no per-delta stat
+    /// calls on the hot commit path.
+    pub delta_bytes: u64,
+}
+
+impl ChainInfo {
+    /// Whether this cell is just a bare base blob under the original name
+    /// (the state `chain_info` reports for cells with no manifest entry).
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// Shape and bookkeeping for a prepared graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphManifest {
@@ -85,6 +116,120 @@ impl GraphManifest {
     /// transposed graph).
     pub fn rev_subshard_file(i: u32, j: u32) -> String {
         format!("rss_{i}_{j}.bin")
+    }
+
+    /// Stem shared by a cell's base, delta and chain-key names.
+    fn cell_stem(i: u32, j: u32, reverse: bool) -> String {
+        if reverse {
+            format!("rss_{i}_{j}")
+        } else {
+            format!("ss_{i}_{j}")
+        }
+    }
+
+    /// File name of the *base* blob of cell `(i, j, reverse)` at
+    /// generation `gen`. Generation 0 is the prep-time name
+    /// ([`GraphManifest::subshard_file`] /
+    /// [`GraphManifest::rev_subshard_file`]); compaction bumps the
+    /// generation so the fold never overwrites a blob readers may still be
+    /// directed at.
+    pub fn subshard_base_file(i: u32, j: u32, reverse: bool, gen: u32) -> String {
+        if gen == 0 {
+            format!("{}.bin", Self::cell_stem(i, j, reverse))
+        } else {
+            format!("{}.g{gen}.bin", Self::cell_stem(i, j, reverse))
+        }
+    }
+
+    /// File name of the `k`-th delta blob (`k ≥ 1`) appended to cell
+    /// `(i, j, reverse)` at base generation `gen`. The generation is part
+    /// of the name so a crashed compaction can never leave a stale delta
+    /// that collides with a later chain.
+    pub fn subshard_delta_file(i: u32, j: u32, reverse: bool, gen: u32, k: u32) -> String {
+        format!("{}.g{gen}.d{k}.bin", Self::cell_stem(i, j, reverse))
+    }
+
+    /// Manifest extra key recording a cell's [`ChainInfo`].
+    fn chain_key(i: u32, j: u32, reverse: bool) -> String {
+        format!("chain.{}", Self::cell_stem(i, j, reverse))
+    }
+
+    /// Delta-chain state of cell `(i, j, reverse)`; the absence of a chain
+    /// key means the default (generation-0 base, no deltas). A malformed
+    /// value is a [`StorageError::Corrupt`] — silently defaulting would
+    /// make readers skip the chain's edges.
+    pub fn chain_info(&self, i: u32, j: u32, reverse: bool) -> StorageResult<ChainInfo> {
+        match self.extra.get(&Self::chain_key(i, j, reverse)) {
+            None => Ok(ChainInfo::default()),
+            Some(v) => Self::parse_chain_value(v),
+        }
+    }
+
+    fn parse_chain_value(v: &str) -> StorageResult<ChainInfo> {
+        let corrupt = || StorageError::Corrupt {
+            name: MANIFEST_FILE.to_string(),
+            reason: format!("malformed chain value {v:?} (expected \"gen:deltas:bytes\")"),
+        };
+        let mut fields = v.split(':');
+        let mut next = || fields.next().map(str::trim).ok_or_else(corrupt);
+        let info = ChainInfo {
+            gen: next()?.parse().map_err(|_| corrupt())?,
+            deltas: next()?.parse().map_err(|_| corrupt())?,
+            delta_bytes: next()?.parse().map_err(|_| corrupt())?,
+        };
+        if fields.next().is_some() {
+            return Err(corrupt());
+        }
+        Ok(info)
+    }
+
+    /// Record cell `(i, j, reverse)`'s chain state; the default state is
+    /// stored as the *absence* of the key, keeping untouched graphs'
+    /// manifests byte-identical to pre-delta-log writers.
+    pub fn set_chain_info(&mut self, i: u32, j: u32, reverse: bool, info: ChainInfo) {
+        let key = Self::chain_key(i, j, reverse);
+        if info.is_default() {
+            self.extra.remove(&key);
+        } else {
+            self.extra.insert(
+                key,
+                format!("{}:{}:{}", info.gen, info.deltas, info.delta_bytes),
+            );
+        }
+    }
+
+    /// Every cell with a non-default chain (a bumped generation and/or
+    /// pending deltas), in deterministic order.
+    pub fn chains(&self) -> StorageResult<Vec<(u32, u32, bool, ChainInfo)>> {
+        let mut out = Vec::new();
+        for (key, value) in &self.extra {
+            let Some(stem) = key.strip_prefix("chain.") else {
+                continue;
+            };
+            let (reverse, rest) = match stem.strip_prefix("rss_") {
+                Some(rest) => (true, rest),
+                None => match stem.strip_prefix("ss_") {
+                    Some(rest) => (false, rest),
+                    None => {
+                        return Err(StorageError::Corrupt {
+                            name: MANIFEST_FILE.to_string(),
+                            reason: format!("unrecognised chain key {key:?}"),
+                        })
+                    }
+                },
+            };
+            let cell = rest.split_once('_').and_then(|(i, j)| {
+                Some((i.parse::<u32>().ok()?, j.parse::<u32>().ok()?))
+            });
+            let Some((i, j)) = cell else {
+                return Err(StorageError::Corrupt {
+                    name: MANIFEST_FILE.to_string(),
+                    reason: format!("unrecognised chain key {key:?}"),
+                });
+            };
+            out.push((i, j, reverse, Self::parse_chain_value(value)?));
+        }
+        Ok(out)
     }
 
     /// Canonical file name of an interval attribute slot.
@@ -266,6 +411,55 @@ mod tests {
         assert_eq!(GraphManifest::rev_subshard_file(0, 1), "rss_0_1.bin");
         assert_eq!(GraphManifest::interval_file(3), "interval_3.bin");
         assert_eq!(GraphManifest::hub_file(1, 2), "hub_1_2.bin");
+        // Generation 0 is the prep-time base name; bumped generations and
+        // delta blobs carry the chain position in the name.
+        assert_eq!(GraphManifest::subshard_base_file(2, 7, false, 0), "ss_2_7.bin");
+        assert_eq!(GraphManifest::subshard_base_file(2, 7, true, 0), "rss_2_7.bin");
+        assert_eq!(GraphManifest::subshard_base_file(2, 7, false, 3), "ss_2_7.g3.bin");
+        assert_eq!(
+            GraphManifest::subshard_delta_file(2, 7, false, 0, 1),
+            "ss_2_7.g0.d1.bin"
+        );
+        assert_eq!(
+            GraphManifest::subshard_delta_file(0, 1, true, 2, 5),
+            "rss_0_1.g2.d5.bin"
+        );
+    }
+
+    #[test]
+    fn chain_info_roundtrips_through_text() {
+        let mut m = sample();
+        assert_eq!(m.chain_info(2, 1, false).unwrap(), ChainInfo::default());
+        let a = ChainInfo { gen: 1, deltas: 3, delta_bytes: 912 };
+        let b = ChainInfo { gen: 2, deltas: 0, delta_bytes: 0 };
+        m.set_chain_info(2, 1, false, a);
+        m.set_chain_info(0, 4, true, b);
+        let back = GraphManifest::from_text(&m.to_text()).unwrap();
+        assert_eq!(back.chain_info(2, 1, false).unwrap(), a);
+        assert_eq!(back.chain_info(0, 4, true).unwrap(), b);
+        assert_eq!(back.chain_info(2, 1, true).unwrap(), ChainInfo::default());
+        let mut chains = back.chains().unwrap();
+        chains.sort();
+        assert_eq!(chains, vec![(0, 4, true, b), (2, 1, false, a)]);
+        // Setting a cell back to the default removes the key entirely.
+        let mut m2 = back.clone();
+        m2.set_chain_info(2, 1, false, ChainInfo::default());
+        m2.set_chain_info(0, 4, true, ChainInfo::default());
+        assert!(m2.chains().unwrap().is_empty());
+        assert_eq!(m2.to_text(), sample().to_text());
+    }
+
+    #[test]
+    fn malformed_chain_values_are_rejected() {
+        for bad in ["three", "1:2", "1:2:3:4", "1:x:3"] {
+            let mut m = sample();
+            m.extra.insert("chain.ss_1_1".into(), bad.into());
+            assert!(m.chain_info(1, 1, false).is_err(), "{bad:?}");
+            assert!(m.chains().is_err(), "{bad:?}");
+        }
+        let mut m = sample();
+        m.extra.insert("chain.bogus".into(), "1:1:1".into());
+        assert!(m.chains().is_err());
     }
 
     #[test]

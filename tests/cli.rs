@@ -61,6 +61,7 @@ fn full_cli_pipeline() {
 
     for sub in [
         vec!["info", graph.to_str().unwrap()],
+        vec!["compact", graph.to_str().unwrap()],
         vec!["pagerank", graph.to_str().unwrap(), "--iters", "3", "--top", "2"],
         vec!["bfs", graph.to_str().unwrap(), "--root", "0"],
         vec!["wcc", graph.to_str().unwrap()],

@@ -133,6 +133,49 @@ fn hits_is_deterministic_and_strategy_independent() {
 }
 
 #[test]
+fn dynamic_delta_log_roundtrips_on_real_files() {
+    use nxgraph::core::dynamic::{DynamicConfig, DynamicGraph};
+    use nxgraph::storage::OsDisk;
+
+    // Chains on a directory of real files: append, reopen cold, fold,
+    // reopen again — results stay put across process-like boundaries.
+    let dir = std::env::temp_dir().join(format!("nxgraph-delta-os-{}", std::process::id()));
+    let raw: Vec<(u64, u64)> = rmat::generate(&rmat::RmatConfig::graph500(8, 4, 77))
+        .into_iter()
+        .map(|e| (e.src, e.dst))
+        .collect();
+    let disk: Arc<dyn Disk> = Arc::new(OsDisk::new(&dir).unwrap());
+    let g = preprocess(&raw, &PrepConfig::new("os-delta", 4), Arc::clone(&disk)).unwrap();
+    let mut dg = DynamicGraph::with_config(g, DynamicConfig::never_compact()).unwrap();
+    let known = dg.graph().load_reverse_mapping().unwrap();
+    let extra: Vec<(u64, u64)> = (0..30)
+        .map(|k| (known[(k * 3) % known.len()], known[(k * 11 + 5) % known.len()]))
+        .collect();
+    let stats = dg.add_edges(&extra).unwrap();
+    assert!(stats.deltas_appended > 0);
+    drop(dg);
+
+    // Cold reopen sees the chain and merges it.
+    let reopened = PreparedGraph::open(Arc::clone(&disk)).unwrap();
+    assert!(reopened.manifest().chains().unwrap().iter().any(|c| c.3.deltas > 0));
+    let cfg = EngineConfig::default().with_max_iterations(5);
+    let (want, _) = algo::pagerank(&reopened, 5, &cfg).unwrap();
+
+    // Fold, reopen again: chains gone, PageRank bit-identical.
+    let mut dg = DynamicGraph::new(reopened).unwrap();
+    assert!(dg.compact().unwrap() > 0);
+    drop(dg);
+    let compacted = PreparedGraph::open(Arc::clone(&disk)).unwrap();
+    assert!(compacted.manifest().chains().unwrap().iter().all(|c| c.3.deltas == 0));
+    let (got, _) = algo::pagerank(&compacted, 5, &cfg).unwrap();
+    assert_eq!(
+        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn dynamic_commits_then_all_algorithms_run() {
     let g = workload(8, 4, 35);
     let mut dg = DynamicGraph::new(g).unwrap();

@@ -169,6 +169,122 @@ fn corrupt_varint_stream_is_a_clean_format_error() {
     assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
 }
 
+// ---------------------------------------------------------------------------
+// Delta-chain failure paths: a broken chain must always be a clean error
+// (or be invisible, for unreferenced leftovers) — never wrong results.
+// ---------------------------------------------------------------------------
+
+/// A prepared graph with one committed delta-log batch (compaction held
+/// off so the chain stays on disk), plus the name of one delta blob.
+fn chained_graph() -> (Arc<dyn Disk>, nxgraph::core::dynamic::DynamicGraph, u32, u32, String) {
+    use nxgraph::core::dynamic::{DynamicConfig, DynamicGraph};
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(&raw_edges(), &PrepConfig::new("chain", 2), Arc::clone(&disk)).unwrap();
+    let mut dg = DynamicGraph::with_config(g, DynamicConfig::never_compact()).unwrap();
+    dg.add_edges(&[(0, 4), (5, 1), (2, 6)]).unwrap();
+    let (i, j, reverse, info) = dg
+        .graph()
+        .manifest()
+        .chains()
+        .unwrap()
+        .into_iter()
+        .find(|c| !c.2 && c.3.deltas > 0)
+        .expect("a forward chain must exist");
+    assert!(!reverse);
+    let name = GraphManifest::subshard_delta_file(i, j, false, info.gen, 1);
+    assert!(disk.exists(&name), "{name} must be on disk");
+    (disk, dg, i, j, name)
+}
+
+#[test]
+fn corrupt_or_truncated_delta_blob_is_rejected() {
+    let (disk, dg, i, j, name) = chained_graph();
+    let good = disk.read_all(&name).unwrap();
+    // Byte flip: caught by the checksum, on the view and the owned path,
+    // and still caught on retry (verify-once must not disarm on failure).
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0xff;
+    disk.write_all_to(&name, &bad).unwrap();
+    assert!(dg.graph().load_subshard_view(i, j, false).is_err());
+    assert!(dg.graph().load_subshard_view(i, j, false).is_err(), "retry must re-verify");
+    assert!(dg.graph().load_subshard(i, j, false).is_err());
+    // Truncations at several depths are clean errors too.
+    for cut in [10usize, 33, good.len() - 2] {
+        disk.write_all_to(&name, &good[..cut]).unwrap();
+        assert!(dg.graph().load_subshard_view(i, j, false).is_err(), "cut {cut}");
+    }
+    // A blob that is valid but belongs to a *different cell* is rejected
+    // by the chain check, not silently merged.
+    let alien = nxgraph::core::dsss::SubShard::from_edges(1, 1, vec![(4, 4)]).encode();
+    disk.write_all_to(&name, &alien).unwrap();
+    let err = dg.graph().load_subshard_view(i, j, false).unwrap_err();
+    assert!(err.to_string().contains("chain expects"), "{err}");
+    // Restoring the real bytes heals the chain.
+    disk.write_all_to(&name, &good).unwrap();
+    assert!(dg.graph().load_subshard_view(i, j, false).is_ok());
+}
+
+#[test]
+fn manifest_listing_a_missing_delta_is_a_clean_error() {
+    let (disk, dg, i, j, name) = chained_graph();
+    disk.remove(&name).unwrap();
+    // Loads and whole runs fail cleanly — no panic, no silently dropped
+    // edges.
+    assert!(dg.graph().load_subshard_view(i, j, false).is_err());
+    assert!(dg.graph().load_subshard(i, j, false).is_err());
+    let res = algo::pagerank(dg.graph(), 3, &EngineConfig::default());
+    assert!(
+        matches!(res, Err(EngineError::Storage(StorageError::NotFound(_)))),
+        "{res:?}"
+    );
+}
+
+#[test]
+fn stale_compaction_leftovers_never_change_results() {
+    use nxgraph::core::dsss::SubShard;
+
+    // Crash window 1: the fold wrote the next-generation base but died
+    // before the manifest save. The manifest still references the old
+    // chain, so the leftover is invisible and results are unchanged.
+    let (disk, dg, i, j, _name) = chained_graph();
+    let cfg = EngineConfig::default().with_max_iterations(4);
+    let want = algo::pagerank(dg.graph(), 4, &cfg).unwrap().0;
+    let info = dg.graph().chain_info(i, j, false);
+    let leftover = GraphManifest::subshard_base_file(i, j, false, info.gen + 1);
+    // Write plausible-but-wrong content (missing the delta edges) where a
+    // crashed fold would have put the merged blob; a *referenced* file
+    // with this content would change PageRank.
+    let wrong = SubShard::from_edges(i, j, vec![(0, 0)]).encode();
+    disk.write_all_to(&leftover, &wrong).unwrap();
+    let graph = nxgraph::core::PreparedGraph::open(Arc::clone(&disk)).unwrap();
+    assert_eq!(algo::pagerank(&graph, 4, &cfg).unwrap().0, want);
+
+    // Crash window 2: the fold saved the manifest but died before
+    // sweeping the superseded chain files. The stale old-generation base
+    // and delta blobs are ignored; results match a clean fold.
+    let (disk, mut dg, i, j, delta_name) = chained_graph();
+    let want = algo::pagerank(dg.graph(), 4, &cfg).unwrap().0;
+    let old_base = disk.read_all(&GraphManifest::subshard_base_file(i, j, false, 0)).unwrap();
+    let old_delta = disk.read_all(&delta_name).unwrap();
+    assert!(dg.compact().unwrap() > 0);
+    // Re-create the stale files the sweep would have removed.
+    disk.write_all_to(&GraphManifest::subshard_base_file(i, j, false, 0), &old_base).unwrap();
+    disk.write_all_to(&delta_name, &old_delta).unwrap();
+    let graph = nxgraph::core::PreparedGraph::open(Arc::clone(&disk)).unwrap();
+    assert_eq!(algo::pagerank(&graph, 4, &cfg).unwrap().0, want);
+    // And the next compact() garbage-collects the orphaned delta blob
+    // for good (the plain gen-0 base name is the prep-time layout and is
+    // never a sweep candidate).
+    let mut dg2 = nxgraph::core::dynamic::DynamicGraph::new(graph).unwrap();
+    dg2.add_edges(&[(0, 4)]).unwrap();
+    dg2.compact().unwrap();
+    assert!(
+        !disk.exists(&delta_name),
+        "orphaned {delta_name} must be swept by compact()"
+    );
+}
+
 #[test]
 fn golden_v2_subshard_blob_still_loads() {
     // Byte-for-byte output of the format-v2 writer (PR 3 era) for the

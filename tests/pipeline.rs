@@ -532,6 +532,99 @@ fn auto_encoding_cuts_streamed_read_bytes() {
 }
 
 // ---------------------------------------------------------------------------
+// Dynamic-graph equivalence (delta log): after K randomized add_edges
+// batches, every algorithm under every strategy must be bitwise-identical
+// across (a) the delta-log graph with its chains still pending, (b) the
+// same graph after compaction folded every chain, and (c) a from-scratch
+// preparation of the final edge set. The merge-iterated chain, the folded
+// base blob and the prep-time blob must expose byte-identical CSR columns,
+// so this matrix pins the whole streaming-update subsystem at once.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matrix_dynamic_delta_compacted_and_fresh_bitwise_identical() {
+    use nxgraph::core::dynamic::{DynamicConfig, DynamicGraph};
+    use rand::{Rng, SeedableRng};
+
+    const ALGOS: [&str; 8] = [
+        "pagerank", "bfs", "sssp", "wcc", "scc", "kcore", "hits", "ppr",
+    ];
+    let base = rmat_raw(8, 6, 97);
+    // K randomized batches over the existing vertex set (so every commit
+    // takes the incremental path).
+    let mut known: Vec<u64> = base.iter().flat_map(|&(s, d)| [s, d]).collect();
+    known.sort_unstable();
+    known.dedup();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+    let batches: Vec<Vec<(u64, u64)>> = (0..6)
+        .map(|_| {
+            (0..40)
+                .map(|_| {
+                    (
+                        known[rng.random_range(0..known.len())],
+                        known[rng.random_range(0..known.len())],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // (a) delta-log graph, compaction held off so chains stay pending.
+    let disk_a: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(&base, &PrepConfig::new("dyn-a", 5), disk_a).unwrap();
+    let mut dg_chained = DynamicGraph::with_config(g, DynamicConfig::never_compact()).unwrap();
+    // (b) same stream, then an explicit fold of every chain.
+    let disk_b: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(&base, &PrepConfig::new("dyn-b", 5), disk_b).unwrap();
+    let mut dg_compacted = DynamicGraph::with_config(g, DynamicConfig::never_compact()).unwrap();
+    for batch in &batches {
+        assert!(!dg_chained.add_edges(batch).unwrap().rebuilt);
+        assert!(!dg_compacted.add_edges(batch).unwrap().rebuilt);
+    }
+    assert!(
+        dg_chained.graph().manifest().chains().unwrap().iter().any(|c| c.3.deltas > 0),
+        "variant (a) must actually carry pending delta chains"
+    );
+    assert!(dg_compacted.compact().unwrap() > 0);
+    assert!(
+        dg_compacted.graph().manifest().chains().unwrap().iter().all(|c| c.3.deltas == 0),
+        "variant (b) must have folded every chain"
+    );
+    // (c) from-scratch preparation of the final edge set.
+    let mut full = base.clone();
+    full.extend(batches.iter().flatten());
+    let disk_c: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let fresh = preprocess(&full, &PrepConfig::new("dyn-c", 5), disk_c).unwrap();
+    assert_eq!(fresh.num_edges(), dg_chained.graph().num_edges());
+
+    let n = fresh.num_vertices() as u64;
+    for algo_name in ALGOS {
+        for (strategy, budget) in [
+            (Strategy::Spu, 0),
+            (Strategy::Dpu, 0),
+            (Strategy::Mpu, 4 * n + n * 8),
+        ] {
+            let cfg = EngineConfig::default()
+                .with_strategy(strategy)
+                .with_budget(budget)
+                .with_sync(SyncMode::Callback)
+                .with_threads(3);
+            let chained = algo_fingerprint(algo_name, dg_chained.graph(), &cfg);
+            let compacted = algo_fingerprint(algo_name, dg_compacted.graph(), &cfg);
+            let scratch = algo_fingerprint(algo_name, &fresh, &cfg);
+            assert_eq!(
+                chained, scratch,
+                "{algo_name}/{strategy:?}: delta-log chain diverged from fresh prep"
+            );
+            assert_eq!(
+                compacted, scratch,
+                "{algo_name}/{strategy:?}: compacted graph diverged from fresh prep"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Strategy::Auto regression: §III-B degradation at the budget extremes.
 // ---------------------------------------------------------------------------
 
