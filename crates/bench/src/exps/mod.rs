@@ -11,6 +11,7 @@ pub mod exp8_limited;
 pub mod exp9_best;
 pub mod fig6;
 pub mod perf;
+pub mod scaling;
 pub mod table2;
 pub mod updates;
 

@@ -6,11 +6,15 @@
 //! with prefetch on and off — and, since format v3, under both the raw
 //! and the delta+varint `auto` blob encodings, reporting counted read
 //! bytes per iteration and the on-disk blob ratio alongside
-//! iterations/sec and traversed edges/sec. With `--json` the results are
-//! written to `BENCH_pagerank.json` (override with `--out PATH`) so
-//! successive PRs can diff the numbers; CI runs it at a tiny scale, once
-//! per encoding, to keep both paths from bit-rotting. `--encoding` pins a
-//! single policy; the default measures raw and auto side by side.
+//! iterations/sec and traversed edges/sec. Schema v4 adds the effective
+//! engine `threads` to every strategy row (so the committed JSON can
+//! distinguish "1-core host" from "configured 1 thread") and embeds the
+//! [`scaling`](crate::exps::scaling) experiment's thread-sweep +
+//! determinism section. With `--json` the results are written to
+//! `BENCH_pagerank.json` (override with `--out PATH`) so successive PRs
+//! can diff the numbers; CI runs it at a tiny scale, once per encoding,
+//! to keep both paths from bit-rotting. `--encoding` pins a single
+//! policy; the default measures raw and auto side by side.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -24,6 +28,7 @@ use nxgraph_graphgen::datasets::Dataset;
 use nxgraph_graphgen::rmat::{self, RmatConfig};
 use nxgraph_storage::{EncodingPolicy, SharedBytes};
 
+use crate::exps::scaling::{self, ScalingReport};
 use crate::exps::{half_resident_budget, nx_cfg};
 use crate::Opts;
 
@@ -38,6 +43,9 @@ struct Row {
     encoding: String,
     strategy: &'static str,
     prefetch: bool,
+    /// Effective engine thread count of this run (post-clamping), not the
+    /// raw `--threads` request.
+    threads: usize,
     elapsed_secs: f64,
     iters_per_sec: f64,
     edges_per_sec: f64,
@@ -192,6 +200,7 @@ fn measure(scale: u32, opts: &Opts) -> ScaleReport {
                     encoding: encoding.to_string(),
                     strategy: name,
                     prefetch,
+                    threads: cfg.threads,
                     elapsed_secs: *secs,
                     iters_per_sec: stats.iterations as f64 / secs,
                     edges_per_sec: stats.edges_traversed as f64 / secs,
@@ -228,11 +237,16 @@ impl ScaleReport {
     }
 }
 
-fn render_json(opts: &Opts, reports: &[ScaleReport], decode: &DecodeReport) -> String {
+fn render_json(
+    opts: &Opts,
+    reports: &[ScaleReport],
+    decode: &DecodeReport,
+    scaling: &ScalingReport,
+) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"pagerank\",");
-    let _ = writeln!(s, "  \"schema_version\": 3,");
+    let _ = writeln!(s, "  \"schema_version\": 4,");
     let _ = writeln!(s, "  \"seed\": {},", opts.seed);
     let _ = writeln!(s, "  \"iters\": {},", opts.iters);
     let _ = writeln!(s, "  \"threads\": {},", opts.threads);
@@ -266,10 +280,11 @@ fn render_json(opts: &Opts, reports: &[ScaleReport], decode: &DecodeReport) -> S
         for (ri, row) in r.rows.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "        {{\"encoding\": \"{}\", \"strategy\": \"{}\", \"prefetch\": {}, \"elapsed_secs\": {:.6}, \"iters_per_sec\": {:.3}, \"edges_per_sec\": {:.1}, \"read_bytes_per_iter\": {}}}{}",
+                "        {{\"encoding\": \"{}\", \"strategy\": \"{}\", \"prefetch\": {}, \"threads\": {}, \"elapsed_secs\": {:.6}, \"iters_per_sec\": {:.3}, \"edges_per_sec\": {:.1}, \"read_bytes_per_iter\": {}}}{}",
                 row.encoding,
                 row.strategy,
                 row.prefetch,
+                row.threads,
                 row.elapsed_secs,
                 row.iters_per_sec,
                 row.edges_per_sec,
@@ -287,13 +302,16 @@ fn render_json(opts: &Opts, reports: &[ScaleReport], decode: &DecodeReport) -> S
     let _ = writeln!(s, "  ],");
     let _ = writeln!(
         s,
-        "  \"subshard_decode\": {{\"edges\": {}, \"owned_medges_per_sec\": {:.1}, \"view_medges_per_sec\": {:.1}, \"compressed_medges_per_sec\": {:.1}, \"compressed_blob_ratio\": {:.3}}}",
+        "  \"subshard_decode\": {{\"edges\": {}, \"owned_medges_per_sec\": {:.1}, \"view_medges_per_sec\": {:.1}, \"compressed_medges_per_sec\": {:.1}, \"compressed_blob_ratio\": {:.3}}},",
         decode.edges,
         decode.owned_medges_per_sec,
         decode.view_medges_per_sec,
         decode.compressed_medges_per_sec,
         decode.compressed_blob_ratio
     );
+    let _ = write!(s, "  \"scaling\": ");
+    scaling.write_json_object(&mut s, 2);
+    let _ = writeln!(s);
     let _ = writeln!(s, "}}");
     s
 }
@@ -307,6 +325,10 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
         reports.push(measure(scale, opts));
     }
     let decode = measure_decode(opts);
+    // The thread-scaling sweep + bitwise determinism matrix ride along in
+    // the same JSON (schema v4), so the committed baseline carries the
+    // multi-thread story; a determinism failure fails `perf` too.
+    let scaling = scaling::measure(opts);
 
     for r in &reports {
         let mut t = Table::new(
@@ -314,13 +336,17 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
                 "perf — PageRank on {} ({} vertices, {} edges, {} iters)",
                 r.dataset, r.vertices, r.edges, opts.iters
             ),
-            &["encoding", "strategy", "prefetch", "time (s)", "iters/s", "edges/s", "read B/iter"],
+            &[
+                "encoding", "strategy", "prefetch", "threads", "time (s)", "iters/s", "edges/s",
+                "read B/iter",
+            ],
         );
         for row in &r.rows {
             t.row(vec![
                 row.encoding.clone(),
                 row.strategy.to_string(),
                 row.prefetch.to_string(),
+                row.threads.to_string(),
                 fmt_secs(std::time::Duration::from_secs_f64(row.elapsed_secs)),
                 format!("{:.2}", row.iters_per_sec),
                 format!("{:.3e}", row.edges_per_sec),
@@ -342,15 +368,19 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
         1.0 / decode.compressed_blob_ratio.max(1e-9)
     );
 
+    if !scaling.deterministic() {
+        eprintln!("perf: thread-scaling determinism matrix diverged (see `nxbench scaling`)");
+    }
+
     if let Some(path) = json_out {
-        let json = render_json(opts, &reports, &decode);
+        let json = render_json(opts, &reports, &decode, &scaling);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("perf: failed to write {path}: {e}");
             return false;
         }
         println!("\nwrote {path}");
     }
-    true
+    scaling.deterministic()
 }
 
 #[cfg(test)]
@@ -369,9 +399,16 @@ mod tests {
         assert!(decode.owned_medges_per_sec > 0.0 && decode.view_medges_per_sec > 0.0);
         assert!(decode.compressed_medges_per_sec > 0.0);
         assert!(decode.compressed_blob_ratio > 0.0 && decode.compressed_blob_ratio < 1.0);
-        let json = render_json(&opts, &reports, &decode);
-        assert!(json.contains("\"schema_version\": 3"));
+        let json = render_json(&opts, &reports, &decode, &scaling::stub_report());
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"bench\": \"pagerank\""));
+        // Schema v4: every strategy row records its effective threads, and
+        // the scaling section is present.
+        for line in json.lines().filter(|l| l.contains("\"strategy\":")) {
+            assert!(line.contains("\"threads\":"), "row missing threads: {line}");
+        }
+        assert!(json.contains("\"scaling\": {"));
+        assert!(json.contains("\"bitwise_identical\""));
         assert!(json.contains("\"strategy\": \"spu\""));
         assert!(json.contains("\"strategy\": \"dpu\""));
         assert!(json.contains("\"prefetch\": true"));
@@ -421,7 +458,7 @@ mod tests {
         assert!(r.rows.iter().all(|row| row.encoding == "raw"));
         assert_eq!(r.disk.len(), 1);
         assert!(r.blob_ratio().is_none());
-        let json = render_json(&opts, &[r], &measure_decode(&opts));
+        let json = render_json(&opts, &[r], &measure_decode(&opts), &scaling::stub_report());
         assert!(!json.contains("\"encoding\": \"auto\""));
         assert!(
             !json.contains("\"blob_ratio\""),

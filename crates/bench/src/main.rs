@@ -18,9 +18,16 @@
 //!   exp9     Table VI  — best-case comparison
 //!   perf     repo perf baseline — PageRank iters/sec, edges/sec and read
 //!            bytes/iter per encoding × strategy × prefetch on fixed-seed
-//!            R-MAT at two scales; `--json` writes BENCH_pagerank.json
-//!            (`--out` overrides). Measures encodings raw *and* auto
-//!            unless `--encoding` pins one.
+//!            R-MAT at two scales, plus the thread-scaling section;
+//!            `--json` writes BENCH_pagerank.json (`--out` overrides).
+//!            Measures encodings raw *and* auto unless `--encoding` pins
+//!            one.
+//!   scaling  repo thread-scaling baseline — PageRank iters/sec per
+//!            strategy at 1/2/4/8 engine threads on the scale-15 fixture,
+//!            plus the bitwise determinism matrix (8 algorithms ×
+//!            {SPU,DPU,MPU} × {Callback,Lock} identical at every thread
+//!            count — divergence fails the run). `--json` writes
+//!            BENCH_scaling.json (`--out` overrides).
 //!   updates  repo streaming-update baseline — edges-applied/sec and disk
 //!            write bytes/batch for DynamicGraph's delta-log commit path
 //!            vs the legacy whole-cell rewrite, on a fixed-seed R-MAT
@@ -130,13 +137,13 @@ fn main() -> ExitCode {
     let (exp, opts) = match parse(&args) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|updates|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH] [--encoding raw|auto|compressed]");
+            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|scaling|updates|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH] [--encoding raw|auto|compressed]");
             return ExitCode::FAILURE;
         }
     };
     // JSON lands at `--out` when given, else the experiment's own
-    // default. Under `all`, two experiments write JSON — honouring one
-    // `--out` would silently clobber the first report, so ignore it.
+    // default. Under `all`, several experiments write JSON — honouring
+    // one `--out` would silently clobber earlier reports, so ignore it.
     let mut opts = opts;
     if exp == "all" && opts.out.take().is_some() {
         eprintln!("nxbench: --out ignored for 'all' (each experiment writes its own default path)");
@@ -158,6 +165,7 @@ fn main() -> ExitCode {
         "exp8" => exps::exp8_limited::run(&opts),
         "exp9" => exps::exp9_best::run(&opts),
         "perf" => exps::perf::run(&opts, json_out("BENCH_pagerank.json").as_deref()),
+        "scaling" => exps::scaling::run(&opts, json_out("BENCH_scaling.json").as_deref()),
         "updates" => exps::updates::run(&opts, json_out("BENCH_updates.json").as_deref()),
         other => {
             eprintln!("unknown experiment {other:?}");
@@ -167,7 +175,7 @@ fn main() -> ExitCode {
     let ok = if exp == "all" {
         [
             "table2", "fig6", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8",
-            "exp9", "perf", "updates",
+            "exp9", "perf", "scaling", "updates",
         ]
         .iter()
         .all(|e| run_one(e))

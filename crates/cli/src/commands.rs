@@ -104,13 +104,15 @@ fn open(args: &Args) -> Result<PreparedGraph, String> {
 fn engine_cfg(args: &Args) -> Result<EngineConfig, String> {
     let mut cfg = EngineConfig::default();
     if let Some(t) = args.get::<usize>("threads")? {
-        cfg.threads = t;
+        // Through the builder so prefetch re-derives from the effective
+        // thread count (`--threads 1` must not spawn decode workers).
+        cfg = cfg.with_threads(t);
     }
     if let Some(mib) = args.get::<u64>("budget-mib")? {
         cfg.memory_budget = mib << 20;
     }
     // Only force prefetch *off*: absent the flag, keep EngineConfig's
-    // hardware-aware default (off on single-core hosts).
+    // thread-count-aware default (off on effectively single-thread runs).
     if args.switch("--no-prefetch") {
         cfg.prefetch = false;
     }

@@ -15,6 +15,7 @@ pub mod kcore;
 pub mod pagerank;
 pub mod ppr;
 pub mod scc;
+pub(crate) mod simd;
 pub mod sssp;
 pub mod wcc;
 
@@ -33,14 +34,15 @@ pub use scc::SccOutcome;
 pub use sssp::Sssp;
 pub use wcc::Wcc;
 
-/// 4-way ILP-unrolled `Σ src_vals[s − base] · weight[s]` over one
-/// destination's source run — the shared inner loop of the f64
-/// `absorb_run` overrides (PageRank/PPR with reciprocal out-degrees as
-/// weights, HITS via [`unrolled_table_sum`]).
+/// `Σ src_vals[s − base] · weight[s]` over one destination's source run —
+/// the shared inner loop of the f64 `absorb_run` overrides (PageRank/PPR
+/// with reciprocal out-degrees as weights, HITS via
+/// [`unrolled_table_sum`]).
 ///
-/// Four independent lanes break the loop-carried add dependency; the fold
-/// order `((l0+l1)+(l2+l3))+tail` is fixed so every caller reassociates
-/// identically.
+/// Dispatches to the SIMD kernels in [`simd`] (AVX → SSE2 → scalar
+/// unroll); every path computes the same four partial lanes and folds
+/// them as `((l0+l1)+(l2+l3))+tail`, so the result is bitwise-identical
+/// regardless of the vector extension the host happens to have.
 #[inline]
 pub(crate) fn unrolled_weighted_sum(
     srcs: &[VertexId],
@@ -48,38 +50,14 @@ pub(crate) fn unrolled_weighted_sum(
     base: usize,
     weight: &[f64],
 ) -> f64 {
-    let mut lanes = [0.0f64; 4];
-    let mut chunks = srcs.chunks_exact(4);
-    for c in &mut chunks {
-        lanes[0] += src_vals[c[0] as usize - base] * weight[c[0] as usize];
-        lanes[1] += src_vals[c[1] as usize - base] * weight[c[1] as usize];
-        lanes[2] += src_vals[c[2] as usize - base] * weight[c[2] as usize];
-        lanes[3] += src_vals[c[3] as usize - base] * weight[c[3] as usize];
-    }
-    let mut tail = 0.0;
-    for &s in chunks.remainder() {
-        tail += src_vals[s as usize - base] * weight[s as usize];
-    }
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    simd::weighted_sum(srcs, src_vals, base, weight)
 }
 
-/// 4-way ILP-unrolled `Σ table[s]` over a source run (HITS sums the
-/// companion score table directly; see [`unrolled_weighted_sum`]).
+/// `Σ table[s]` over a source run (HITS sums the companion score table
+/// directly; see [`unrolled_weighted_sum`] for the dispatch contract).
 #[inline]
 pub(crate) fn unrolled_table_sum(srcs: &[VertexId], table: &[f64]) -> f64 {
-    let mut lanes = [0.0f64; 4];
-    let mut chunks = srcs.chunks_exact(4);
-    for c in &mut chunks {
-        lanes[0] += table[c[0] as usize];
-        lanes[1] += table[c[1] as usize];
-        lanes[2] += table[c[2] as usize];
-        lanes[3] += table[c[3] as usize];
-    }
-    let mut tail = 0.0;
-    for &s in chunks.remainder() {
-        tail += table[s as usize];
-    }
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    simd::table_sum(srcs, table)
 }
 
 /// Run `iterations` of PageRank (damping 0.85) and return ranks.

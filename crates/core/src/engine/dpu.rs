@@ -24,7 +24,7 @@ use crate::types::VertexId;
 
 use super::kernel::absorb_single;
 use super::prefetch::{JobStream, Jobs, Prefetcher};
-use super::state::{finalize_interval, AccBuf};
+use super::state::{finalize_interval_par, AccBuf};
 use super::store::ShardStore;
 use super::{Activity, EngineConfig};
 
@@ -47,7 +47,9 @@ pub fn run_dpu<P: VertexProgram>(
 
     // One background decode thread for the whole run; each row/column
     // below drives it through its own ordered JobStream.
-    let prefetcher = cfg.prefetch.then(Prefetcher::new);
+    let prefetcher = cfg
+        .prefetch
+        .then(|| Prefetcher::with_workers(cfg.decode_workers()));
 
     let mut iterations = 0;
     let mut edges_traversed = 0u64;
@@ -127,14 +129,26 @@ pub fn run_dpu<P: VertexProgram>(
                 })
                 .collect();
             let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
+            // Collect the column's hubs in row order, then fold them as
+            // one destination-range-parallel batch — per-slot merge order
+            // stays the row order, so the result is bitwise-identical to
+            // the serial fold. Hubs are sparse (m·(Ba+Bv)/d per column in
+            // Table II terms), so holding one column's worth is cheap.
+            let mut hubs: Vec<HubView<P::Accum>> = Vec::new();
+            let mut hub_rows: Vec<u32> = Vec::new();
             for i in 0..p {
                 if let Some(hub) = stream.next().expect("one job per row")? {
-                    buf.merge_hub_view(prog, &hub);
-                    g.remove_hub(i, j);
+                    hubs.push(hub);
+                    hub_rows.push(i);
                 }
             }
+            buf.merge_hub_views_par(prog, &hubs, cfg.threads);
+            drop(hubs);
+            for i in hub_rows {
+                g.remove_hub(i, j);
+            }
             let mut new_vals = old.clone();
-            let ch = finalize_interval(prog, &buf, &old, &mut new_vals);
+            let ch = finalize_interval_par(prog, &buf, &old, &mut new_vals, cfg.threads);
             g.write_interval(j, &new_vals)?;
             changed[j as usize] = ch;
             any_changed |= ch;

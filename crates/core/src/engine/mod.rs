@@ -73,39 +73,68 @@ pub struct EngineConfig {
     /// Fine-grained task granularity: target edges per chunk task
     /// ("several thousands of edges", §III-D).
     pub edges_per_task: usize,
-    /// Double-buffered background prefetch of the next sub-shard/hub while
-    /// the kernel works on the current one (DPU ToHub/FromHub and SPU's
-    /// streamed rows). Results and I/O totals are identical either way —
-    /// only latency changes. Defaults to on when the host has a spare
-    /// hardware thread to run the decoder (on a single-core machine the
-    /// background thread only adds context switches).
+    /// Background prefetch of the next sub-shard/hub while the kernel
+    /// works on the current one (DPU ToHub/FromHub and SPU's streamed
+    /// rows), using [`decode_workers`](Self::decode_workers) decode
+    /// threads. Results and I/O totals are identical either way — only
+    /// latency changes. Defaults to on exactly when the *effective*
+    /// thread count exceeds one (on a forced single-thread run the
+    /// background decoder would only add context switches);
+    /// [`with_threads`](Self::with_threads) re-derives it.
     pub prefetch: bool,
+}
+
+/// `NXGRAPH_THREADS` environment override for the default thread count
+/// (used by CI to exercise the whole suite at a fixed parallelism).
+/// Ignored when unset, empty, unparsable or zero.
+fn env_threads() -> Option<usize> {
+    std::env::var("NXGRAPH_THREADS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&t| t >= 1)
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
+        let threads = env_threads().unwrap_or_else(host_threads);
         Self {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads,
             memory_budget: u64::MAX,
             strategy: Strategy::Auto,
             sync: SyncMode::Callback,
             max_iterations: 50,
             direction: Direction::Forward,
             edges_per_task: 8192,
-            prefetch: std::thread::available_parallelism()
-                .map(|n| n.get() > 1)
-                .unwrap_or(false),
+            prefetch: threads > 1,
         }
     }
 }
 
 impl EngineConfig {
-    /// Builder-style thread override.
+    /// Builder-style thread override. Re-derives the `prefetch` default
+    /// from the *effective* thread count (a forced `with_threads(1)` run
+    /// must not spawn background decoders); chain
+    /// [`with_prefetch`](Self::with_prefetch) *after* this to force the
+    /// setting either way.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.threads = threads.max(1);
+        self.prefetch = self.threads > 1;
         self
+    }
+
+    /// How many background decode workers the prefetcher gets: one per
+    /// engine thread, capped at four (the consumer folds results serially
+    /// per row, so a wider decode fan-out only buys queue depth).
+    pub fn decode_workers(&self) -> usize {
+        self.threads.clamp(1, 4)
     }
 
     /// Builder-style budget override.
@@ -271,11 +300,33 @@ mod tests {
         assert_eq!(cfg.strategy, Strategy::Auto);
         assert_eq!(cfg.sync, SyncMode::Callback);
         assert!(cfg.edges_per_task > 0);
-        // Prefetch defaults on exactly when a spare hardware thread exists.
-        let multicore = std::thread::available_parallelism()
-            .map(|n| n.get() > 1)
-            .unwrap_or(false);
-        assert_eq!(cfg.prefetch, multicore);
+        // Prefetch defaults on exactly when the effective thread count
+        // (NXGRAPH_THREADS override, else host parallelism) exceeds one.
+        assert_eq!(cfg.threads, env_threads().unwrap_or_else(host_threads));
+        assert_eq!(cfg.prefetch, cfg.threads > 1);
+    }
+
+    #[test]
+    fn with_threads_rederives_prefetch() {
+        // Regression: a forced single-thread run used to keep the
+        // host-derived prefetch default and still spawn the decode thread.
+        let cfg = EngineConfig::default().with_prefetch(true).with_threads(1);
+        assert!(!cfg.prefetch, "threads=1 must disable prefetch by default");
+        let cfg = EngineConfig::default().with_threads(4);
+        assert!(cfg.prefetch, "multi-thread runs default prefetch on");
+        // An explicit override *after* the thread override still wins.
+        let cfg = EngineConfig::default().with_threads(1).with_prefetch(true);
+        assert!(cfg.prefetch);
+        let cfg = EngineConfig::default().with_threads(8).with_prefetch(false);
+        assert!(!cfg.prefetch);
+    }
+
+    #[test]
+    fn decode_workers_track_threads() {
+        assert_eq!(EngineConfig::default().with_threads(1).decode_workers(), 1);
+        assert_eq!(EngineConfig::default().with_threads(3).decode_workers(), 3);
+        // Capped: a huge thread count does not explode the decode pool.
+        assert_eq!(EngineConfig::default().with_threads(64).decode_workers(), 4);
     }
 
     #[test]

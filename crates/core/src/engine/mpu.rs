@@ -16,19 +16,21 @@
 //! I/O amount interpolates Table II's MPU row.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::dsss::{HubView, PreparedGraph, SubShardView};
 use crate::error::EngineResult;
+use crate::parallel::{run_tasks, split_ranges};
 use crate::program::VertexProgram;
 use crate::types::{Attr, VertexId};
 
 use super::kernel::{absorb_row, absorb_single};
 use super::prefetch::{JobStream, Jobs, Prefetcher};
 use super::select::choose_strategy;
-use super::state::{finalize_interval, AccBuf};
+use super::state::{finalize_interval_par, finalize_range, AccBuf};
 use super::store::ShardStore;
 use super::{Activity, EngineConfig};
 
@@ -85,7 +87,9 @@ pub fn run_mpu<P: VertexProgram>(
     // streams and phase C's shard+hub streams drive it through ordered
     // JobStreams (phase A reads via the cache/store and has nothing to
     // overlap).
-    let prefetcher = cfg.prefetch.then(Prefetcher::new);
+    let prefetcher = cfg
+        .prefetch
+        .then(|| Prefetcher::with_workers(cfg.decode_workers()));
 
     // Accumulators for resident destination intervals (reused).
     let mut accs_res: Vec<Option<Mutex<AccBuf<P>>>> = (0..p)
@@ -219,17 +223,47 @@ pub fn run_mpu<P: VertexProgram>(
         }
 
         // Finalise resident intervals (all their contributions arrived in
-        // phases A and B). Keep prev_res intact — phase C reads it.
-        for j in 0..q {
-            let r = g.interval_range(j);
-            let guard = accs_res[j as usize].as_ref().expect("resident").lock();
-            let ch = finalize_interval(
-                prog,
-                &guard,
-                &prev_res[r.start as usize..r.end as usize],
-                &mut next_res[r.start as usize..r.end as usize],
-            );
-            changed[j as usize] = ch;
+        // phases A and B) as one flat batch of destination-range chunks.
+        // Keep prev_res intact — phase C reads it.
+        if q > 0 {
+            let bufs: Vec<&AccBuf<P>> = accs_res[..q as usize]
+                .iter_mut()
+                .map(|a| &*a.as_mut().expect("resident").get_mut())
+                .collect();
+            let changed_flags: Vec<AtomicBool> =
+                (0..q).map(|_| AtomicBool::new(false)).collect();
+            let mut rest: &mut [P::Value] = &mut next_res;
+            let mut tasks: Vec<(u32, usize, &mut [P::Value])> = Vec::new();
+            for j in 0..q {
+                let len = g.interval_len(j);
+                let (mut slice, r2) = rest.split_at_mut(len);
+                rest = r2;
+                for range in split_ranges(len, cfg.threads) {
+                    let (chunk, srest) = std::mem::take(&mut slice).split_at_mut(range.len());
+                    slice = srest;
+                    tasks.push((j, range.start, chunk));
+                }
+            }
+            let prev_ref = &prev_res;
+            let bufs_ref = &bufs;
+            let flags = &changed_flags;
+            run_tasks(cfg.threads, tasks, |(j, off, out)| {
+                let r = g.interval_range(j);
+                let lo = r.start as usize + off;
+                let ch = finalize_range(
+                    prog,
+                    bufs_ref[j as usize],
+                    off,
+                    &prev_ref[lo..lo + out.len()],
+                    out,
+                );
+                if ch {
+                    flags[j as usize].store(true, Ordering::Relaxed);
+                }
+            });
+            for j in 0..q as usize {
+                changed[j] = changed_flags[j].load(Ordering::Relaxed);
+            }
         }
 
         // ------------------------------------------------------------------
@@ -294,18 +328,28 @@ pub fn run_mpu<P: VertexProgram>(
                     cfg.edges_per_task,
                 );
             }
+            // Collect the column's hubs in row order, then fold them as
+            // one destination-range-parallel batch (bitwise-identical to
+            // the serial fold; see `merge_hub_views_par`).
+            let mut hubs: Vec<HubView<P::Accum>> = Vec::new();
+            let mut hub_rows: Vec<u32> = Vec::new();
             for i in q..p {
                 let hub = match stream.next().expect("one job per hub")? {
                     ColItem::Hub(h) => h,
                     ColItem::Shard(_) => unreachable!("all shard items already consumed"),
                 };
                 if let Some(hub) = hub {
-                    buf.merge_hub_view(prog, &hub);
-                    g.remove_hub(i, j);
+                    hubs.push(hub);
+                    hub_rows.push(i);
                 }
             }
+            buf.merge_hub_views_par(prog, &hubs, cfg.threads);
+            drop(hubs);
+            for i in hub_rows {
+                g.remove_hub(i, j);
+            }
             let mut new_vals = old.clone();
-            let ch = finalize_interval(prog, &buf, &old, &mut new_vals);
+            let ch = finalize_interval_par(prog, &buf, &old, &mut new_vals, cfg.threads);
             g.write_interval(j, &new_vals)?;
             changed[j as usize] = ch;
             any_changed |= ch;

@@ -1,101 +1,187 @@
-//! Double-buffered background prefetch for the disk-streaming engines.
+//! Multi-worker background prefetch for the disk-streaming engines.
 //!
 //! The DPU ToHub/FromHub passes, SPU's streaming path and MPU's phase B
 //! rows / phase C shard+hub columns consume one file after another in a
 //! deterministic order, decoding each synchronously between compute
-//! steps. [`Prefetcher`] moves that deserialization onto a single
-//! background thread with a two-slot ring: while the kernel folds the
-//! current sub-shard, the worker is already reading and decoding the
-//! next one, hiding I/O and decode latency behind compute.
+//! steps. [`Prefetcher`] moves that deserialization onto a pool of
+//! background decode workers with a small ring of look-ahead slots: while
+//! the kernel folds the current sub-shard, the workers are already
+//! reading and decoding the next ones, hiding I/O and decode latency
+//! behind compute.
 //!
-//! The design is std-only: a worker thread plus two bounded
-//! [`std::sync::mpsc::sync_channel`]s (jobs in, results out), each of
-//! [`RING_SLOTS`] capacity, which bounds decoded-ahead memory to the ring
-//! depth. Results come back strictly in submission order — [`JobStream`]
-//! enforces the submit-ahead/pop-in-order discipline and is the only
-//! intended way to drive a [`Prefetcher`].
+//! The design is std-only: `workers` decode threads share a job queue
+//! tagged with submission sequence numbers; finished results land in a
+//! reorder buffer keyed by the same sequence, so the consumer always
+//! receives results **strictly in submission order** no matter which
+//! worker finished first. [`JobStream`] enforces the
+//! submit-ahead/pop-in-order discipline — it keeps at most
+//! [`Prefetcher::slots`] jobs in flight (`workers + 1`, at least
+//! [`RING_SLOTS`]), which bounds decoded-ahead memory to the ring depth —
+//! and is the only intended way to drive a [`Prefetcher`].
 //!
 //! Prefetching reorders *when* files are read relative to compute, never
 //! *what* is read or the values computed from it, so `prefetch: true` and
 //! `prefetch: false` produce bitwise-identical results and byte-identical
-//! I/O totals (`tests/pipeline.rs` pins this across the oracle matrix).
+//! I/O totals (`tests/pipeline.rs` pins this across the oracle matrix),
+//! and the result does not depend on the worker count either.
 
 use std::any::Any;
-use std::collections::VecDeque;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Depth of the prefetch ring: how many results may be decoded ahead of
-/// the consumer.
+use parking_lot::{Condvar, Mutex};
+
+/// Minimum depth of the prefetch ring: how many results may be decoded
+/// ahead of the consumer even with a single decode worker.
 pub const RING_SLOTS: usize = 2;
 
 /// Type-erased unit of background work.
 type Job = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>;
 
+/// A finished job: the value it produced, or the panic it raised.
+type Outcome = Result<Box<dyn Any + Send>, Box<dyn Any + Send>>;
+
 /// An ordered list of loader jobs for one [`JobStream`].
 pub type Jobs<T> = Vec<Box<dyn FnOnce() -> T + Send>>;
 
-/// A single background worker decoding jobs ahead of the engine loop.
+struct State {
+    /// Pending jobs, tagged with their submission sequence number.
+    jobs: VecDeque<(u64, Job)>,
+    /// Finished jobs awaiting in-order pickup (the reorder buffer).
+    results: BTreeMap<u64, Outcome>,
+    /// Sequence number of the next submission.
+    next_submit: u64,
+    /// Sequence number the consumer pops next.
+    next_pop: u64,
+    /// Set on drop; workers exit once the job queue drains.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for jobs.
+    job_cv: Condvar,
+    /// The consumer waits here for the next in-order result.
+    result_cv: Condvar,
+}
+
+/// A pool of background decode workers feeding an in-order result stream.
 ///
 /// At most one [`JobStream`] may drive a `Prefetcher` at a time (results
-/// are matched to submissions purely by order).
+/// are matched to submissions purely by sequence number).
 pub struct Prefetcher {
-    jobs: Option<SyncSender<Job>>,
-    results: Receiver<Box<dyn Any + Send>>,
-    worker: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Prefetcher {
-    /// Spawn the background worker.
+    /// Spawn a single decode worker (the minimal useful prefetcher).
     pub fn new() -> Self {
-        let (jobs_tx, jobs_rx) = sync_channel::<Job>(RING_SLOTS);
-        let (results_tx, results_rx) = sync_channel::<Box<dyn Any + Send>>(RING_SLOTS);
-        let worker = std::thread::Builder::new()
-            .name("nxgraph-prefetch".into())
-            .spawn(move || {
-                while let Ok(job) = jobs_rx.recv() {
-                    if results_tx.send(job()).is_err() {
-                        break;
-                    }
-                }
+        Self::with_workers(1)
+    }
+
+    /// Spawn `workers` decode workers (at least one).
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                results: BTreeMap::new(),
+                next_submit: 0,
+                next_pop: 0,
+                shutdown: false,
+            }),
+            job_cv: Condvar::new(),
+            result_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("nxgraph-prefetch".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn prefetch worker")
             })
-            .expect("failed to spawn prefetch worker");
+            .collect();
         Self {
-            jobs: Some(jobs_tx),
-            results: results_rx,
-            worker: Some(worker),
+            shared,
+            workers: handles,
         }
     }
 
-    /// Queue `f` on the worker. Blocks when [`RING_SLOTS`] jobs are
-    /// already waiting (the ring's back-pressure).
+    /// How many jobs a [`JobStream`] keeps in flight on this prefetcher:
+    /// one per decode worker plus one ready result, never less than
+    /// [`RING_SLOTS`].
+    pub fn slots(&self) -> usize {
+        (self.workers.len() + 1).max(RING_SLOTS)
+    }
+
+    /// Queue `f` for background execution. Never blocks; the ring bound
+    /// is enforced by [`JobStream`], the only intended caller.
     fn submit<T, F>(&self, f: F)
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        self.jobs
-            .as_ref()
-            .expect("prefetcher already shut down")
-            .send(Box::new(move || Box::new(f()) as Box<dyn Any + Send>))
-            .expect("prefetch worker died");
+        let mut st = self.shared.state.lock();
+        let seq = st.next_submit;
+        st.next_submit += 1;
+        st.jobs
+            .push_back((seq, Box::new(move || Box::new(f()) as Box<dyn Any + Send>)));
+        self.shared.job_cv.notify_one();
     }
 
     /// Receive the oldest outstanding result, which must have been
-    /// submitted with the same `T`.
+    /// submitted with the same `T`. A panic raised by the job resumes
+    /// here, on the consumer.
     fn pop<T: Send + 'static>(&self) -> T {
-        *self
-            .results
-            .recv()
-            .expect("prefetch worker died")
-            .downcast::<T>()
-            .expect("prefetch result popped out of submission order")
+        match self.pop_outcome() {
+            Ok(boxed) => *boxed
+                .downcast::<T>()
+                .expect("prefetch result popped out of submission order"),
+            Err(payload) => resume_unwind(payload),
+        }
     }
 
-    /// Discard the oldest outstanding result regardless of type (early
-    /// stream teardown on error paths).
+    /// Discard the oldest outstanding result regardless of type or panic
+    /// (early stream teardown on error paths).
     fn discard(&self) {
-        let _ = self.results.recv();
+        let _ = self.pop_outcome();
+    }
+
+    fn pop_outcome(&self) -> Outcome {
+        let mut st = self.shared.state.lock();
+        let seq = st.next_pop;
+        loop {
+            if let Some(out) = st.results.remove(&seq) {
+                st.next_pop += 1;
+                return out;
+            }
+            self.shared.result_cv.wait(&mut st);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (seq, job) = {
+            let mut st = shared.state.lock();
+            loop {
+                if let Some(j) = st.jobs.pop_front() {
+                    break j;
+                }
+                if st.shutdown {
+                    return;
+                }
+                shared.job_cv.wait(&mut st);
+            }
+        };
+        let out = catch_unwind(AssertUnwindSafe(job));
+        let mut st = shared.state.lock();
+        st.results.insert(seq, out);
+        shared.result_cv.notify_all();
     }
 }
 
@@ -107,11 +193,14 @@ impl Default for Prefetcher {
 
 impl Drop for Prefetcher {
     fn drop(&mut self) {
-        // Close the job channel, drain whatever the worker still produces,
-        // then join it.
-        self.jobs.take();
-        while self.results.recv().is_ok() {}
-        if let Some(h) = self.worker.take() {
+        // Workers finish whatever is queued (a dropped JobStream has
+        // already discarded its in-flight results), then exit.
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.job_cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -120,11 +209,11 @@ impl Drop for Prefetcher {
 /// An ordered stream of jobs, executed ahead on a [`Prefetcher`] when one
 /// is supplied, inline otherwise.
 ///
-/// With a prefetcher, up to [`RING_SLOTS`] jobs run ahead of the consumer;
-/// [`JobStream::next`] pops the oldest result and immediately tops the
-/// ring back up, keeping the worker busy while the caller computes.
-/// Without one (`prefetch: false`), each job runs inline at `next`,
-/// reproducing strictly synchronous behaviour.
+/// With a prefetcher, up to [`Prefetcher::slots`] jobs run ahead of the
+/// consumer; [`JobStream::next`] pops the oldest result and immediately
+/// tops the ring back up, keeping the workers busy while the caller
+/// computes. Without one (`prefetch: false`), each job runs inline at
+/// `next`, reproducing strictly synchronous behaviour.
 pub struct JobStream<'p, T> {
     prefetcher: Option<&'p Prefetcher>,
     pending: VecDeque<Box<dyn FnOnce() -> T + Send>>,
@@ -145,7 +234,7 @@ impl<'p, T: Send + 'static> JobStream<'p, T> {
 
     fn fill(&mut self) {
         if let Some(pf) = self.prefetcher {
-            while self.in_flight < RING_SLOTS {
+            while self.in_flight < pf.slots() {
                 let Some(job) = self.pending.pop_front() else {
                     break;
                 };
@@ -163,8 +252,11 @@ impl<T: Send + 'static> Iterator for JobStream<'_, T> {
     fn next(&mut self) -> Option<T> {
         match self.prefetcher {
             Some(pf) if self.in_flight > 0 => {
-                let t = pf.pop::<T>();
+                // Decrement before popping: a job panic resumes out of
+                // `pop`, and Drop must not wait for this already-consumed
+                // sequence number again.
                 self.in_flight -= 1;
+                let t = pf.pop::<T>();
                 self.fill();
                 Some(t)
             }
@@ -219,6 +311,31 @@ mod tests {
     }
 
     #[test]
+    fn multi_worker_stream_preserves_order() {
+        // With several workers racing on a shared queue, jobs finish out
+        // of order; the reorder buffer must still hand results back in
+        // submission order.
+        for workers in [2, 3, 4, 8] {
+            let pf = Prefetcher::with_workers(workers);
+            assert_eq!(pf.slots(), (workers + 1).max(RING_SLOTS));
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..97usize)
+                .map(|k| {
+                    Box::new(move || {
+                        // Earlier jobs sleep longer so later ones finish
+                        // first whenever the OS allows real overlap.
+                        if k % 7 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        k
+                    }) as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect();
+            let got: Vec<usize> = JobStream::new(Some(&pf), jobs).collect();
+            assert_eq!(got, (0..97).collect::<Vec<_>>(), "workers = {workers}");
+        }
+    }
+
+    #[test]
     fn jobs_run_ahead_of_consumption() {
         let pf = Prefetcher::new();
         let started = Arc::new(AtomicUsize::new(0));
@@ -246,7 +363,7 @@ mod tests {
 
     #[test]
     fn sequential_streams_share_one_prefetcher() {
-        let pf = Prefetcher::new();
+        let pf = Prefetcher::with_workers(3);
         // Different result types back to back: ordering discipline keeps
         // the downcasts aligned.
         let mut a = JobStream::new(Some(&pf), jobs_returning(vec![7, 8]));
@@ -262,7 +379,7 @@ mod tests {
 
     #[test]
     fn abandoned_stream_drains_cleanly() {
-        let pf = Prefetcher::new();
+        let pf = Prefetcher::with_workers(2);
         {
             let mut s = JobStream::new(Some(&pf), jobs_returning((0..20).collect()));
             assert_eq!(s.next(), Some(0));
@@ -275,10 +392,28 @@ mod tests {
 
     #[test]
     fn drop_joins_worker() {
-        let pf = Prefetcher::new();
+        let pf = Prefetcher::with_workers(4);
         let mut s = JobStream::new(Some(&pf), jobs_returning(vec![1]));
         assert_eq!(s.next(), Some(1));
         drop(s);
         drop(pf); // must not hang
+    }
+
+    #[test]
+    fn job_panic_reaches_consumer_and_pool_survives() {
+        let pf = Prefetcher::with_workers(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("decode failed")),
+            Box::new(|| 3),
+        ];
+        let mut s = JobStream::new(Some(&pf), jobs);
+        assert_eq!(s.next(), Some(1));
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| s.next()));
+        assert!(err.is_err(), "panic must surface on the consumer");
+        drop(s);
+        // The worker that ran the panicking job must still be alive.
+        let mut t = JobStream::new(Some(&pf), jobs_returning(vec![42]));
+        assert_eq!(t.next(), Some(42));
     }
 }

@@ -8,10 +8,12 @@
 //! `m·Be + 2n·Ba − B_M` — the minimum of all strategies.
 //!
 //! Two synchronisation flavours (§IV preamble): `Callback` issues
-//! fine-grained destination-chunk tasks row by row; `Lock` issues one task
-//! per sub-shard across the *whole* iteration, guarding each destination
-//! interval with a lock (sub-shards of different rows overlap freely, which
-//! is the paper's alternative implementation).
+//! fine-grained destination-chunk tasks; `Lock` issues one task per
+//! sub-shard, guarding each destination interval with a lock (the paper's
+//! alternative implementation). Both traverse row-major — within one row a
+//! destination interval is touched by exactly one direction's sub-shard,
+//! so the fold order per accumulator is the fixed row order and results
+//! are bitwise-identical at any thread count under either flavour.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -20,15 +22,15 @@ use parking_lot::Mutex;
 
 use crate::dsss::{PreparedGraph, SubShardView};
 use crate::error::EngineResult;
-use crate::parallel::run_tasks;
+use crate::parallel::{run_tasks, split_ranges};
 use crate::program::VertexProgram;
 use crate::types::{Attr, VertexId};
 
-use super::kernel::{absorb_chunk, absorb_row};
+use super::kernel::absorb_row;
 use super::prefetch::{JobStream, Jobs, Prefetcher};
-use super::state::{finalize_interval, AccBuf};
+use super::state::{finalize_range, AccBuf};
 use super::store::ShardStore;
-use super::{Activity, EngineConfig, SyncMode};
+use super::{Activity, EngineConfig};
 
 /// Run to convergence under SPU. Returns (values, iterations, edges
 /// traversed).
@@ -54,10 +56,11 @@ pub fn run_spu<P: VertexProgram>(
     let mut next = prev.clone();
     let mut activity = Activity::init(g, prog);
 
-    // Background decode thread for streamed (uncached) rows; Lock mode
-    // loads everything up-front inside its task sweep, so only the
-    // Callback row stream benefits.
-    let prefetcher = (cfg.prefetch && cfg.sync == SyncMode::Callback).then(Prefetcher::new);
+    // Background decode workers for streamed (uncached) rows; both sync
+    // flavours consume the same row-major stream.
+    let prefetcher = cfg
+        .prefetch
+        .then(|| Prefetcher::with_workers(cfg.decode_workers()));
 
     let mut accs: Vec<Option<Mutex<AccBuf<P>>>> = (0..p)
         .map(|j| {
@@ -75,131 +78,100 @@ pub fn run_spu<P: VertexProgram>(
             a.get_mut().reset(prog);
         }
 
-        match cfg.sync {
-            SyncMode::Callback => {
-                // Row-major traversal; all chunks of a row run concurrently
-                // and the prefetcher decodes row i+1's streamed sub-shards
-                // while row i is absorbed (cached shards cost nothing).
-                let rows: Vec<(bool, u32)> = ShardStore::dirs(cfg.direction)
-                    .iter()
-                    .flat_map(|&reverse| {
-                        (0..p).filter(|&i| !activity.row_skippable(i)).map(move |i| (reverse, i))
-                    })
-                    .collect();
-                // Cache hits are resolved up-front and consumed directly;
-                // only cache misses become prefetch jobs, at single
-                // sub-shard granularity so the ring never holds more than
-                // RING_SLOTS decoded sub-shards beyond the row being
-                // absorbed (row-sized jobs would keep ~3 rows resident,
-                // outside the memory-budget accounting).
-                let mut cached_rows: Vec<Vec<Option<Arc<SubShardView>>>> =
-                    Vec::with_capacity(rows.len());
-                let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::new();
-                for &(reverse, i) in &rows {
-                    let hits: Vec<Option<Arc<SubShardView>>> =
-                        (0..p).map(|j| store.cached(i, j, reverse)).collect();
-                    for (j, hit) in hits.iter().enumerate() {
-                        if hit.is_none() {
-                            let loader = g.view_loader();
-                            let j = j as u32;
-                            jobs.push(Box::new(move || {
-                                loader.load_subshard(i, j, reverse)
-                            }));
-                        }
-                    }
-                    cached_rows.push(hits);
-                }
-                let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
-                for (&(_, i), hits) in rows.iter().zip(cached_rows) {
-                    let mut shards: Vec<Option<Arc<SubShardView>>> =
-                        Vec::with_capacity(p as usize);
-                    for hit in hits {
-                        let ss = match hit {
-                            Some(ss) => ss,
-                            None => Arc::new(stream.next().expect("one job per miss")?),
-                        };
-                        edges_traversed += ss.num_edges() as u64;
-                        shards.push(Some(ss));
-                    }
-                    let r = g.interval_range(i);
-                    absorb_row(
-                        prog,
-                        &shards,
-                        &prev[r.start as usize..r.end as usize],
-                        r.start,
-                        &mut accs,
-                        cfg.threads,
-                        cfg.edges_per_task,
-                        SyncMode::Callback,
-                    );
+        // Row-major traversal under either sync flavour; all tasks of a
+        // row run concurrently and the prefetcher decodes row i+1's
+        // streamed sub-shards while row i is absorbed (cached shards cost
+        // nothing). One row at a time also keeps the Lock flavour
+        // deterministic: each destination interval's fold order is the row
+        // order, not the lock-acquisition order of a whole-iteration sweep.
+        let rows: Vec<(bool, u32)> = ShardStore::dirs(cfg.direction)
+            .iter()
+            .flat_map(|&reverse| {
+                (0..p).filter(|&i| !activity.row_skippable(i)).map(move |i| (reverse, i))
+            })
+            .collect();
+        // Cache hits are resolved up-front and consumed directly; only
+        // cache misses become prefetch jobs, at single sub-shard
+        // granularity so the ring never holds more than `slots()` decoded
+        // sub-shards beyond the row being absorbed (row-sized jobs would
+        // keep several rows resident, outside the memory-budget
+        // accounting).
+        let mut cached_rows: Vec<Vec<Option<Arc<SubShardView>>>> =
+            Vec::with_capacity(rows.len());
+        let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::new();
+        for &(reverse, i) in &rows {
+            let hits: Vec<Option<Arc<SubShardView>>> =
+                (0..p).map(|j| store.cached(i, j, reverse)).collect();
+            for (j, hit) in hits.iter().enumerate() {
+                if hit.is_none() {
+                    let loader = g.view_loader();
+                    let j = j as u32;
+                    jobs.push(Box::new(move || {
+                        loader.load_subshard(i, j, reverse)
+                    }));
                 }
             }
-            SyncMode::Lock => {
-                // One task per sub-shard, all rows at once; destination
-                // intervals are guarded by their lock.
-                let mut tasks: Vec<(u32, u32, Arc<SubShardView>)> = Vec::new();
-                for &reverse in ShardStore::dirs(cfg.direction) {
-                    for i in 0..p {
-                        if activity.row_skippable(i) {
-                            continue;
-                        }
-                        for j in 0..p {
-                            let ss = store.get(i, j, reverse)?;
-                            edges_traversed += ss.num_edges() as u64;
-                            if !ss.is_empty() {
-                                tasks.push((i, j, ss));
-                            }
-                        }
-                    }
-                }
-                let prev_ref = &prev;
-                let accs_ref = &accs;
-                run_tasks(cfg.threads, tasks, |(i, j, ss)| {
-                    let r = g.interval_range(i);
-                    let mut guard = accs_ref[j as usize]
-                        .as_ref()
-                        .expect("all intervals present in SPU")
-                        .lock();
-                    let buf = &mut *guard;
-                    let base = buf.base;
-                    absorb_chunk(
-                        prog,
-                        &ss,
-                        0..ss.num_dsts(),
-                        &prev_ref[r.start as usize..r.end as usize],
-                        r.start,
-                        &mut buf.acc,
-                        &mut buf.has,
-                        base,
-                    );
-                });
-            }
+            cached_rows.push(hits);
         }
+        let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
+        for (&(_, i), hits) in rows.iter().zip(cached_rows) {
+            let mut shards: Vec<Option<Arc<SubShardView>>> =
+                Vec::with_capacity(p as usize);
+            for hit in hits {
+                let ss = match hit {
+                    Some(ss) => ss,
+                    None => Arc::new(stream.next().expect("one job per miss")?),
+                };
+                edges_traversed += ss.num_edges() as u64;
+                shards.push(Some(ss));
+            }
+            let r = g.interval_range(i);
+            absorb_row(
+                prog,
+                &shards,
+                &prev[r.start as usize..r.end as usize],
+                r.start,
+                &mut accs,
+                cfg.threads,
+                cfg.edges_per_task,
+                cfg.sync,
+            );
+        }
+        drop(stream);
 
-        // Finalise every interval in parallel (apply + activity flags).
+        // Finalise every interval as one flat batch of destination-range
+        // chunks (apply is elementwise, so chunking does not affect the
+        // values). One batch — not one per interval — so a handful of
+        // large intervals still spreads across all workers.
         let changed_flags: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
         {
+            let bufs: Vec<&AccBuf<P>> = accs
+                .iter_mut()
+                .map(|a| &*a.as_mut().expect("all intervals present in SPU").get_mut())
+                .collect();
             let mut rest: &mut [P::Value] = &mut next;
-            let mut tasks: Vec<(u32, &mut [P::Value])> = Vec::with_capacity(p as usize);
+            let mut tasks: Vec<(u32, usize, &mut [P::Value])> = Vec::new();
             for j in 0..p {
                 let len = g.interval_len(j);
-                let (slice, r2) = rest.split_at_mut(len);
+                let (mut slice, r2) = rest.split_at_mut(len);
                 rest = r2;
-                tasks.push((j, slice));
+                for range in split_ranges(len, cfg.threads) {
+                    let (chunk, srest) = std::mem::take(&mut slice).split_at_mut(range.len());
+                    slice = srest;
+                    tasks.push((j, range.start, chunk));
+                }
             }
             let prev_ref = &prev;
-            let accs_ref = &accs;
+            let bufs_ref = &bufs;
             let flags = &changed_flags;
-            run_tasks(cfg.threads, tasks, |(j, out)| {
+            run_tasks(cfg.threads, tasks, |(j, off, out)| {
                 let r = g.interval_range(j);
-                let guard = accs_ref[j as usize]
-                    .as_ref()
-                    .expect("all intervals present in SPU")
-                    .lock();
-                let ch = finalize_interval(
+                let lo = r.start as usize + off;
+                let ch = finalize_range(
                     prog,
-                    &guard,
-                    &prev_ref[r.start as usize..r.end as usize],
+                    bufs_ref[j as usize],
+                    off,
+                    &prev_ref[lo..lo + out.len()],
                     out,
                 );
                 if ch {
@@ -234,6 +206,7 @@ const _: fn(VertexId) = |_| {};
 mod tests {
     use super::*;
     use crate::algo::pagerank::PageRank;
+    use crate::engine::SyncMode;
     use crate::prep::{preprocess, PrepConfig};
     use nxgraph_storage::{Disk, MemDisk};
 

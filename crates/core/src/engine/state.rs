@@ -1,6 +1,9 @@
 //! Per-interval accumulator state shared by all three update strategies.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::dsss::HubView;
+use crate::parallel::{run_tasks, split_ranges};
 use crate::program::VertexProgram;
 use crate::types::VertexId;
 
@@ -90,6 +93,65 @@ impl<P: VertexProgram> AccBuf<P> {
             prog.combine(&mut self.acc[k], a);
         }
     }
+
+    /// Merge a whole column's hubs at once with destination-range
+    /// parallelism: the buffer is sliced into disjoint vertex ranges and
+    /// each task folds *every* hub's entries for its range, in hub order.
+    ///
+    /// Per destination slot the merge order equals the sequential
+    /// `merge_hub_view(hubs[0]); merge_hub_view(hubs[1]); …` order, so the
+    /// result is bitwise-identical to the serial fold at any thread count.
+    /// Must be called from outside the worker pool (it submits a batch).
+    pub fn merge_hub_views_par(
+        &mut self,
+        prog: &P,
+        hubs: &[HubView<P::Accum>],
+        threads: usize,
+    ) {
+        if hubs.is_empty() {
+            return;
+        }
+        if threads <= 1 || self.len() <= 1 {
+            for hub in hubs {
+                self.merge_hub_view(prog, hub);
+            }
+            return;
+        }
+        let base = self.base;
+        #[allow(clippy::type_complexity)]
+        let mut tasks: Vec<(VertexId, &mut [P::Accum], &mut [u8])> = Vec::new();
+        let mut acc_rest: &mut [P::Accum] = &mut self.acc;
+        let mut has_rest: &mut [u8] = &mut self.has;
+        let mut start = 0usize;
+        for range in split_ranges(acc_rest.len(), threads) {
+            let (acc, ar) = std::mem::take(&mut acc_rest).split_at_mut(range.len());
+            let (has, hr) = std::mem::take(&mut has_rest).split_at_mut(range.len());
+            acc_rest = ar;
+            has_rest = hr;
+            tasks.push((base + start as VertexId, acc, has));
+            start = range.end;
+        }
+        run_tasks(threads, tasks, |(lo, acc, has)| {
+            let hi = lo + acc.len() as VertexId;
+            for hub in hubs {
+                let dsts = hub.dsts();
+                // Hub destinations are sorted; binary-search the slice of
+                // entries landing in [lo, hi).
+                let from = dsts.partition_point(|&d| d < lo);
+                let to = dsts.partition_point(|&d| d < hi);
+                for (k, &dst) in (from..to).zip(&dsts[from..to]) {
+                    let slot = (dst - lo) as usize;
+                    let a = hub.acc(k);
+                    if has[slot] == 0 {
+                        acc[slot] = a;
+                        has[slot] = 1;
+                    } else {
+                        prog.combine(&mut acc[slot], &a);
+                    }
+                }
+            }
+        });
+    }
 }
 
 /// Finalise one destination interval: fold accumulators into new values.
@@ -105,21 +167,77 @@ pub fn finalize_interval<P: VertexProgram>(
 ) -> bool {
     debug_assert_eq!(old.len(), buf.len());
     debug_assert_eq!(out.len(), buf.len());
+    finalize_range(prog, buf, 0, old, out)
+}
+
+/// Finalise the sub-range of an interval starting `offset` vertices in:
+/// `old`/`out` cover positions `offset .. offset + out.len()` of `buf`.
+///
+/// This is the chunk body behind the parallel finalizers — `apply` is
+/// elementwise, so any chunking of the interval produces bitwise-identical
+/// values to the serial sweep.
+pub fn finalize_range<P: VertexProgram>(
+    prog: &P,
+    buf: &AccBuf<P>,
+    offset: usize,
+    old: &[P::Value],
+    out: &mut [P::Value],
+) -> bool {
+    debug_assert_eq!(old.len(), out.len());
+    debug_assert!(offset + out.len() <= buf.len());
     let mut any = false;
-    for k in 0..buf.len() {
+    for (idx, k) in (offset..offset + out.len()).enumerate() {
         let v = buf.base + k as VertexId;
         let got = buf.has[k] != 0;
         let new = if got || P::ALWAYS_APPLY {
-            prog.apply(v, &old[k], &buf.acc[k], got)
+            prog.apply(v, &old[idx], &buf.acc[k], got)
         } else {
-            old[k]
+            old[idx]
         };
-        if prog.changed(&old[k], &new) {
+        if prog.changed(&old[idx], &new) {
             any = true;
         }
-        out[k] = new;
+        out[idx] = new;
     }
     any
+}
+
+/// Parallel [`finalize_interval`]: slices the interval into per-thread
+/// chunks and applies them as one pool batch. Bitwise-identical to the
+/// serial version (elementwise apply over disjoint ranges). Must be called
+/// from outside the worker pool.
+pub fn finalize_interval_par<P: VertexProgram>(
+    prog: &P,
+    buf: &AccBuf<P>,
+    old: &[P::Value],
+    out: &mut [P::Value],
+    threads: usize,
+) -> bool {
+    debug_assert_eq!(old.len(), buf.len());
+    debug_assert_eq!(out.len(), buf.len());
+    if threads <= 1 || buf.len() <= 1 {
+        return finalize_interval(prog, buf, old, out);
+    }
+    let any = AtomicBool::new(false);
+    #[allow(clippy::type_complexity)]
+    let mut tasks: Vec<(usize, &[P::Value], &mut [P::Value])> = Vec::new();
+    let mut old_rest = old;
+    let mut out_rest = out;
+    let mut offset = 0usize;
+    for range in split_ranges(buf.len(), threads) {
+        let (o, orest) = old_rest.split_at(range.len());
+        let (w, wrest) = std::mem::take(&mut out_rest).split_at_mut(range.len());
+        old_rest = orest;
+        out_rest = wrest;
+        tasks.push((offset, o, w));
+        offset = range.end;
+    }
+    run_tasks(threads, tasks, |(off, o, w)| {
+        if finalize_range(prog, buf, off, o, w) {
+            any.store(true, Ordering::Relaxed);
+        }
+    });
+    any.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -247,5 +365,79 @@ mod tests {
         let mut out = vec![0u32; 2];
         assert!(!finalize_interval(&p, &buf, &old, &mut out));
         assert_eq!(out, old);
+    }
+
+    #[test]
+    fn parallel_finalize_matches_serial_bitwise() {
+        let p = Sum;
+        let len = 103;
+        let mut buf = AccBuf::<Sum>::new(&p, 5, len);
+        for k in 0..len {
+            if k % 3 != 0 {
+                buf.acc[k] = k as f64 * 0.1;
+                buf.has[k] = 1;
+            }
+        }
+        let old: Vec<f64> = (0..len).map(|k| k as f64 * 0.01).collect();
+        let mut serial = vec![0.0f64; len];
+        let s_ch = finalize_interval(&p, &buf, &old, &mut serial);
+        for threads in [1usize, 2, 4, 8] {
+            let mut par = vec![0.0f64; len];
+            let p_ch = finalize_interval_par(&p, &buf, &old, &mut par, threads);
+            assert_eq!(s_ch, p_ch, "threads={threads}");
+            assert!(
+                serial.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}"
+            );
+        }
+    }
+
+    fn hub(dsts: &[VertexId], accs: &[f64]) -> HubView<f64> {
+        use nxgraph_storage::format::{self, FileKind};
+        use nxgraph_storage::SharedBytes;
+        let mut payload = Vec::new();
+        format::push_u32(&mut payload, dsts.len() as u32);
+        for &d in dsts {
+            format::push_u32(&mut payload, d);
+        }
+        for a in accs {
+            use crate::types::Attr;
+            a.write_to(&mut payload);
+        }
+        let mut blob = Vec::new();
+        format::write_blob(&mut blob, FileKind::Hub, &payload).unwrap();
+        HubView::parse(SharedBytes::from(blob), "h", true).unwrap()
+    }
+
+    #[test]
+    fn parallel_hub_merge_matches_serial_bitwise() {
+        let p = Sum;
+        let len = 64usize;
+        let hubs = vec![
+            hub(&[3, 7, 40, 63], &[0.1, 0.2, 0.3, 0.4]),
+            hub(&[0, 7, 39, 40], &[1.5, 2.5, 3.5, 4.5]),
+            hub(&[7, 62], &[-0.25, 8.0]),
+        ];
+        let mut serial = AccBuf::<Sum>::new(&p, 0, len);
+        serial.acc[7] = 9.0;
+        serial.has[7] = 1;
+        for h in &hubs {
+            serial.merge_hub_view(&p, h);
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let mut par = AccBuf::<Sum>::new(&p, 0, len);
+            par.acc[7] = 9.0;
+            par.has[7] = 1;
+            par.merge_hub_views_par(&p, &hubs, threads);
+            assert_eq!(serial.has, par.has, "threads={threads}");
+            assert!(
+                serial
+                    .acc
+                    .iter()
+                    .zip(&par.acc)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}"
+            );
+        }
     }
 }

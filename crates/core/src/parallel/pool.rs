@@ -3,9 +3,15 @@
 //! NXgraph's engines issue a *batch* of independent tasks per row/phase and
 //! barrier on completion — hundreds of batches per run. Spawning OS threads
 //! per batch costs more than many batches' work, so a process-wide pool of
-//! `available_parallelism() − 1` workers is created lazily and reused; the
-//! submitting thread always participates, so `threads = 1` runs entirely
-//! inline.
+//! workers is created lazily and reused; the submitting thread always
+//! participates, so `threads = 1` runs entirely inline.
+//!
+//! The pool is **sized to the request**: it starts at
+//! `available_parallelism() − 1` workers and grows whenever a
+//! [`run_tasks`] call asks for more concurrency than has been spawned so
+//! far (capped at [`MAX_POOL_WORKERS`]), so a forced `--threads N` above
+//! the host's core count still gets N-way task interleaving instead of
+//! being silently clamped by whoever touched the pool first.
 //!
 //! Tasks may borrow the submitter's stack: [`run_tasks`] does not return
 //! until every task finished, which is the safety contract that lets the
@@ -81,6 +87,11 @@ struct BatchRef {
 // every worker finished with it.
 unsafe impl Send for BatchRef {}
 
+/// Hard ceiling on pool workers: a `run_tasks(threads, …)` request above
+/// this is clamped (far beyond any real core count; prevents a buggy
+/// caller from fork-bombing the process with OS threads).
+pub const MAX_POOL_WORKERS: usize = 256;
+
 struct PoolState {
     /// Currently published batch, if any.
     batch: Option<BatchRef>,
@@ -88,6 +99,8 @@ struct PoolState {
     epoch: u64,
     /// Workers still inside the current batch.
     active: usize,
+    /// Worker threads spawned so far (grows with demand, never shrinks).
+    spawned: usize,
     /// Pool shutdown flag (used only by tests tearing down).
     shutdown: bool,
 }
@@ -96,7 +109,6 @@ struct Pool {
     state: Mutex<PoolState>,
     work_cv: Condvar,
     done_cv: Condvar,
-    workers: usize,
 }
 
 /// The process-wide pool, created on first use and kept for the process
@@ -115,18 +127,13 @@ fn global_pool() -> &'static Pool {
                 batch: None,
                 epoch: 0,
                 active: 0,
+                spawned: 0,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            workers,
         }));
-        for _ in 0..pool.workers {
-            std::thread::Builder::new()
-                .name("nxgraph-worker".into())
-                .spawn(move || pool.worker_loop())
-                .expect("failed to spawn pool worker");
-        }
+        pool.ensure_workers(workers);
         pool
     })
 }
@@ -152,6 +159,21 @@ struct Ctx<'f, T> {
 }
 
 impl Pool {
+    /// Grow the worker set to at least `want` threads (clamped to
+    /// [`MAX_POOL_WORKERS`]). Idempotent and cheap when already large
+    /// enough; never shrinks.
+    fn ensure_workers(&'static self, want: usize) {
+        let want = want.min(MAX_POOL_WORKERS);
+        let mut st = self.state.lock();
+        while st.spawned < want {
+            std::thread::Builder::new()
+                .name("nxgraph-worker".into())
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn pool worker");
+            st.spawned += 1;
+        }
+    }
+
     fn worker_loop(&self) {
         let mut seen_epoch = 0u64;
         loop {
@@ -180,7 +202,10 @@ impl Pool {
         }
     }
 
-    fn run<T: Send>(&self, threads: usize, tasks: Vec<T>, f: &(dyn Fn(T) + Sync)) {
+    fn run<T: Send>(&'static self, threads: usize, tasks: Vec<T>, f: &(dyn Fn(T) + Sync)) {
+        // Size the pool to the request: the submitter participates too, so
+        // `threads`-way concurrency needs `threads − 1` workers.
+        self.ensure_workers(threads.saturating_sub(1));
         let ctx = Ctx {
             tasks: tasks.into_iter().map(|t| TaskSlot(UnsafeCell::new(Some(t)))).collect(),
             cursor: AtomicUsize::new(0),
@@ -337,6 +362,46 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 16);
+    }
+
+    /// Rendezvous: every task parks until `want` tasks are running at
+    /// once, so the batch can only finish if the pool really provides
+    /// `want`-way concurrency. On hosts with fewer cores the old
+    /// fixed-size pool deadlocks here (it never grows past
+    /// `available_parallelism() − 1` workers).
+    fn rendezvous(want: usize) {
+        let inside = AtomicUsize::new(0);
+        let go = AtomicBool::new(false);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        run_tasks(want, vec![(); want], |()| {
+            inside.fetch_add(1, Ordering::SeqCst);
+            loop {
+                if inside.load(Ordering::SeqCst) >= want {
+                    go.store(true, Ordering::SeqCst);
+                }
+                if go.load(Ordering::SeqCst) {
+                    return;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "pool never reached {want}-way concurrency"
+                );
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(inside.load(Ordering::SeqCst), want);
+    }
+
+    #[test]
+    fn pool_provides_requested_concurrency() {
+        rendezvous(4);
+    }
+
+    #[test]
+    fn pool_grows_beyond_first_request() {
+        // A small first call must not cap later, larger requests.
+        run_tasks(2, vec![1usize, 2, 3, 4], |_| {});
+        rendezvous(6);
     }
 
     #[test]

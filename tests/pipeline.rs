@@ -462,6 +462,55 @@ fn prefetch_on_off_same_io_totals() {
 }
 
 // ---------------------------------------------------------------------------
+// Thread-count determinism: the parallel absorb/finalize/hub-merge paths
+// partition work into destination-disjoint chunks whose per-slot fold
+// order is fixed (row order), so results must be *bitwise*-identical at
+// every thread count — for both sync flavours, not just Callback.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matrix_thread_counts_bitwise_identical() {
+    const ALGOS: [&str; 8] = [
+        "pagerank", "bfs", "sssp", "wcc", "scc", "kcore", "hits", "ppr",
+    ];
+    let raw = rmat_raw(8, 6, 41);
+    let sym: Vec<(u64, u64)> = raw
+        .iter()
+        .flat_map(|&(s, d)| [(s, d), (d, s)])
+        .collect();
+    let g = prepare(&raw, 5);
+    let g_sym = prepare(&sym, 5);
+    let n = g.num_vertices() as u64;
+    for algo_name in ALGOS {
+        let graph = if algo_name == "kcore" { &g_sym } else { &g };
+        // Zero-budget SPU streams every sub-shard (prefetch decode workers
+        // engage at threads > 1); DPU exercises the hub write/merge path;
+        // MPU half-resident mixes the resident and hub phases.
+        for (strategy, budget) in [
+            (Strategy::Spu, 0),
+            (Strategy::Dpu, 0),
+            (Strategy::Mpu, 4 * n + n * 8),
+        ] {
+            for sync in [SyncMode::Callback, SyncMode::Lock] {
+                let base = EngineConfig::default()
+                    .with_strategy(strategy)
+                    .with_budget(budget)
+                    .with_sync(sync);
+                let one = algo_fingerprint(algo_name, graph, &base.clone().with_threads(1));
+                for threads in [2usize, 4] {
+                    let fp =
+                        algo_fingerprint(algo_name, graph, &base.clone().with_threads(threads));
+                    assert_eq!(
+                        one, fp,
+                        "{algo_name}/{strategy:?}/{sync:?}: {threads} threads diverged from 1"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Encoding equivalence (format v3): the delta+varint blobs inflate to the
 // same words a raw load casts in place, so the choice of on-disk encoding
 // can never change computed results — pinned bitwise across the full

@@ -10,6 +10,7 @@ use nxgraph::core::algo;
 use nxgraph::core::dsss::{merge_edges, MergedSubShardView, SubShard, SubShardView};
 use nxgraph::core::dynamic::{DynamicConfig, DynamicGraph};
 use nxgraph::core::engine::{EngineConfig, Strategy as UpdateStrategy, SyncMode};
+use nxgraph::core::parallel::split_ranges;
 use nxgraph::core::prep::{self, PrepConfig};
 use nxgraph::core::reference;
 use nxgraph::core::PreparedGraph;
@@ -266,6 +267,33 @@ proptest! {
         // may differ in the last ulp; require near-equality.
         for (a, b) in cb.iter().zip(&lk) {
             prop_assert!((a - b).abs() < 1e-12, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn split_ranges_covers_len_exactly_once(len in 0usize..10_000, parts in 0usize..64) {
+        // Every parallel chunking in the engine (absorb tasks, finalize
+        // batches, hub merges) rides on `split_ranges`, so it must tile
+        // `0..len` exactly: contiguous, in order, no overlap, no gap, and
+        // never more pieces than elements or than requested.
+        let ranges = split_ranges(len, parts);
+        if len == 0 {
+            prop_assert!(ranges.is_empty());
+        } else {
+            prop_assert!(!ranges.is_empty());
+            prop_assert!(ranges.len() <= parts.max(1));
+            prop_assert!(ranges.len() <= len);
+            let mut next = 0usize;
+            for r in &ranges {
+                prop_assert_eq!(r.start, next, "gap or overlap at {}", r.start);
+                prop_assert!(r.end > r.start, "empty piece at {}", r.start);
+                next = r.end;
+            }
+            prop_assert_eq!(next, len);
+            // Balanced: piece sizes differ by at most one.
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            prop_assert!(max - min <= 1, "unbalanced: {} vs {}", min, max);
         }
     }
 
