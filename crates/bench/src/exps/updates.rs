@@ -2,14 +2,18 @@
 //!
 //! Like `perf`, this experiment exists for the *repo's own* trajectory
 //! rather than a paper table: a fixed-seed R-MAT fixture receives a
-//! stream of edge batches through [`DynamicGraph`] under both commit
-//! modes — the delta log (default compaction thresholds) and the legacy
-//! whole-cell rewrite — measuring edges-applied/sec and counted disk
-//! write bytes per batch. After the stream, PageRank on each dynamic
-//! graph must be bitwise-identical to PageRank on a from-scratch
-//! preprocessing of the same final edge set; the run *fails* otherwise.
-//! With `--json` the results land in `BENCH_updates.json` so successive
-//! PRs can diff the numbers; CI uploads a tiny-scale run as an artifact.
+//! stream of edge batches through [`DynamicGraph`] under the delta log
+//! (default compaction thresholds), the legacy whole-cell rewrite, and —
+//! with `--background` — the delta log with folds moved to the
+//! maintenance thread. Each mode measures edges-applied/sec, counted
+//! disk write bytes per batch, and the p50/p99 latency of individual
+//! `add_edges` commits: inline folds show up as p99 spikes that the
+//! background mode takes off the commit path. After the stream (and
+//! after quiescing maintenance), PageRank on each dynamic graph must be
+//! bitwise-identical to PageRank on a from-scratch preprocessing of the
+//! same final edge set; the run *fails* otherwise. With `--json` the
+//! results land in `BENCH_updates.json` (schema v2) so successive PRs
+//! can diff the numbers; CI uploads a tiny-scale run as an artifact.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -48,9 +52,21 @@ struct ModeReport {
     deltas_appended: usize,
     cells_rewritten: usize,
     cells_compacted: usize,
+    /// Median / 99th-percentile `add_edges` wall time per batch, in µs.
+    add_latency_p50_us: f64,
+    add_latency_p99_us: f64,
     /// PageRank bits after the stream (compared across modes and against
     /// the from-scratch preparation).
     fingerprint: Vec<u64>,
+}
+
+/// Nearest-rank percentile of an unsorted sample, in place.
+fn percentile_us(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[((samples.len() - 1) as f64 * q).round() as usize]
 }
 
 struct Report {
@@ -102,11 +118,17 @@ fn measure(opts: &Opts) -> Report {
     let stream = batches(&known, batch_size, opts.seed);
     let total_edges: usize = stream.iter().map(Vec::len).sum();
 
-    let mut modes = Vec::new();
-    for (mode, config) in [
+    let mut mode_list = vec![
         ("delta", DynamicConfig::default()),
         ("rewrite", DynamicConfig::rewrite()),
-    ] {
+    ];
+    if opts.background {
+        // Same fold thresholds as "delta"; the folds run on the
+        // maintenance thread instead of inside add_edges.
+        mode_list.push(("background", DynamicConfig::background()));
+    }
+    let mut modes = Vec::new();
+    for (mode, config) in mode_list {
         // RAM-disk profile (the methodology of the exp* suite): counted
         // write bytes are byte-exact on any disk, and wall time then
         // measures the commit paths themselves instead of host I/O
@@ -120,20 +142,31 @@ fn measure(opts: &Opts) -> Report {
             let mut dg = DynamicGraph::with_config(g, config.clone()).expect("dynamic");
             let write_before = disk.counters().written_bytes();
             let (mut deltas, mut rewrites, mut compactions) = (0usize, 0usize, 0usize);
+            let mut latencies = Vec::with_capacity(stream.len());
             let started = Instant::now();
             for batch in &stream {
+                let commit = Instant::now();
                 let stats = dg.add_edges(batch).expect("add_edges");
+                latencies.push(commit.elapsed().as_secs_f64() * 1e6);
                 assert!(!stats.rebuilt, "batches only touch known vertices");
                 deltas += stats.deltas_appended;
                 rewrites += stats.cells_rewritten;
                 compactions += stats.cells_compacted;
             }
+            // `elapsed` covers the commit path only; the quiesce below
+            // drains in-flight background folds so the write-byte totals
+            // and the fold count are complete for every mode.
             let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+            dg.wait_maintenance_idle().expect("maintenance");
+            if let Some(maint) = dg.maintenance() {
+                compactions += maint.stats().cells_folded as usize;
+            }
             let written = disk.counters().written_bytes() - write_before;
-            samples.push((elapsed, written, deltas, rewrites, compactions, dg));
+            samples.push((elapsed, written, deltas, rewrites, compactions, latencies, dg));
         }
         samples.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let (elapsed, written, deltas, rewrites, compactions, dg) = samples.remove(1);
+        let (elapsed, written, deltas, rewrites, compactions, mut latencies, dg) =
+            samples.remove(1);
         modes.push(ModeReport {
             mode,
             elapsed_secs: elapsed,
@@ -143,6 +176,8 @@ fn measure(opts: &Opts) -> Report {
             deltas_appended: deltas,
             cells_rewritten: rewrites,
             cells_compacted: compactions,
+            add_latency_p50_us: percentile_us(&mut latencies, 0.50),
+            add_latency_p99_us: percentile_us(&mut latencies, 0.99),
             fingerprint: fingerprint(dg.graph(), opts.iters.min(5)),
         });
     }
@@ -187,7 +222,7 @@ fn render_json(opts: &Opts, r: &Report) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"updates\",");
-    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"schema_version\": 2,");
     let _ = writeln!(s, "  \"seed\": {},", opts.seed);
     let _ = writeln!(s, "  \"scale\": {},", r.scale);
     let _ = writeln!(s, "  \"edge_factor\": {EDGE_FACTOR},");
@@ -200,7 +235,7 @@ fn render_json(opts: &Opts, r: &Report) -> String {
     for (k, m) in r.modes.iter().enumerate() {
         let _ = writeln!(
             s,
-            "    {{\"mode\": \"{}\", \"elapsed_secs\": {:.6}, \"edges_per_sec\": {:.1}, \"write_bytes_total\": {}, \"write_bytes_per_batch\": {}, \"deltas_appended\": {}, \"cells_rewritten\": {}, \"cells_compacted\": {}}}{}",
+            "    {{\"mode\": \"{}\", \"elapsed_secs\": {:.6}, \"edges_per_sec\": {:.1}, \"write_bytes_total\": {}, \"write_bytes_per_batch\": {}, \"deltas_appended\": {}, \"cells_rewritten\": {}, \"cells_compacted\": {}, \"add_latency_p50_us\": {:.1}, \"add_latency_p99_us\": {:.1}}}{}",
             m.mode,
             m.elapsed_secs,
             m.edges_per_sec,
@@ -209,6 +244,8 @@ fn render_json(opts: &Opts, r: &Report) -> String {
             m.deltas_appended,
             m.cells_rewritten,
             m.cells_compacted,
+            m.add_latency_p50_us,
+            m.add_latency_p99_us,
             if k + 1 < r.modes.len() { "," } else { "" }
         );
     }
@@ -230,7 +267,10 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
             "updates — {} batches of {} edges onto rmat-{}x{} ({} vertices, {} base edges)",
             NUM_BATCHES, r.batch_size, r.scale, EDGE_FACTOR, r.vertices, r.edges_base
         ),
-        &["mode", "time", "edges/s", "write B/batch", "deltas", "rewrites", "compactions"],
+        &[
+            "mode", "time", "edges/s", "write B/batch", "deltas", "rewrites", "compactions",
+            "p50 µs", "p99 µs",
+        ],
     );
     for m in &r.modes {
         t.row(vec![
@@ -241,6 +281,8 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
             m.deltas_appended.to_string(),
             m.cells_rewritten.to_string(),
             m.cells_compacted.to_string(),
+            format!("{:.1}", m.add_latency_p50_us),
+            format!("{:.1}", m.add_latency_p99_us),
         ]);
     }
     t.print();
@@ -270,23 +312,50 @@ mod tests {
         let opts = Opts {
             scale_shift: -6,
             iters: 3,
+            background: true,
             ..Opts::default()
         };
         let r = measure(&opts);
         assert!(r.identical, "dynamic paths diverged from fresh prep");
-        assert_eq!(r.modes.len(), 2);
+        assert_eq!(r.modes.len(), 3);
         assert!(r.mode("delta").deltas_appended > 0);
         assert_eq!(r.mode("delta").cells_rewritten, 0);
         assert!(r.mode("rewrite").cells_rewritten > 0);
         assert_eq!(r.mode("rewrite").deltas_appended, 0);
+        assert!(r.mode("background").deltas_appended > 0);
+        assert_eq!(r.mode("background").cells_rewritten, 0);
         // The delta log must write less per batch even at tiny scale.
         assert!(r.write_ratio() > 1.0, "write ratio {}", r.write_ratio());
+        for m in &r.modes {
+            assert!(m.add_latency_p50_us > 0.0, "{}: zero p50", m.mode);
+            assert!(
+                m.add_latency_p99_us >= m.add_latency_p50_us,
+                "{}: p99 {} below p50 {}",
+                m.mode,
+                m.add_latency_p99_us,
+                m.add_latency_p50_us
+            );
+        }
         let json = render_json(&opts, &r);
         assert!(json.contains("\"bench\": \"updates\""));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"mode\": \"delta\""));
         assert!(json.contains("\"mode\": \"rewrite\""));
+        assert!(json.contains("\"mode\": \"background\""));
+        assert!(json.contains("\"add_latency_p50_us\""));
+        assert!(json.contains("\"add_latency_p99_us\""));
         assert!(json.contains("\"identical_to_fresh_prep\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
         assert_eq!(json.matches('[').count(), json.matches(']').count(), "{json}");
+    }
+
+    #[test]
+    fn updates_percentiles_are_nearest_rank() {
+        assert_eq!(percentile_us(&mut [], 0.5), 0.0);
+        let mut one = [7.0];
+        assert_eq!(percentile_us(&mut one, 0.99), 7.0);
+        let mut v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_us(&mut v, 0.50), 51.0); // (99 * 0.5).round() = 50
+        assert_eq!(percentile_us(&mut v, 0.99), 99.0); // (99 * 0.99).round() = 98
     }
 }

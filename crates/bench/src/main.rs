@@ -3,6 +3,7 @@
 //! ```text
 //! nxbench <experiment> [--scale-shift N] [--seed N] [--threads N] [--iters N]
 //!                      [--json] [--out PATH] [--encoding raw|auto|compressed]
+//!                      [--background]
 //!
 //! experiments:
 //!   table2   Table II  — analytic I/O bounds per strategy
@@ -28,12 +29,14 @@
 //!            {SPU,DPU,MPU} × {Callback,Lock} identical at every thread
 //!            count — divergence fails the run). `--json` writes
 //!            BENCH_scaling.json (`--out` overrides).
-//!   updates  repo streaming-update baseline — edges-applied/sec and disk
-//!            write bytes/batch for DynamicGraph's delta-log commit path
-//!            vs the legacy whole-cell rewrite, on a fixed-seed R-MAT
-//!            stream; fails unless both land bitwise on a from-scratch
-//!            prep. `--json` writes BENCH_updates.json (`--out`
-//!            overrides).
+//!   updates  repo streaming-update baseline — edges-applied/sec, disk
+//!            write bytes/batch and per-commit add_edges latency
+//!            (p50/p99) for DynamicGraph's delta-log commit path vs the
+//!            legacy whole-cell rewrite, on a fixed-seed R-MAT stream;
+//!            `--background` adds a third mode that folds chains on the
+//!            maintenance thread instead of inline. Fails unless every
+//!            mode lands bitwise on a from-scratch prep. `--json` writes
+//!            BENCH_updates.json (`--out` overrides).
 //!   all                — run everything
 //! ```
 //!
@@ -63,6 +66,8 @@ pub struct Opts {
     /// On-disk blob encoding for `perf`: `None` measures raw *and* auto
     /// side by side; `Some` pins a single policy (the CI per-path runs).
     pub encoding: Option<nxgraph_storage::EncodingPolicy>,
+    /// Whether `updates` also measures the background-compaction mode.
+    pub background: bool,
 }
 
 impl Default for Opts {
@@ -78,6 +83,7 @@ impl Default for Opts {
             json: false,
             out: None,
             encoding: None,
+            background: false,
         }
     }
 }
@@ -116,6 +122,7 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     .map_err(|e| format!("bad --iters: {e}"))?
             }
             "--json" => opts.json = true,
+            "--background" => opts.background = true,
             "--out" => opts.out = Some(take_val(&mut k)?),
             "--encoding" => {
                 opts.encoding = Some(
@@ -137,7 +144,7 @@ fn main() -> ExitCode {
     let (exp, opts) = match parse(&args) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|scaling|updates|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH] [--encoding raw|auto|compressed]");
+            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|scaling|updates|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH] [--encoding raw|auto|compressed] [--background]");
             return ExitCode::FAILURE;
         }
     };

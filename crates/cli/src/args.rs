@@ -10,6 +10,7 @@ usage:
                    [--encoding raw|auto|compressed]
   nxgraph-cli info <graph-dir>
   nxgraph-cli compact <graph-dir>
+  nxgraph-cli scrub <graph-dir>
   nxgraph-cli pagerank <graph-dir> [--iters N] [--budget-mib N] [--threads N] [--top K]
   nxgraph-cli bfs <graph-dir> --root R [--threads N]
   nxgraph-cli sssp <graph-dir> --root R [--threads N]

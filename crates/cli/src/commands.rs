@@ -22,6 +22,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "prep" => prep(&args),
         "info" => info(&args),
         "compact" => compact(&args),
+        "scrub" => scrub(&args),
         "pagerank" => pagerank(&args),
         "bfs" => bfs(&args),
         "sssp" => sssp(&args),
@@ -157,6 +158,19 @@ fn info(args: &Args) -> Result<(), String> {
             total
         );
     }
+    let degrees_gen = m.degrees_gen().map_err(|e| e.to_string())?;
+    if degrees_gen > 0 {
+        println!("degree table  : generation {degrees_gen}");
+    }
+    let quarantined = g
+        .disk()
+        .list()
+        .into_iter()
+        .filter(|n| n.starts_with(nxgraph_core::maintain::QUARANTINE_PREFIX))
+        .count();
+    if quarantined > 0 {
+        println!("quarantined   : {quarantined} corrupt blob(s) parked by scrub (run `compact` to sweep)");
+    }
     let deg = g.out_degrees();
     let max = deg.iter().max().copied().unwrap_or(0);
     println!(
@@ -167,21 +181,55 @@ fn info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Fold every pending delta chain back into single base blobs.
+/// Fold every pending delta chain back into single base blobs and sweep
+/// unreferenced files (crash leftovers, quarantined blobs, stale
+/// generations).
 fn compact(args: &Args) -> Result<(), String> {
     let g = open(args)?;
     let before = g.total_subshard_bytes().map_err(|e| e.to_string())?;
     let mut dg = nxgraph_core::dynamic::DynamicGraph::new(g).map_err(|e| e.to_string())?;
     let started = std::time::Instant::now();
-    let folded = dg.compact().map_err(|e| e.to_string())?;
+    let report = dg.compact().map_err(|e| e.to_string())?;
     let after = dg
         .graph()
         .total_subshard_bytes()
         .map_err(|e| e.to_string())?;
     println!(
-        "compacted {folded} cells in {:?}; forward sub-shard bytes {before} -> {after}",
-        started.elapsed()
+        "compacted {} cells in {:?}; swept {} orphan files ({} bytes); forward sub-shard bytes {before} -> {after}",
+        report.cells_folded,
+        started.elapsed(),
+        report.files_swept,
+        report.bytes_swept
     );
+    Ok(())
+}
+
+/// Re-verify every blob the manifest references (checksums, structure),
+/// quarantining corrupt referenced blobs and sweeping corrupt orphans.
+/// Exits nonzero when corruption was found.
+fn scrub(args: &Args) -> Result<(), String> {
+    let dir = args.pos(0, "graph directory")?;
+    let disk = OsDisk::new(dir).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let report = nxgraph_core::maintain::scrub(&disk).map_err(|e| e.to_string())?;
+    println!(
+        "scrubbed {} files ({} bytes) in {:?}: {} clean, {} orphaned, {} corrupt swept",
+        report.files_scanned,
+        report.bytes_scanned,
+        started.elapsed(),
+        report.clean,
+        report.orphans,
+        report.swept.len()
+    );
+    if !report.is_clean() {
+        for name in &report.corrupt {
+            eprintln!("CORRUPT (quarantined): {name}");
+        }
+        return Err(format!(
+            "{} referenced blob(s) failed verification; re-prepare the graph or restore from backup",
+            report.corrupt.len()
+        ));
+    }
     Ok(())
 }
 

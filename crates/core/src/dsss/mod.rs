@@ -263,12 +263,12 @@ impl PreparedGraph {
     /// Open a graph previously written by [`crate::prep::preprocess`].
     pub fn open(disk: Arc<dyn Disk>) -> EngineResult<Self> {
         let manifest = GraphManifest::load(disk.as_ref())?;
-        let raw = disk.read_all(GraphManifest::degree_file())?;
-        let payload = format::read_blob(
-            &mut raw.as_slice(),
-            FileKind::Degrees,
-            GraphManifest::degree_file(),
-        )?;
+        // The degree table is generation-tagged: dynamic commits write a
+        // fresh name and point the manifest at it, so this always reads
+        // the table the loaded manifest committed with.
+        let degree_file = manifest.degree_file_current()?;
+        let raw = disk.read_all(&degree_file)?;
+        let payload = format::read_blob(&mut raw.as_slice(), FileKind::Degrees, &degree_file)?;
         let out_degrees = format::decode_u32s(&payload)?;
         if out_degrees.len() as u64 != manifest.num_vertices {
             return Err(EngineError::Invalid(format!(
@@ -297,14 +297,31 @@ impl PreparedGraph {
         manifest: GraphManifest,
         out_degrees: Arc<Vec<u32>>,
     ) -> EngineResult<Self> {
+        let checksums = Arc::new(ChecksumPolicy::default());
+        let pool = BufferPool::new();
+        Self::from_parts_reusing(disk, manifest, out_degrees, checksums, pool)
+    }
+
+    /// Construct from parts while carrying an existing checksum policy and
+    /// buffer pool across — the dynamic-graph refresh path, where dropping
+    /// the policy each commit would both re-verify every unchanged file
+    /// and (worse) defeat [`ChecksumPolicy::note_invalidated`] tracking of
+    /// rewritten names.
+    pub(crate) fn from_parts_reusing(
+        disk: Arc<dyn Disk>,
+        manifest: GraphManifest,
+        out_degrees: Arc<Vec<u32>>,
+        checksums: Arc<ChecksumPolicy>,
+        pool: Arc<BufferPool>,
+    ) -> EngineResult<Self> {
         let encoding = policy_from_manifest(&manifest);
         let chains = Arc::new(DeltaIndex::from_manifest(&manifest)?);
         Ok(Self {
             disk,
             manifest,
             out_degrees,
-            pool: BufferPool::new(),
-            checksums: Arc::new(ChecksumPolicy::default()),
+            pool,
+            checksums,
             encoding,
             chains,
         })
@@ -313,6 +330,11 @@ impl PreparedGraph {
     /// The underlying disk.
     pub fn disk(&self) -> &Arc<dyn Disk> {
         &self.disk
+    }
+
+    /// The shared checksum verification policy.
+    pub(crate) fn checksum_policy(&self) -> &Arc<ChecksumPolicy> {
+        &self.checksums
     }
 
     /// The shared read-buffer pool backing streamed view loads.

@@ -10,10 +10,18 @@
 //! manifest records the chain. Readers merge-iterate base + deltas behind
 //! the ordinary view API, so the engines are untouched; a configurable
 //! compaction policy ([`DynamicConfig`]) folds long or heavy chains back
-//! into a single base blob at the *next generation*, committing via the
-//! manifest save so a crash at any point leaves a fully consistent chain
-//! (stale files from the losing side are never referenced, and the
-//! orphan sweep in [`DynamicGraph::compact`] reclaims them).
+//! into a single base blob at the *next generation*.
+//!
+//! Folding runs in one of two places ([`Compaction`]): **inline** (the
+//! default) folds a due chain inside the same `add_edges` commit;
+//! **background** ([`DynamicConfig::background`]) keeps `add_edges`
+//! append-only — a due cell is merely *signalled* to the
+//! [`MaintenanceThread`](crate::maintain::MaintenanceThread), which folds
+//! it off the commit path while the owner keeps reading its pinned
+//! snapshot (picked up at the next [`DynamicGraph::refresh`]). Appends
+//! are never blocked behind a fold: the fold's merge runs lock-free and
+//! its commit re-validates the chain, retrying if an append won the race
+//! (see [`crate::maintain`] for the protocol).
 //!
 //! [`UpdateMode::Rewrite`] keeps the pre-delta-log behaviour — every
 //! touched cell is read, merged and rewritten whole — as the baseline the
@@ -24,14 +32,46 @@
 //! reconstructing the raw edge list from the sub-shards and the mapping
 //! table — which is reported in the [`CommitStats`] so callers can batch
 //! accordingly.
+//!
+//! ## Write-boundary contract (crash safety)
+//!
+//! Every commit issues its writes in one fixed, enumerable order, which
+//! is what lets the power-loss simulator
+//! ([`CrashDisk`](nxgraph_storage::CrashDisk)) assert recovery at *every*
+//! cut point rather than a sampled few:
+//!
+//! 1. **Content blobs first, under fresh names.** Delta blobs go to the
+//!    next delta index of the current generation, fold outputs to the
+//!    next generation's base name, degree tables to the next degree
+//!    generation — never over a name the on-disk manifest references.
+//! 2. **The manifest commit.** [`GraphManifest::save`] writes
+//!    `graph.manifest.tmp` and atomically renames it over
+//!    `graph.manifest`. This rename is THE durability point of every
+//!    commit (appends, folds, background folds alike).
+//! 3. **Sweeps last.** Files the new manifest no longer references are
+//!    removed only after the rename (background folds defer this to the
+//!    owner's next refresh, since its pinned reader may still use them).
+//!
+//! A crash before step 2 leaves new blobs unreferenced; after step 2 it
+//! leaves old blobs unreferenced. Either way the manifest on disk
+//! describes a complete, consistent graph, and the leftovers are orphans
+//! that [`DynamicGraph::compact`]'s sweep reclaims. Two documented
+//! exceptions write in place: [`UpdateMode::Rewrite`] rewrites a bare
+//! (chainless) generation-0 base under its own name — the legacy baseline
+//! behaviour, excluded from the crash-sim contract — and a full
+//! re-preprocessing rewrites the prep-time layout wholesale (mid-prep
+//! crash atomicity is out of scope; the fold-before-rebuild below keeps
+//! *chained* state safe across it).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use nxgraph_storage::manifest::{ChainInfo, GraphManifest};
+use parking_lot::Mutex;
 
 use crate::dsss::{self, PreparedGraph, SubShard};
 use crate::error::EngineResult;
+use crate::maintain::{self, MaintenanceThread, ScrubReport, StoreShared, StoreState};
 use crate::prep::{self, PrepConfig};
 use crate::types::VertexId;
 
@@ -47,6 +87,19 @@ pub enum UpdateMode {
     Rewrite,
 }
 
+/// Where chain folding runs when the [`DynamicConfig`] thresholds trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compaction {
+    /// Fold a due chain inside the same `add_edges` commit. Simple and
+    /// deterministic; the commit pays the merge.
+    #[default]
+    Inline,
+    /// Append only; signal due cells to a background
+    /// [`MaintenanceThread`] that folds them off the commit path. Chains
+    /// may transiently exceed the thresholds while a fold is in flight.
+    Background,
+}
+
 /// Update-mode and compaction-policy knobs for a [`DynamicGraph`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct DynamicConfig {
@@ -58,6 +111,11 @@ pub struct DynamicConfig {
     /// the base blob (long chains over a small base cost merge time; heavy
     /// chains over any base cost read amplification).
     pub max_delta_ratio: f64,
+    /// Whether due chains fold inline or on the maintenance thread.
+    pub compaction: Compaction,
+    /// Under [`Compaction::Background`]: run a checksum-scrub pass after
+    /// each completed fold (idle-priority — queued folds always preempt).
+    pub auto_scrub: bool,
 }
 
 impl Default for DynamicConfig {
@@ -69,6 +127,8 @@ impl Default for DynamicConfig {
             mode: UpdateMode::DeltaLog,
             max_deltas: 32,
             max_delta_ratio: 1.0,
+            compaction: Compaction::Inline,
+            auto_scrub: false,
         }
     }
 }
@@ -90,6 +150,18 @@ impl DynamicConfig {
             mode: UpdateMode::DeltaLog,
             max_deltas: u32::MAX,
             max_delta_ratio: f64::INFINITY,
+            ..Self::default()
+        }
+    }
+
+    /// Delta logging with background maintenance: `add_edges` only
+    /// appends and signals, a dedicated thread folds due chains and
+    /// re-scrubs checksums after each fold.
+    pub fn background() -> Self {
+        Self {
+            compaction: Compaction::Background,
+            auto_scrub: true,
+            ..Self::default()
         }
     }
 }
@@ -108,16 +180,42 @@ pub struct CommitStats {
     /// Delta blobs appended (one per touched cell; forward + reverse
     /// counted separately); only under [`UpdateMode::DeltaLog`].
     pub deltas_appended: usize,
-    /// Cells whose chains the compaction policy folded after the append.
+    /// Cells whose chains this commit folded inline.
     pub cells_compacted: usize,
+    /// Cells signalled to the background maintenance thread for folding
+    /// (only under [`Compaction::Background`]).
+    pub cells_signalled: usize,
+}
+
+/// Result of one [`DynamicGraph::compact`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// Chains folded into a single next-generation base.
+    pub cells_folded: usize,
+    /// Unreferenced files reclaimed by the orphan sweep (crash leftovers,
+    /// deferred background-fold sweeps, quarantined blobs, stale degree
+    /// generations).
+    pub files_swept: usize,
+    /// Total bytes those files occupied.
+    pub bytes_swept: u64,
 }
 
 /// A prepared graph accepting structural updates.
+///
+/// Holds a *pinned* [`PreparedGraph`] snapshot for reading plus the
+/// [`StoreShared`] committed state it shares with an optional background
+/// [`MaintenanceThread`]. The snapshot never changes under a running
+/// engine; [`DynamicGraph::refresh`] (called automatically by every
+/// mutating method) catches it up to commits the thread made.
 pub struct DynamicGraph {
+    shared: Arc<StoreShared>,
     graph: PreparedGraph,
+    /// The `shared.state` epoch `graph` was built from.
+    seen_epoch: u64,
     /// Sorted original indices; position = dense id.
     mapping: Vec<u64>,
     config: DynamicConfig,
+    maint: Option<MaintenanceThread>,
 }
 
 impl DynamicGraph {
@@ -127,14 +225,42 @@ impl DynamicGraph {
         Self::with_config(graph, DynamicConfig::default())
     }
 
-    /// Wrap a prepared graph with an explicit [`DynamicConfig`].
+    /// Wrap a prepared graph with an explicit [`DynamicConfig`]. Under
+    /// [`Compaction::Background`] this spawns the maintenance thread
+    /// (joined when the `DynamicGraph` drops).
     pub fn with_config(graph: PreparedGraph, config: DynamicConfig) -> EngineResult<Self> {
         let mapping = graph.load_reverse_mapping()?;
-        Ok(Self {
+        let shared = Arc::new(StoreShared {
+            disk: Arc::clone(graph.disk()),
+            state: Mutex::new(StoreState {
+                manifest: graph.manifest().clone(),
+                out_degrees: Arc::clone(graph.out_degrees()),
+                epoch: 0,
+                pending_sweep: Vec::new(),
+            }),
+            gate: Mutex::new(()),
+        });
+        let mut dg = Self {
+            shared,
             graph,
+            seen_epoch: 0,
             mapping,
             config,
-        })
+            maint: None,
+        };
+        dg.spawn_maintenance();
+        Ok(dg)
+    }
+
+    fn spawn_maintenance(&mut self) {
+        if self.config.compaction == Compaction::Background {
+            self.maint = Some(MaintenanceThread::spawn(
+                Arc::clone(&self.shared),
+                self.graph.encoding_policy(),
+                Arc::clone(self.graph.checksum_policy()),
+                self.config.auto_scrub,
+            ));
+        }
     }
 
     /// The current prepared graph (always consistent after each commit).
@@ -145,6 +271,12 @@ impl DynamicGraph {
     /// The update-mode and compaction configuration.
     pub fn config(&self) -> &DynamicConfig {
         &self.config
+    }
+
+    /// The background maintenance thread, when
+    /// [`Compaction::Background`] is configured.
+    pub fn maintenance(&self) -> Option<&MaintenanceThread> {
+        self.maint.as_ref()
     }
 
     /// Dense id of an original index, if known.
@@ -167,11 +299,73 @@ impl DynamicGraph {
         Ok(out)
     }
 
+    /// Catch the pinned snapshot up to the latest committed state and
+    /// sweep files that background folds superseded (safe now: the old
+    /// snapshot that could still read them is being replaced, and `&mut
+    /// self` excludes concurrent readers). Returns whether anything
+    /// changed. Cheap no-op when the epoch is current.
+    pub fn refresh(&mut self) -> EngineResult<bool> {
+        let (manifest, out_degrees, epoch, sweep) = {
+            let mut st = self.shared.state.lock();
+            if st.epoch == self.seen_epoch && st.pending_sweep.is_empty() {
+                return Ok(false);
+            }
+            (
+                st.manifest.clone(),
+                Arc::clone(&st.out_degrees),
+                st.epoch,
+                std::mem::take(&mut st.pending_sweep),
+            )
+        };
+        if epoch != self.seen_epoch {
+            self.install(manifest, out_degrees, epoch)?;
+        }
+        self.sweep_files(&sweep);
+        Ok(true)
+    }
+
+    /// Rebuild the pinned snapshot from already-in-hand parts, reusing the
+    /// checksum policy and buffer pool (commits are frequent on streaming
+    /// workloads; re-verifying every unchanged file per commit would
+    /// defeat the verify-once policy).
+    fn install(
+        &mut self,
+        manifest: GraphManifest,
+        out_degrees: Arc<Vec<u32>>,
+        epoch: u64,
+    ) -> EngineResult<()> {
+        self.graph = PreparedGraph::from_parts_reusing(
+            Arc::clone(&self.shared.disk),
+            manifest,
+            out_degrees,
+            Arc::clone(self.graph.checksum_policy()),
+            Arc::clone(self.graph.buffer_pool()),
+        )?;
+        self.seen_epoch = epoch;
+        Ok(())
+    }
+
+    /// Best-effort removal with checksum-cache invalidation: if a future
+    /// commit reuses one of these names, its fresh bytes must be
+    /// re-verified, not waved through by the verify-once cache.
+    fn sweep_files(&self, names: &[String]) {
+        for name in names {
+            let _ = self.shared.disk.remove(name);
+            self.graph.checksum_policy().note_invalidated(name);
+        }
+    }
+
     /// Add a batch of edges (original indices) and commit to disk.
+    ///
+    /// The whole commit — chain reads, blob writes, manifest save, shared
+    /// state update — runs under the `state` lock, so a background fold
+    /// can never interleave with it (the fold detects the changed chain
+    /// and retries; this side needs no retry loop).
     pub fn add_edges(&mut self, new_raw: &[(u64, u64)]) -> EngineResult<CommitStats> {
         if new_raw.is_empty() {
             return Ok(CommitStats::default());
         }
+        self.refresh()?;
         let all_known = new_raw
             .iter()
             .all(|&(s, d)| self.id_of(s).is_some() && self.id_of(d).is_some());
@@ -205,16 +399,21 @@ impl DynamicGraph {
             edges_added: new_raw.len(),
             ..CommitStats::default()
         };
-        let mut manifest = self.graph.manifest().clone();
-        let (mut raw_delta, mut disk_delta) = (0i64, 0i64);
+        let encoding = self.graph.encoding_policy();
+        let disk = Arc::clone(&self.shared.disk);
+        let mut due_cells: Vec<(u32, u32, bool)> = Vec::new();
         let mut stale: Vec<String> = Vec::new();
+
+        let mut st = self.shared.state.lock();
+        let mut manifest = st.manifest.clone();
+        let (mut raw_delta, mut disk_delta) = (0i64, 0i64);
 
         for ((i, j, reverse), extra) in buckets {
             let chain = manifest.chain_info(i, j, reverse)?;
             match self.config.mode {
                 UpdateMode::DeltaLog => {
                     let d = SubShard::from_edges(i, j, extra);
-                    let blob = d.encode_with(self.graph.encoding_policy());
+                    let blob = d.encode_with(encoding);
                     let base_name = GraphManifest::subshard_base_file(i, j, reverse, chain.gen);
                     // Fold-before-append check, O(1) in the chain length:
                     // accumulated delta bytes ride in the ChainInfo, and
@@ -222,29 +421,23 @@ impl DynamicGraph {
                     let due = chain.deltas + 1 >= self.config.max_deltas
                         || (self.config.max_delta_ratio.is_finite()
                             && (chain.delta_bytes + blob.len() as u64) as f64
-                                > self.graph.disk().len_of(&base_name)? as f64
+                                > disk.len_of(&base_name)? as f64
                                     * self.config.max_delta_ratio);
-                    if due {
+                    if due && self.config.compaction == Compaction::Inline {
                         // The chain would cross a threshold: fold it and
                         // this batch's edges into a fresh base in the same
                         // commit, instead of appending a delta only to
                         // read it straight back.
-                        let mut parts = dsss::load_chain_parts(
-                            self.graph.disk().as_ref(),
-                            i,
-                            j,
-                            reverse,
-                            chain,
-                        )?;
+                        let mut parts =
+                            dsss::load_chain_parts(disk.as_ref(), i, j, reverse, chain)?;
                         let old_raw: u64 = parts.iter().map(|p| p.encoded_len()).sum();
-                        let old_disk =
-                            self.graph.disk().len_of(&base_name)? + chain.delta_bytes;
+                        let old_disk = disk.len_of(&base_name)? + chain.delta_bytes;
                         parts.push(d); // the new batch, already dst-sorted
                         let merged = dsss::merge_subshards(i, j, &parts);
-                        let blob = merged.encode_with(self.graph.encoding_policy());
+                        let blob = merged.encode_with(encoding);
                         let new_gen = chain.gen + 1;
                         let name = GraphManifest::subshard_base_file(i, j, reverse, new_gen);
-                        self.graph.disk().write_all_to(&name, &blob)?;
+                        disk.write_all_to(&name, &blob)?;
                         raw_delta += merged.encoded_len() as i64 - old_raw as i64;
                         disk_delta += blob.len() as i64 - old_disk as i64;
                         manifest.set_chain_info(
@@ -257,7 +450,11 @@ impl DynamicGraph {
                         stats.cells_compacted += 1;
                     } else {
                         // Append one destination-sorted delta blob; the
-                        // base and earlier deltas are not even read.
+                        // base and earlier deltas are not even read. Under
+                        // background compaction a due cell is signalled,
+                        // never folded here — the append commits at append
+                        // cost no matter what the maintenance thread is
+                        // doing.
                         let name = GraphManifest::subshard_delta_file(
                             i,
                             j,
@@ -267,7 +464,7 @@ impl DynamicGraph {
                         );
                         raw_delta += d.encoded_len() as i64;
                         disk_delta += blob.len() as i64;
-                        self.graph.disk().write_all_to(&name, &blob)?;
+                        disk.write_all_to(&name, &blob)?;
                         manifest.set_chain_info(
                             i,
                             j,
@@ -279,33 +476,39 @@ impl DynamicGraph {
                             },
                         );
                         stats.deltas_appended += 1;
+                        if due {
+                            due_cells.push((i, j, reverse));
+                            stats.cells_signalled += 1;
+                        }
                     }
                 }
                 UpdateMode::Rewrite => {
                     // Read-merge-rewrite the whole cell (chain included, so
                     // mixing modes folds any pending deltas in passing).
-                    let parts =
-                        dsss::load_chain_parts(self.graph.disk().as_ref(), i, j, reverse, chain)?;
+                    let parts = dsss::load_chain_parts(disk.as_ref(), i, j, reverse, chain)?;
                     let old_raw: u64 = parts.iter().map(|p| p.encoded_len()).sum();
-                    let old_disk = self.graph.subshard_len(i, j, reverse)?;
+                    let old_disk = chain_len_of(disk.as_ref(), i, j, reverse, chain)?;
                     let mut edges: Vec<(VertexId, VertexId)> =
                         parts.iter().flat_map(|p| p.iter_edges()).collect();
                     edges.extend(extra);
                     let merged = SubShard::from_edges(i, j, edges);
-                    let blob = merged.encode_with(self.graph.encoding_policy());
+                    let blob = merged.encode_with(encoding);
                     raw_delta += merged.encoded_len() as i64 - old_raw as i64;
                     disk_delta += blob.len() as i64 - old_disk as i64;
                     if chain.deltas == 0 {
                         // Bare base: rewrite in place under its own name,
-                        // exactly like the pre-delta-log path.
+                        // exactly like the pre-delta-log path. The name
+                        // keeps its bytes changed underneath it, so the
+                        // verify-once cache must forget it.
                         let name = GraphManifest::subshard_base_file(i, j, reverse, chain.gen);
-                        self.graph.disk().write_all_to(&name, &blob)?;
+                        disk.write_all_to(&name, &blob)?;
+                        self.graph.checksum_policy().note_invalidated(&name);
                     } else {
                         // A chain is folded into the next generation so the
                         // still-referenced old base is never clobbered.
                         let new_gen = chain.gen + 1;
                         let name = GraphManifest::subshard_base_file(i, j, reverse, new_gen);
-                        self.graph.disk().write_all_to(&name, &blob)?;
+                        disk.write_all_to(&name, &blob)?;
                         manifest.set_chain_info(
                             i,
                             j,
@@ -320,118 +523,15 @@ impl DynamicGraph {
         }
 
         manifest.num_edges += new_raw.len() as u64;
-        self.commit(manifest, &degree_bump, raw_delta, disk_delta, &stale)?;
-        Ok(stats)
-    }
 
-    /// Fold every cell's delta chain into a single base blob (regardless
-    /// of the thresholds), then sweep any unreferenced chain files that an
-    /// interrupted fold or rebuild left behind. Returns the number of
-    /// cells folded.
-    pub fn compact(&mut self) -> EngineResult<usize> {
-        let cells: Vec<(u32, u32, bool)> = self
-            .graph
-            .manifest()
-            .chains()?
-            .into_iter()
-            .filter(|&(_, _, _, info)| info.deltas > 0)
-            .map(|(i, j, reverse, _)| (i, j, reverse))
-            .collect();
-        let folded = self.compact_cells(&cells)?;
-        self.sweep_orphans()?;
-        Ok(folded)
-    }
-
-    /// Remove every generation-tagged base or delta file the manifest does
-    /// not reference. The per-fold sweep only covers the chain being
-    /// superseded, so a crash *between* the manifest save and that sweep
-    /// orphans one generation's files — this pass (run by
-    /// [`DynamicGraph::compact`], i.e. `nxgraph-cli compact`) is the
-    /// garbage collector that reclaims them. Plain generation-0 names are
-    /// never candidates: they are the prep-time layout.
-    fn sweep_orphans(&self) -> EngineResult<usize> {
-        let manifest = self.graph.manifest();
-        let mut removed = 0usize;
-        for name in self.graph.disk().list() {
-            let Some((i, j, reverse, gen, delta)) = parse_chain_file(&name) else {
-                continue;
-            };
-            let chain = manifest.chain_info(i, j, reverse)?;
-            let referenced = gen == chain.gen
-                && match delta {
-                    None => gen > 0,
-                    Some(k) => k >= 1 && k <= chain.deltas,
-                };
-            if !referenced {
-                let _ = self.graph.disk().remove(&name);
-                removed += 1;
-            }
-        }
-        Ok(removed)
-    }
-
-    /// Fold the chains of the given cells. The merged base is written
-    /// under the *next* generation, the manifest save is the commit point,
-    /// and the superseded files are removed only afterwards — a crash
-    /// anywhere leaves either the old chain or the new base fully
-    /// referenced, never a half-state (leftovers are unreferenced and
-    /// harmless).
-    fn compact_cells(&mut self, cells: &[(u32, u32, bool)]) -> EngineResult<usize> {
-        if cells.is_empty() {
-            return Ok(0);
-        }
-        let disk = Arc::clone(self.graph.disk());
-        let mut manifest = self.graph.manifest().clone();
-        let (mut raw_delta, mut disk_delta) = (0i64, 0i64);
-        let mut stale: Vec<String> = Vec::new();
-        let mut folded = 0usize;
-        for &(i, j, reverse) in cells {
-            let chain = manifest.chain_info(i, j, reverse)?;
-            if chain.deltas == 0 {
-                continue;
-            }
-            let parts = dsss::load_chain_parts(disk.as_ref(), i, j, reverse, chain)?;
-            let old_raw: u64 = parts.iter().map(|p| p.encoded_len()).sum();
-            let old_base =
-                disk.len_of(&GraphManifest::subshard_base_file(i, j, reverse, chain.gen))?;
-            let merged = dsss::merge_subshards(i, j, &parts);
-            let blob = merged.encode_with(self.graph.encoding_policy());
-            let new_gen = chain.gen + 1;
-            disk.write_all_to(&GraphManifest::subshard_base_file(i, j, reverse, new_gen), &blob)?;
-            raw_delta += merged.encoded_len() as i64 - old_raw as i64;
-            disk_delta += blob.len() as i64 - (old_base + chain.delta_bytes) as i64;
-            manifest.set_chain_info(
-                i,
-                j,
-                reverse,
-                ChainInfo { gen: new_gen, ..ChainInfo::default() },
-            );
-            stale.extend(chain_files(i, j, reverse, chain));
-            folded += 1;
-        }
-        self.commit(manifest, &BTreeMap::new(), raw_delta, disk_delta, &stale)?;
-        Ok(folded)
-    }
-
-    /// Shared commit tail: degree table (when bumped), manifest byte
-    /// totals, manifest save (the durability point), stale-file sweep, and
-    /// a refresh of the in-memory handle. The refresh rebuilds the
-    /// [`PreparedGraph`] from the manifest and degree table already in
-    /// hand — commits are frequent on streaming workloads and re-reading
-    /// what was just written would double the per-batch fixed cost.
-    fn commit(
-        &mut self,
-        mut manifest: GraphManifest,
-        degree_bump: &BTreeMap<VertexId, u32>,
-        raw_delta: i64,
-        disk_delta: i64,
-        stale: &[String],
-    ) -> EngineResult<()> {
+        // Bumped out-degrees go to the *next* degree generation — never
+        // over the referenced table — so a torn degree write can only
+        // damage an unreferenced file (write-boundary contract, step 1).
         let out_degrees = if degree_bump.is_empty() {
-            Arc::clone(self.graph.out_degrees())
+            Arc::clone(&st.out_degrees)
         } else {
-            let mut degrees = (**self.graph.out_degrees()).clone();
-            for (&v, &bump) in degree_bump {
+            let mut degrees = (*st.out_degrees).clone();
+            for (&v, &bump) in &degree_bump {
                 degrees[v as usize] += bump;
             }
             let mut blob = Vec::new();
@@ -441,34 +541,174 @@ impl DynamicGraph {
                 &nxgraph_storage::format::encode_u32s(&degrees),
             )
             .expect("vec write is infallible");
-            self.graph
-                .disk()
-                .write_all_to(GraphManifest::degree_file(), &blob)?;
+            let old_gen = manifest.degrees_gen()?;
+            disk.write_all_to(&GraphManifest::degree_file_at(old_gen + 1), &blob)?;
+            manifest.set_degrees_gen(old_gen + 1);
+            stale.push(GraphManifest::degree_file_at(old_gen));
             Arc::new(degrees)
         };
-        // Keep the recorded blob-size totals (and hence the reported
-        // compression ratio) in step with what the commit wrote.
-        for (key, delta) in [
-            (crate::dsss::SS_RAW_BYTES_MANIFEST_KEY, raw_delta),
-            (crate::dsss::SS_DISK_BYTES_MANIFEST_KEY, disk_delta),
-        ] {
-            if let Some(v) = manifest.extra.get_mut(key) {
-                let cur: i64 = v.parse().unwrap_or(0);
-                *v = (cur + delta).max(0).to_string();
+
+        apply_byte_totals(&mut manifest, raw_delta, disk_delta);
+        manifest.save(disk.as_ref())?;
+        st.manifest = manifest.clone();
+        st.out_degrees = Arc::clone(&out_degrees);
+        st.epoch += 1;
+        let epoch = st.epoch;
+        let mut sweep = std::mem::take(&mut st.pending_sweep);
+        drop(st);
+
+        sweep.extend(stale);
+        self.install(manifest, out_degrees, epoch)?;
+        self.sweep_files(&sweep);
+        if let (Some(maint), false) = (&self.maint, due_cells.is_empty()) {
+            maint.signal_cells(&due_cells);
+        }
+        Ok(stats)
+    }
+
+    /// Fold every cell's delta chain into a single base blob (regardless
+    /// of the thresholds), then sweep every unreferenced file — crash
+    /// leftovers, deferred background-fold sweeps, quarantined blobs,
+    /// stale degree generations, a stranded manifest tmp. Holds the
+    /// maintenance `gate` throughout, so the background thread is fully
+    /// quiesced (its sweep deferral doesn't apply here).
+    ///
+    /// All folds commit under ONE manifest save: with the gate held and
+    /// `&mut self`, no other commit can land, so the background thread's
+    /// per-fold commit/race protocol is pure overhead here — and before a
+    /// rebuild it would write hundreds of manifest copies. A crash before
+    /// the save leaves the new bases as unreferenced orphans and the old
+    /// manifest (chains included) fully intact.
+    pub fn compact(&mut self) -> EngineResult<CompactReport> {
+        let report;
+        {
+            let _gate = self.shared.gate.lock();
+            let mut manifest = self.shared.state.lock().manifest.clone();
+            let chained: Vec<(u32, u32, bool, ChainInfo)> = manifest
+                .chains()?
+                .into_iter()
+                .filter(|&(_, _, _, info)| info.deltas > 0)
+                .collect();
+            let disk = self.shared.disk.as_ref();
+            let encoding = self.graph.encoding_policy();
+            let (mut raw_delta, mut disk_delta) = (0i64, 0i64);
+            for &(i, j, reverse, chain) in &chained {
+                let parts = dsss::load_chain_parts(disk, i, j, reverse, chain)?;
+                let old_raw: u64 = parts.iter().map(|p| p.encoded_len()).sum();
+                let old_disk = chain_len_of(disk, i, j, reverse, chain)?;
+                let merged = dsss::merge_subshards(i, j, &parts);
+                let blob = merged.encode_with(encoding);
+                let new_gen = chain.gen + 1;
+                let name = GraphManifest::subshard_base_file(i, j, reverse, new_gen);
+                disk.write_all_to(&name, &blob)?;
+                raw_delta += merged.encoded_len() as i64 - old_raw as i64;
+                disk_delta += blob.len() as i64 - old_disk as i64;
+                manifest.set_chain_info(
+                    i,
+                    j,
+                    reverse,
+                    ChainInfo {
+                        gen: new_gen,
+                        ..ChainInfo::default()
+                    },
+                );
+            }
+            if !chained.is_empty() {
+                apply_byte_totals(&mut manifest, raw_delta, disk_delta);
+                manifest.save(disk)?;
+                let mut st = self.shared.state.lock();
+                st.manifest = manifest;
+                st.epoch += 1;
+            }
+            let (files_swept, bytes_swept) = self.sweep_orphans()?;
+            report = CompactReport {
+                cells_folded: chained.len(),
+                files_swept,
+                bytes_swept,
+            };
+        }
+        self.refresh()?;
+        Ok(report)
+    }
+
+    /// Remove every file in this layer's namespace that the committed
+    /// manifest does not reference, returning `(files, bytes)` reclaimed.
+    /// Covers generation-tagged chain files, plain prep-time base names
+    /// superseded by a folded generation, stale degree-table generations,
+    /// quarantine copies the scrubber parked, and a manifest tmp stranded
+    /// mid-save. Caller holds the `gate` (no concurrent maintenance) and
+    /// `&mut self` (no concurrent readers of the pinned snapshot).
+    fn sweep_orphans(&self) -> EngineResult<(usize, u64)> {
+        let manifest = {
+            let mut st = self.shared.state.lock();
+            // The deferred-sweep queue lists unreferenced chain files; the
+            // scan below reclaims them by name, so the queue is redundant.
+            st.pending_sweep.clear();
+            st.manifest.clone()
+        };
+        let disk = &self.shared.disk;
+        let (mut files, mut bytes) = (0usize, 0u64);
+        for name in disk.list() {
+            let stale = if name.starts_with(maintain::QUARANTINE_PREFIX)
+                || name == nxgraph_storage::manifest::MANIFEST_TMP_FILE
+            {
+                true
+            } else if let Some(parsed) = maintain::parse_cell_file(&name) {
+                !maintain::cell_referenced(&manifest, parsed)?
+            } else if let Some(gen) = maintain::parse_degrees_file(&name) {
+                gen != manifest.degrees_gen()?
+            } else {
+                false
+            };
+            if stale {
+                bytes += disk.len_of(&name).unwrap_or(0);
+                let _ = disk.remove(&name);
+                self.graph.checksum_policy().note_invalidated(&name);
+                files += 1;
             }
         }
-        manifest.save(self.graph.disk().as_ref())?;
-        for name in stale {
-            // Best-effort: an unreferenced leftover is invisible to every
-            // reader and gets another sweep chance at the next fold.
-            let _ = self.graph.disk().remove(name);
+        Ok((files, bytes))
+    }
+
+    /// Re-verify every blob on the disk against the committed manifest
+    /// (see [`crate::maintain`] for the classification and quarantine
+    /// rules). Under background compaction the pass runs on the
+    /// maintenance thread after any queued folds; otherwise it runs here.
+    pub fn scrub(&mut self) -> EngineResult<ScrubReport> {
+        if let Some(maint) = &self.maint {
+            let report = maint.scrub_now()?;
+            self.refresh()?;
+            return Ok(report);
         }
-        let disk = Arc::clone(self.graph.disk());
-        self.graph = PreparedGraph::from_parts(disk, manifest, out_degrees)?;
+        let _gate = self.shared.gate.lock();
+        let manifest = self.shared.state.lock().manifest.clone();
+        let report = maintain::scrub_files(
+            self.shared.disk.as_ref(),
+            &manifest,
+            Some(self.graph.checksum_policy()),
+            &mut || false,
+        )?
+        .expect("an un-yieldable scrub always completes");
+        Ok(report)
+    }
+
+    /// Block until every signalled fold and requested scrub has finished,
+    /// then catch the pinned snapshot up to their commits. No-op without
+    /// a maintenance thread. Surfaces any background fold error.
+    pub fn wait_maintenance_idle(&mut self) -> EngineResult<()> {
+        if let Some(maint) = &self.maint {
+            maint.wait_idle()?;
+        }
+        self.refresh()?;
         Ok(())
     }
 
     fn rebuild_with(&mut self, new_raw: &[(u64, u64)]) -> EngineResult<CommitStats> {
+        // Quiesce maintenance for good: re-preprocessing replaces the
+        // encoding policy and checksum cache the thread was spawned with,
+        // so it is joined here and respawned against the new graph below.
+        self.maint = None;
+        self.refresh()?;
         // Fold every chain first: re-preprocessing overwrites the
         // generation-0 base names in place, and doing that while the
         // on-disk manifest still lists deltas for those cells would merge
@@ -482,10 +722,15 @@ impl DynamicGraph {
         self.compact()?;
         let mut raw = self.raw_edges()?;
         raw.extend_from_slice(new_raw);
-        // The folded bases, swept only after the new manifest is saved.
+        // The folded bases (and any gen-tagged degree table), swept only
+        // after the new manifest is saved.
         let mut stale = Vec::new();
         for (i, j, reverse, chain) in self.graph.manifest().chains()? {
             stale.extend(chain_files(i, j, reverse, chain));
+        }
+        let degrees_gen = self.graph.manifest().degrees_gen()?;
+        if degrees_gen != 0 {
+            stale.push(GraphManifest::degree_file_at(degrees_gen));
         }
         let cfg = PrepConfig {
             name: self.graph.manifest().name.clone(),
@@ -493,12 +738,19 @@ impl DynamicGraph {
             build_reverse: self.graph.has_reverse(),
             encoding: self.graph.encoding_policy(),
         };
-        let disk = Arc::clone(self.graph.disk());
+        let disk = Arc::clone(&self.shared.disk);
         self.graph = prep::preprocess(&raw, &cfg, disk)?;
-        for name in &stale {
-            let _ = self.graph.disk().remove(name);
-        }
+        self.sweep_files(&stale);
         self.mapping = self.graph.load_reverse_mapping()?;
+        {
+            let mut st = self.shared.state.lock();
+            st.manifest = self.graph.manifest().clone();
+            st.out_degrees = Arc::clone(self.graph.out_degrees());
+            st.epoch += 1;
+            st.pending_sweep.clear();
+            self.seen_epoch = st.epoch;
+        }
+        self.spawn_maintenance();
         Ok(CommitStats {
             edges_added: new_raw.len(),
             rebuilt: true,
@@ -507,12 +759,38 @@ impl DynamicGraph {
     }
 }
 
+/// On-disk bytes a chain currently occupies (base + all deltas).
+fn chain_len_of(
+    disk: &dyn nxgraph_storage::Disk,
+    i: u32,
+    j: u32,
+    reverse: bool,
+    chain: ChainInfo,
+) -> EngineResult<u64> {
+    let base = disk.len_of(&GraphManifest::subshard_base_file(i, j, reverse, chain.gen))?;
+    Ok(base + chain.delta_bytes)
+}
+
+/// Keep the recorded blob-size totals (and hence the reported compression
+/// ratio) in step with what a commit wrote.
+pub(crate) fn apply_byte_totals(manifest: &mut GraphManifest, raw_delta: i64, disk_delta: i64) {
+    for (key, delta) in [
+        (crate::dsss::SS_RAW_BYTES_MANIFEST_KEY, raw_delta),
+        (crate::dsss::SS_DISK_BYTES_MANIFEST_KEY, disk_delta),
+    ] {
+        if let Some(v) = manifest.extra.get_mut(key) {
+            let cur: i64 = v.parse().unwrap_or(0);
+            *v = (cur + delta).max(0).to_string();
+        }
+    }
+}
+
 /// Every file a chain occupies — the base blob first, then all delta
 /// blobs. Fold paths sweep the whole list once the manifest references
 /// the next generation (the generation-0 base included: a fold is the
 /// only thing that ever supersedes it, and leaving it would leak the
 /// original cell's bytes forever).
-fn chain_files(i: u32, j: u32, reverse: bool, chain: ChainInfo) -> Vec<String> {
+pub(crate) fn chain_files(i: u32, j: u32, reverse: bool, chain: ChainInfo) -> Vec<String> {
     let mut out = Vec::with_capacity(chain.deltas as usize + 1);
     out.push(GraphManifest::subshard_base_file(i, j, reverse, chain.gen));
     for k in 1..=chain.deltas {
@@ -524,9 +802,10 @@ fn chain_files(i: u32, j: u32, reverse: bool, chain: ChainInfo) -> Vec<String> {
 /// Parse a generation-tagged chain file name —
 /// `[r]ss_{i}_{j}.g{gen}[.d{k}].bin` — into `(i, j, reverse, gen,
 /// delta_index)`. Plain prep-time names (`ss_i_j.bin`) and every other
-/// file kind return `None`; only parseable names are orphan-sweep
-/// candidates.
-fn parse_chain_file(name: &str) -> Option<(u32, u32, bool, u32, Option<u32>)> {
+/// file kind return `None` (the scrubber's
+/// [`parse_cell_file`](crate::maintain) layers the plain-name fallback on
+/// top).
+pub(crate) fn parse_chain_file(name: &str) -> Option<(u32, u32, bool, u32, Option<u32>)> {
     let rest = name.strip_suffix(".bin")?;
     let (reverse, rest) = match rest.strip_prefix("rss_") {
         Some(r) => (true, r),
@@ -592,9 +871,62 @@ mod tests {
         assert_equivalent(&dg, &full);
 
         // An explicit fold leaves single-base cells and the same results.
-        let folded = dg.compact().unwrap();
-        assert!(folded > 0);
+        let report = dg.compact().unwrap();
+        assert!(report.cells_folded > 0);
+        assert!(report.files_swept > 0, "folded chain files must be reclaimed");
+        assert!(report.bytes_swept > 0);
         assert!(dg.graph().manifest().chains().unwrap().iter().all(|c| c.3.deltas == 0));
+        assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn explicit_compact_commits_all_folds_under_one_manifest_save() {
+        let base: Vec<(u64, u64)> = (0..120u64).map(|k| (k % 9, (k + 1) % 9)).collect();
+        let graph = prepare(&base);
+        let disk = Arc::clone(graph.disk());
+        let mut dg = DynamicGraph::with_config(graph, DynamicConfig::never_compact()).unwrap();
+        let mut full = base.clone();
+        for k in 0..6u64 {
+            let batch = vec![(k % 9, (k + 2) % 9), ((k + 4) % 9, k % 9)];
+            assert!(!dg.add_edges(&batch).unwrap().rebuilt);
+            full.extend(batch);
+        }
+        let chained = dg
+            .graph()
+            .manifest()
+            .chains()
+            .unwrap()
+            .iter()
+            .filter(|c| c.3.deltas > 0)
+            .count();
+        assert!(chained >= 4, "need several chains to expose per-fold saves");
+
+        let before = disk.counters().written_bytes();
+        let report = dg.compact().unwrap();
+        let wrote = disk.counters().written_bytes() - before;
+        assert_eq!(report.cells_folded, chained);
+
+        // One merged base per chain plus exactly one manifest save — a
+        // per-fold commit loop would write `chained` manifest copies and
+        // blow this bound (pre-rebuild compaction then costs megabytes).
+        let manifest = dg.graph().manifest();
+        let bases: u64 = manifest
+            .chains()
+            .unwrap()
+            .into_iter()
+            .map(|(i, j, reverse, c)| {
+                disk.len_of(&GraphManifest::subshard_base_file(i, j, reverse, c.gen))
+                    .unwrap()
+            })
+            .sum();
+        let manifest_len = disk
+            .len_of(nxgraph_storage::manifest::MANIFEST_FILE)
+            .unwrap();
+        assert!(
+            wrote <= bases + 2 * manifest_len,
+            "compact wrote {wrote} B for {chained} folds \
+             (bases {bases} B, manifest {manifest_len} B): more than one manifest save?"
+        );
         assert_equivalent(&dg, &full);
     }
 
@@ -645,6 +977,108 @@ mod tests {
     }
 
     #[test]
+    fn background_compaction_folds_off_the_commit_path() {
+        let base: Vec<(u64, u64)> = (0..200u64).map(|k| (k % 9, (k + 1) % 9)).collect();
+        let cfg = DynamicConfig {
+            max_deltas: 3,
+            max_delta_ratio: f64::INFINITY,
+            ..DynamicConfig::background()
+        };
+        let mut dg = DynamicGraph::with_config(prepare(&base), cfg).unwrap();
+        assert!(dg.maintenance().is_some());
+        let mut full = base.clone();
+        let mut signalled = 0usize;
+        let mut inline_folds = 0usize;
+        for k in 0..9u64 {
+            let batch = vec![(k % 3, (k + 1) % 3)];
+            let stats = dg.add_edges(&batch).unwrap();
+            signalled += stats.cells_signalled;
+            inline_folds += stats.cells_compacted;
+            full.extend(batch);
+        }
+        assert_eq!(inline_folds, 0, "background mode must never fold inline");
+        assert!(signalled > 0, "due chains must be signalled to the thread");
+        dg.wait_maintenance_idle().unwrap();
+        let stats = dg.maintenance().unwrap().stats();
+        assert!(stats.cells_folded > 0, "signalled cells must get folded");
+        // Auto-scrub after folds found nothing wrong.
+        let report = dg.maintenance().unwrap().last_scrub().unwrap();
+        assert!(report.is_clean(), "background scrub flagged: {report:?}");
+        assert_equivalent(&dg, &full);
+        // After an explicit compact nothing is left to fold or sweep.
+        dg.compact().unwrap();
+        let report = dg.compact().unwrap();
+        assert_eq!(report, CompactReport::default());
+        assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn appends_commit_while_a_fold_is_parked_mid_merge() {
+        use std::sync::Barrier;
+
+        let base: Vec<(u64, u64)> = (0..60u64).map(|k| (k % 9, (k * 5 + 2) % 9)).collect();
+        let cfg = DynamicConfig {
+            max_deltas: 1, // every append signals its cell
+            max_delta_ratio: f64::INFINITY,
+            auto_scrub: false,
+            ..DynamicConfig::background()
+        };
+        let mut dg = DynamicGraph::with_config(prepare(&base), cfg).unwrap();
+        // Park the first fold after its merge, right before its commit.
+        let parked = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        {
+            let (p, r) = (Arc::clone(&parked), Arc::clone(&release));
+            dg.maintenance().unwrap().set_fold_pause(Some(Arc::new(move || {
+                p.wait();
+                r.wait();
+            })));
+        }
+        let mut full = base.clone();
+        let batch1 = vec![(0u64, 1u64), (2, 0)];
+        let stats = dg.add_edges(&batch1).unwrap();
+        assert!(stats.cells_signalled > 0);
+        full.extend(&batch1);
+        parked.wait(); // the fold is now mid-flight, holding no state lock
+        // THE rendezvous assertion: with a fold parked between merge and
+        // commit, an append to the same cell must commit unimpeded.
+        let batch2 = vec![(1u64, 2u64), (0, 2)];
+        let stats = dg.add_edges(&batch2).unwrap();
+        assert!(stats.deltas_appended > 0, "append must commit while the fold is parked");
+        full.extend(&batch2);
+        // Unhook before releasing: the losing fold retries and must not
+        // park again.
+        dg.maintenance().unwrap().set_fold_pause(None);
+        release.wait();
+        dg.wait_maintenance_idle().unwrap();
+        let mstats = dg.maintenance().unwrap().stats();
+        assert!(
+            mstats.fold_races >= 1,
+            "the parked fold must detect the interleaved append and retry: {mstats:?}"
+        );
+        assert!(mstats.cells_folded >= 1);
+        assert!(
+            dg.graph().manifest().chains().unwrap().iter().all(|c| c.3.deltas == 0),
+            "retried folds must eventually collapse every chain"
+        );
+        assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn background_rebuild_respawns_maintenance() {
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 0)];
+        let mut dg =
+            DynamicGraph::with_config(prepare(&base), DynamicConfig::background()).unwrap();
+        dg.add_edges(&[(0, 0)]).unwrap();
+        let stats = dg.add_edges(&[(1, 99)]).unwrap(); // 99 unseen
+        assert!(stats.rebuilt);
+        assert!(dg.maintenance().is_some(), "rebuild must respawn the thread");
+        dg.add_edges(&[(99, 0)]).unwrap();
+        dg.wait_maintenance_idle().unwrap();
+        assert_equivalent(&dg, &[(0, 1), (1, 0), (0, 0), (1, 99), (99, 0)]);
+    }
+
+    #[test]
     fn byte_ratio_threshold_folds_heavy_chains() {
         let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 0)];
         let cfg = DynamicConfig {
@@ -690,6 +1124,7 @@ mod tests {
             DynamicConfig::never_compact(),
             DynamicConfig::default(),
             DynamicConfig::rewrite(),
+            DynamicConfig::background(),
         ] {
             let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
             let cfg = PrepConfig::new("dyn", 3).with_encoding(EncodingPolicy::Auto);
@@ -697,6 +1132,7 @@ mod tests {
             let mut dg = DynamicGraph::with_config(g, config.clone()).unwrap();
             let stats = dg.add_edges(&[(0, 5), (7, 2), (3, 3)]).unwrap();
             assert!(!stats.rebuilt);
+            dg.wait_maintenance_idle().unwrap();
             check(&dg);
             dg.compact().unwrap();
             check(&dg);
@@ -728,6 +1164,26 @@ mod tests {
         let mut dg = DynamicGraph::new(prepare(&base)).unwrap();
         dg.add_edges(&[(0, 2), (0, 1)]).unwrap();
         assert_eq!(dg.graph().out_degrees().as_slice(), &[3, 1, 1]);
+    }
+
+    #[test]
+    fn degree_commits_are_generation_tagged() {
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 0)];
+        let mut dg = DynamicGraph::new(prepare(&base)).unwrap();
+        dg.add_edges(&[(0, 2)]).unwrap();
+        // The bumped table lands under a fresh name (contract step 1) and
+        // the superseded generation is swept (step 3).
+        let m = dg.graph().manifest();
+        assert_eq!(m.degrees_gen().unwrap(), 1);
+        let disk = dg.graph().disk();
+        assert!(disk.exists(&GraphManifest::degree_file_at(1)));
+        assert!(!disk.exists(GraphManifest::degree_file()));
+        dg.add_edges(&[(1, 0)]).unwrap();
+        assert_eq!(dg.graph().manifest().degrees_gen().unwrap(), 2);
+        assert!(!dg.graph().disk().exists(&GraphManifest::degree_file_at(1)));
+        // Reopening resolves the current generation.
+        let reopened = PreparedGraph::open(Arc::clone(dg.graph().disk())).unwrap();
+        assert_eq!(reopened.out_degrees().as_slice(), dg.graph().out_degrees().as_slice());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod error;
 pub mod iomodel;
+pub mod maintain;
 pub mod parallel;
 pub mod prep;
 pub mod program;
@@ -41,8 +42,10 @@ pub mod reference;
 pub mod types;
 
 pub use dsss::PreparedGraph;
+pub use dynamic::{CommitStats, CompactReport, Compaction, DynamicConfig, DynamicGraph, UpdateMode};
 pub use engine::{EngineConfig, RunStats, Strategy, SyncMode};
 pub use error::{EngineError, EngineResult};
+pub use maintain::{MaintStats, MaintenanceThread, ScrubReport};
 pub use prep::{preprocess, PrepConfig};
 pub use program::VertexProgram;
 pub use types::{Attr, VertexId};

@@ -9,6 +9,9 @@
 //!   experiments on a "RAM disk" profile without touching the filesystem.
 //! * [`FaultyDisk`] — wraps another disk and injects failures after a
 //!   configurable number of bytes, for failure-path testing.
+//! * [`CrashDisk`] — wraps another disk and records every mutating
+//!   operation so any prefix (including a torn final write) can be
+//!   replayed: the power-loss simulator behind `tests/crash_sim.rs`.
 
 use std::collections::HashMap;
 use std::fs;
@@ -68,6 +71,17 @@ pub trait Disk: Send + Sync {
 
     /// Delete a file.
     fn remove(&self, name: &str) -> StorageResult<()>;
+
+    /// Atomically move `from` over `to` (replacing it if present). The
+    /// default implementation is copy + delete — correct but *not* atomic;
+    /// [`OsDisk`] and [`MemDisk`] override it with a true atomic move, which
+    /// is what makes the manifest's tmp-then-rename save a real commit
+    /// point.
+    fn rename(&self, from: &str, to: &str) -> StorageResult<()> {
+        let data = self.read_all(from)?;
+        self.write_all_to(to, &data)?;
+        self.remove(from)
+    }
 
     /// Names of all files currently on the disk, in unspecified order.
     fn list(&self) -> Vec<String>;
@@ -255,6 +269,13 @@ impl Disk for OsDisk {
         file.write_all(data)?;
         self.counters.record_write(data.len() as u64);
         Ok(())
+    }
+
+    /// POSIX `rename(2)`: atomic replace within the root directory.
+    fn rename(&self, from: &str, to: &str) -> StorageResult<()> {
+        self.counters.record_seek();
+        fs::rename(self.path_of(from), self.path_of(to))
+            .map_err(|_| StorageError::NotFound(from.to_string()))
     }
 }
 
@@ -447,6 +468,17 @@ impl Disk for MemDisk {
             .insert(name.to_string(), Arc::new(data.to_vec()));
         Ok(())
     }
+
+    /// Atomic move under the single map lock.
+    fn rename(&self, from: &str, to: &str) -> StorageResult<()> {
+        let mut files = self.files.lock();
+        let data = files
+            .remove(from)
+            .ok_or_else(|| StorageError::NotFound(from.to_string()))?;
+        files.insert(to.to_string(), data);
+        self.counters.record_seek();
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -568,6 +600,242 @@ impl Disk for FaultyDisk {
 
     fn counters(&self) -> &Arc<IoCounters> {
         self.inner.counters()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CrashDisk — the power-loss simulator
+// ---------------------------------------------------------------------------
+
+/// One mutating disk operation recorded by [`CrashDisk`].
+#[derive(Debug, Clone)]
+pub enum CrashOp {
+    /// A whole file landed on disk (create+finish or `write_all_to`).
+    Write { name: String, data: Vec<u8> },
+    /// A file was deleted.
+    Remove { name: String },
+    /// A file was atomically moved over another.
+    Rename { from: String, to: String },
+}
+
+/// A cut point in a recorded operation sequence: the disk state after the
+/// first `ops` operations, optionally with the *next* operation (a write)
+/// torn after `torn` bytes — the partial-page state a real power loss
+/// leaves behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutPoint {
+    /// Number of completed operations to replay.
+    pub ops: usize,
+    /// If set, the operation at index `ops` (which must be a
+    /// [`CrashOp::Write`]) is replayed truncated to this many bytes.
+    pub torn: Option<usize>,
+}
+
+/// A [`Disk`] wrapper that records every mutating operation so any prefix
+/// — including a torn final write — can be replayed onto a fresh
+/// [`MemDisk`]. This is the systematic power-loss simulator: a test drives
+/// a workload through the wrapper, then [`CrashDisk::cut_points`]
+/// enumerates every syscall boundary and [`CrashDisk::replay`] materialises
+/// the exact on-disk state a crash at that instant would leave.
+///
+/// Only whole-operation granularity is modelled for remove/rename (both
+/// are atomic on the real backends); writes additionally get torn
+/// variants, because a file write is *not* atomic on any real disk.
+pub struct CrashDisk {
+    inner: Arc<dyn Disk>,
+    baseline: HashMap<String, Vec<u8>>,
+    log: Arc<Mutex<Vec<CrashOp>>>,
+}
+
+impl CrashDisk {
+    /// Wrap `inner`, snapshotting its current contents as the baseline
+    /// state that every replay starts from.
+    pub fn new(inner: Arc<dyn Disk>) -> StorageResult<Self> {
+        let mut baseline = HashMap::new();
+        for name in inner.list() {
+            baseline.insert(name.clone(), inner.read_all(&name)?);
+        }
+        Ok(Self {
+            inner,
+            baseline,
+            log: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// Number of mutating operations recorded so far.
+    pub fn ops_recorded(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// Every crash state worth testing: the boundary after each operation
+    /// (including "nothing happened" and "everything happened"), plus, for
+    /// each recorded write of at least two bytes, torn states cut after
+    /// the first byte, the midpoint, and one byte short of completion.
+    pub fn cut_points(&self) -> Vec<CutPoint> {
+        let log = self.log.lock();
+        let mut out = Vec::new();
+        for ops in 0..=log.len() {
+            out.push(CutPoint { ops, torn: None });
+            if let Some(CrashOp::Write { data, .. }) = log.get(ops) {
+                if data.len() >= 2 {
+                    let mut offs = vec![1, data.len() / 2, data.len() - 1];
+                    offs.dedup();
+                    for off in offs {
+                        out.push(CutPoint {
+                            ops,
+                            torn: Some(off),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialise the disk state at `cut` onto a fresh [`MemDisk`]:
+    /// baseline files, then the first `cut.ops` operations, then (if
+    /// `cut.torn` is set) a byte-prefix of the next write.
+    pub fn replay(&self, cut: CutPoint) -> StorageResult<MemDisk> {
+        let disk = MemDisk::new();
+        for (name, data) in &self.baseline {
+            disk.write_all_to(name, data)?;
+        }
+        let log = self.log.lock();
+        for op in log.iter().take(cut.ops) {
+            match op {
+                CrashOp::Write { name, data } => disk.write_all_to(name, data)?,
+                CrashOp::Remove { name } => match disk.remove(name) {
+                    Ok(()) | Err(StorageError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                CrashOp::Rename { from, to } => disk.rename(from, to)?,
+            }
+        }
+        if let Some(off) = cut.torn {
+            match log.get(cut.ops) {
+                Some(CrashOp::Write { name, data }) => {
+                    disk.write_all_to(name, &data[..off.min(data.len())])?;
+                }
+                other => panic!("torn cut must land on a Write op, got {other:?}"),
+            }
+        }
+        Ok(disk)
+    }
+
+    fn record(&self, op: CrashOp) {
+        self.log.lock().push(op);
+    }
+}
+
+struct CrashWrite {
+    name: String,
+    buf: Vec<u8>,
+    disk: Arc<dyn Disk>,
+    log: Arc<Mutex<Vec<CrashOp>>>,
+    finished: bool,
+}
+
+impl CrashWrite {
+    fn commit(&mut self) -> StorageResult<()> {
+        let data = std::mem::take(&mut self.buf);
+        self.disk.write_all_to(&self.name, &data)?;
+        self.log.lock().push(CrashOp::Write {
+            name: self.name.clone(),
+            data,
+        });
+        self.finished = true;
+        Ok(())
+    }
+}
+
+impl Write for CrashWrite {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl DiskWrite for CrashWrite {
+    fn finish(mut self: Box<Self>) -> StorageResult<()> {
+        self.commit()
+    }
+}
+
+impl Drop for CrashWrite {
+    fn drop(&mut self) {
+        // Mirror MemWrite: a dropped-but-unfinished writer still lands,
+        // so the recorded log matches what the inner disk saw.
+        if !self.finished && !self.buf.is_empty() {
+            let _ = self.commit();
+        }
+    }
+}
+
+impl Disk for CrashDisk {
+    fn create(&self, name: &str) -> StorageResult<Box<dyn DiskWrite>> {
+        // Buffer the whole file so the log records one atomic Write op at
+        // the moment the inner disk commits it.
+        Ok(Box::new(CrashWrite {
+            name: name.to_string(),
+            buf: Vec::new(),
+            disk: Arc::clone(&self.inner),
+            log: Arc::clone(&self.log),
+            finished: false,
+        }))
+    }
+
+    fn open(&self, name: &str) -> StorageResult<Box<dyn DiskRead>> {
+        self.inner.open(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn len_of(&self, name: &str) -> StorageResult<u64> {
+        self.inner.len_of(name)
+    }
+
+    fn remove(&self, name: &str) -> StorageResult<()> {
+        self.inner.remove(name)?;
+        self.record(CrashOp::Remove {
+            name: name.to_string(),
+        });
+        Ok(())
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn counters(&self) -> &Arc<IoCounters> {
+        self.inner.counters()
+    }
+
+    fn read_shared(&self, name: &str, pool: &Arc<BufferPool>) -> StorageResult<SharedBytes> {
+        self.inner.read_shared(name, pool)
+    }
+
+    fn write_all_to(&self, name: &str, data: &[u8]) -> StorageResult<()> {
+        self.inner.write_all_to(name, data)?;
+        self.record(CrashOp::Write {
+            name: name.to_string(),
+            data: data.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> StorageResult<()> {
+        self.inner.rename(from, to)?;
+        self.record(CrashOp::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        });
+        Ok(())
     }
 }
 
@@ -711,5 +979,100 @@ mod tests {
         let mut buf = vec![0u8; 64];
         let res = r.read_exact(&mut buf);
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn rename_replaces_atomically_on_every_backend() {
+        let os_dir = std::env::temp_dir().join(format!(
+            "nxgraph-osdisk-rename-{}",
+            std::process::id()
+        ));
+        let mem: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let os: Arc<dyn Disk> = Arc::new(OsDisk::new(&os_dir).unwrap());
+        let faulty: Arc<dyn Disk> =
+            Arc::new(FaultyDisk::new(Arc::new(MemDisk::new()), u64::MAX));
+        for disk in [&mem, &os, &faulty] {
+            disk.write_all_to("old", b"payload").unwrap();
+            disk.write_all_to("target", b"stale").unwrap();
+            disk.rename("old", "target").unwrap();
+            assert!(!disk.exists("old"));
+            assert_eq!(disk.read_all("target").unwrap(), b"payload");
+            assert!(matches!(
+                disk.rename("missing", "x"),
+                Err(StorageError::NotFound(_))
+            ));
+            disk.remove("target").unwrap();
+        }
+        std::fs::remove_dir_all(&os_dir).ok();
+    }
+
+    #[test]
+    fn crash_disk_records_and_replays_prefixes() {
+        let inner = Arc::new(MemDisk::new());
+        inner.write_all_to("base", b"seed").unwrap();
+        let disk = CrashDisk::new(inner).unwrap();
+        disk.write_all_to("a", b"aaaa").unwrap();
+        disk.write_all_to("b.tmp", b"bbbb").unwrap();
+        disk.rename("b.tmp", "b").unwrap();
+        disk.remove("a").unwrap();
+        assert_eq!(disk.ops_recorded(), 4);
+
+        // ops=0: baseline only.
+        let d0 = disk.replay(CutPoint { ops: 0, torn: None }).unwrap();
+        assert_eq!(d0.read_all("base").unwrap(), b"seed");
+        assert!(!d0.exists("a"));
+        // ops=2: a written, b still at its tmp name.
+        let d2 = disk.replay(CutPoint { ops: 2, torn: None }).unwrap();
+        assert_eq!(d2.read_all("a").unwrap(), b"aaaa");
+        assert!(d2.exists("b.tmp") && !d2.exists("b"));
+        // ops=3: rename happened.
+        let d3 = disk.replay(CutPoint { ops: 3, torn: None }).unwrap();
+        assert!(!d3.exists("b.tmp"));
+        assert_eq!(d3.read_all("b").unwrap(), b"bbbb");
+        // full replay matches the live disk.
+        let d4 = disk
+            .replay(CutPoint { ops: 4, torn: None })
+            .unwrap();
+        assert!(!d4.exists("a"));
+        assert_eq!(d4.read_all("b").unwrap(), b"bbbb");
+        // torn first write: only a prefix of `a` landed.
+        let t = disk.replay(CutPoint { ops: 0, torn: Some(2) }).unwrap();
+        assert_eq!(t.read_all("a").unwrap(), b"aa");
+    }
+
+    #[test]
+    fn crash_disk_cut_points_cover_torn_writes() {
+        let inner = Arc::new(MemDisk::new());
+        let disk = CrashDisk::new(inner).unwrap();
+        disk.write_all_to("f", &[7u8; 8]).unwrap();
+        let cuts = disk.cut_points();
+        // Boundaries 0 and 1, plus torn offsets 1, 4, 7.
+        assert_eq!(cuts.len(), 5);
+        assert!(cuts.contains(&CutPoint { ops: 0, torn: Some(1) }));
+        assert!(cuts.contains(&CutPoint { ops: 0, torn: Some(4) }));
+        assert!(cuts.contains(&CutPoint { ops: 0, torn: Some(7) }));
+        for cut in cuts {
+            let d = disk.replay(cut).unwrap();
+            match cut {
+                CutPoint { ops: 1, .. } => assert_eq!(d.len_of("f").unwrap(), 8),
+                CutPoint { torn: Some(off), .. } => {
+                    assert_eq!(d.len_of("f").unwrap(), off as u64)
+                }
+                _ => assert!(!d.exists("f")),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_disk_streaming_writer_records_one_op() {
+        let inner = Arc::new(MemDisk::new());
+        let disk = CrashDisk::new(inner).unwrap();
+        let mut w = disk.create("s").unwrap();
+        w.write_all(b"part1").unwrap();
+        w.write_all(b"part2").unwrap();
+        assert_eq!(disk.ops_recorded(), 0, "nothing commits before finish");
+        w.finish().unwrap();
+        assert_eq!(disk.ops_recorded(), 1);
+        assert_eq!(disk.read_all("s").unwrap(), b"part1part2");
     }
 }

@@ -337,6 +337,58 @@ pub fn parse_blob_encoded(
     Ok((encoding, 32..32 + len))
 }
 
+/// Fully validate an in-memory blob of *any* kind — the scrubber's entry
+/// point, where the expected kind comes from the file name rather than a
+/// typed call site. Checks the magic, a known version, a known kind tag,
+/// that the stored length accounts for **exactly** the blob's bytes (a
+/// flipped length-field bit must not pass as "trailing garbage"), and the
+/// payload checksum — always, regardless of any [`ChecksumPolicy`].
+/// Returns the kind and encoding read from the header.
+pub fn verify_blob(blob: &[u8], name: &str) -> StorageResult<(FileKind, Encoding)> {
+    let Some(header) = blob.get(0..32) else {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: format!("short header: {} bytes", blob.len()),
+        });
+    };
+    let header: &[u8; 32] = header.try_into().unwrap();
+    if header[0..8] != MAGIC {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: "bad magic".into(),
+        });
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let Some(encoding) = Encoding::from_version(version) else {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: format!("unsupported version {version}"),
+        });
+    };
+    let kind_raw = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    let Some(kind) = FileKind::from_u32(kind_raw) else {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: format!("unknown kind tag {kind_raw}"),
+        });
+    };
+    let len = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+    if blob.len() != 32 + len {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: format!("length field says {len}, file holds {}", blob.len() - 32),
+        });
+    }
+    let checksum = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    if fnv1a_words(&blob[32..]) != checksum {
+        return Err(StorageError::Corrupt {
+            name: name.to_string(),
+            reason: "checksum mismatch".into(),
+        });
+    }
+    Ok((kind, encoding))
+}
+
 /// When blob payload checksums are verified.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChecksumMode {
@@ -404,6 +456,17 @@ impl ChecksumPolicy {
     /// everything except [`ChecksumMode::Never`] verifies.
     pub fn should_verify_mutable(&self) -> bool {
         self.mode != ChecksumMode::Never
+    }
+
+    /// Forget that `name` was verified. Must be called whenever the bytes
+    /// behind a name change or vanish — a fold rewriting a base in place,
+    /// a sweep removing a file whose name may be reused — so the next load
+    /// under `FirstLoad` re-verifies fresh bytes instead of riding the
+    /// stale cache entry.
+    pub fn note_invalidated(&self, name: &str) {
+        if self.mode == ChecksumMode::FirstLoad {
+            self.seen.lock().remove(name);
+        }
     }
 }
 
@@ -664,6 +727,54 @@ mod tests {
         once.note_verified("a");
         assert!(!once.should_verify("a"));
         assert!(once.should_verify("b"));
+    }
+
+    #[test]
+    fn checksum_policy_invalidation_rearms_verification() {
+        let once = ChecksumPolicy::default();
+        once.note_verified("a");
+        assert!(!once.should_verify("a"));
+        once.note_invalidated("a");
+        assert!(once.should_verify("a"), "rewritten name must re-verify");
+        // Invalidating an unknown name is a harmless no-op.
+        once.note_invalidated("never-seen");
+    }
+
+    #[test]
+    fn verify_blob_catches_every_single_bit_flip() {
+        let payload = encode_u32s(&(0..40u32).collect::<Vec<_>>());
+        let mut buf = Vec::new();
+        write_blob_encoded(&mut buf, FileKind::SubShard, &payload, Encoding::Raw).unwrap();
+        assert_eq!(
+            verify_blob(&buf, "t").unwrap(),
+            (FileKind::SubShard, Encoding::Raw)
+        );
+        // Any single bit flip — header or payload — must be *detectable*:
+        // either `verify_blob` errors, or (for flips landing on another
+        // valid version/kind tag, which the payload checksum cannot see)
+        // the returned pair differs from the writer's, which the scrubber
+        // catches by comparing against the kind its file name implies and
+        // by deep-decoding referenced blobs.
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut fl = buf.clone();
+                fl[byte] ^= 1 << bit;
+                match verify_blob(&fl, "t") {
+                    Err(_) => {}
+                    Ok(got) => assert_ne!(
+                        got,
+                        (FileKind::SubShard, Encoding::Raw),
+                        "flip at byte {byte} bit {bit} undetected"
+                    ),
+                }
+            }
+        }
+        // Truncation and extension are length-field mismatches.
+        assert!(verify_blob(&buf[..buf.len() - 1], "t").is_err());
+        let mut ext = buf.clone();
+        ext.push(0);
+        assert!(verify_blob(&ext, "t").is_err());
+        assert!(verify_blob(&buf[..16], "t").is_err());
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //!
 //! * [`disk`] — a [`Disk`] abstraction with byte-exact I/O
 //!   accounting. Implementations: [`OsDisk`] (real files),
-//!   [`MemDisk`] (in-memory, for tests and RAM-disk runs) and
-//!   [`FaultyDisk`] (fault injection for failure tests).
+//!   [`MemDisk`] (in-memory, for tests and RAM-disk runs),
+//!   [`FaultyDisk`] (fault injection for failure tests) and
+//!   [`CrashDisk`] (a power-loss simulator that replays any prefix of the
+//!   recorded write/remove/rename stream, torn final writes included).
 //! * [`counter`] — atomic [`IoCounters`] shared by all
 //!   files of a disk; engines never bypass them, so the Table II / Fig 6
 //!   byte formulas of the paper can be checked *empirically*.
@@ -45,7 +47,7 @@ pub mod varint;
 
 pub use budget::MemoryBudget;
 pub use counter::{IoCounters, IoSnapshot};
-pub use disk::{Disk, DiskRead, DiskWrite, FaultyDisk, MemDisk, OsDisk};
+pub use disk::{CrashDisk, CrashOp, CutPoint, Disk, DiskRead, DiskWrite, FaultyDisk, MemDisk, OsDisk};
 pub use error::{StorageError, StorageResult};
 pub use format::{ChecksumMode, ChecksumPolicy, Encoding, EncodingPolicy};
 pub use manifest::{ChainInfo, GraphManifest};

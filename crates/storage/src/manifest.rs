@@ -18,6 +18,20 @@ use crate::error::{StorageError, StorageResult};
 /// Name of the manifest file on a prepared-graph disk.
 pub const MANIFEST_FILE: &str = "graph.manifest";
 
+/// Scratch name the manifest is written under before the atomic rename
+/// onto [`MANIFEST_FILE`]. A crash between the two leaves this file
+/// unreferenced; the orphan sweep reclaims it. The scrubber deliberately
+/// *skips* it — sweeping it from the maintenance thread could race an
+/// in-flight save between its write and rename.
+pub const MANIFEST_TMP_FILE: &str = "graph.manifest.tmp";
+
+/// Manifest extra key recording the current degree-table generation
+/// (absent = 0, the prep-time `degrees.bin`). Degree bumps write the table
+/// under a *new* generation name before the manifest save, so a torn
+/// degree write can never corrupt the table a recovered manifest points
+/// at.
+pub const DEGREES_GEN_KEY: &str = "degrees_gen";
+
 /// Per-cell delta-chain bookkeeping for streaming updates.
 ///
 /// A sub-shard cell `(i, j, reverse)` is stored as one *base* blob plus an
@@ -247,6 +261,44 @@ impl GraphManifest {
         "degrees.bin"
     }
 
+    /// File name of the out-degree table at generation `gen` (0 = the
+    /// prep-time [`GraphManifest::degree_file`] name).
+    pub fn degree_file_at(gen: u32) -> String {
+        if gen == 0 {
+            Self::degree_file().to_string()
+        } else {
+            format!("degrees.g{gen}.bin")
+        }
+    }
+
+    /// Current degree-table generation. A malformed value is a
+    /// [`StorageError::Corrupt`] — silently defaulting to 0 would load a
+    /// stale degree table and quietly skew every ranking algorithm.
+    pub fn degrees_gen(&self) -> StorageResult<u32> {
+        match self.extra.get(DEGREES_GEN_KEY) {
+            None => Ok(0),
+            Some(v) => v.parse().map_err(|_| StorageError::Corrupt {
+                name: MANIFEST_FILE.to_string(),
+                reason: format!("malformed {DEGREES_GEN_KEY} value {v:?}"),
+            }),
+        }
+    }
+
+    /// Record the degree-table generation; 0 is stored as the *absence* of
+    /// the key, keeping untouched graphs' manifests byte-identical.
+    pub fn set_degrees_gen(&mut self, gen: u32) {
+        if gen == 0 {
+            self.extra.remove(DEGREES_GEN_KEY);
+        } else {
+            self.extra.insert(DEGREES_GEN_KEY.to_string(), gen.to_string());
+        }
+    }
+
+    /// File name of the degree table this manifest currently references.
+    pub fn degree_file_current(&self) -> StorageResult<String> {
+        Ok(Self::degree_file_at(self.degrees_gen()?))
+    }
+
     /// Canonical file name of the index→id mapping table.
     pub fn mapping_file() -> &'static str {
         "mapping.bin"
@@ -336,9 +388,14 @@ impl GraphManifest {
         })
     }
 
-    /// Write the manifest onto a disk.
+    /// Write the manifest onto a disk: tmp file first, then an atomic
+    /// rename over [`MANIFEST_FILE`]. This is *the* commit point for every
+    /// dynamic-graph mutation — a crash before the rename leaves the old
+    /// manifest (and only files it references) fully intact, a crash after
+    /// it leaves the new state; a torn manifest is impossible.
     pub fn save(&self, disk: &dyn Disk) -> StorageResult<()> {
-        disk.write_all_to(MANIFEST_FILE, self.to_text().as_bytes())
+        disk.write_all_to(MANIFEST_TMP_FILE, self.to_text().as_bytes())?;
+        disk.rename(MANIFEST_TMP_FILE, MANIFEST_FILE)
     }
 
     /// Load the manifest from a disk.
@@ -447,6 +504,41 @@ mod tests {
         m2.set_chain_info(0, 4, true, ChainInfo::default());
         assert!(m2.chains().unwrap().is_empty());
         assert_eq!(m2.to_text(), sample().to_text());
+    }
+
+    #[test]
+    fn save_is_tmp_then_rename() {
+        let disk = MemDisk::new();
+        sample().save(&disk).unwrap();
+        // The tmp name must not linger after a successful save.
+        assert!(!disk.exists(MANIFEST_TMP_FILE));
+        assert!(disk.exists(MANIFEST_FILE));
+        assert_eq!(GraphManifest::load(&disk).unwrap(), sample());
+    }
+
+    #[test]
+    fn degrees_gen_roundtrips_and_defaults() {
+        let mut m = sample();
+        assert_eq!(m.degrees_gen().unwrap(), 0);
+        assert_eq!(m.degree_file_current().unwrap(), "degrees.bin");
+        m.set_degrees_gen(4);
+        assert_eq!(m.degrees_gen().unwrap(), 4);
+        assert_eq!(m.degree_file_current().unwrap(), "degrees.g4.bin");
+        let back = GraphManifest::from_text(&m.to_text()).unwrap();
+        assert_eq!(back.degrees_gen().unwrap(), 4);
+        // Setting back to 0 removes the key, restoring byte-identity.
+        m.set_degrees_gen(0);
+        assert_eq!(m.to_text(), sample().to_text());
+        assert_eq!(GraphManifest::degree_file_at(0), "degrees.bin");
+        assert_eq!(GraphManifest::degree_file_at(2), "degrees.g2.bin");
+    }
+
+    #[test]
+    fn malformed_degrees_gen_is_corrupt_not_zero() {
+        let mut m = sample();
+        m.extra.insert(DEGREES_GEN_KEY.into(), "banana".into());
+        assert!(m.degrees_gen().is_err());
+        assert!(m.degree_file_current().is_err());
     }
 
     #[test]

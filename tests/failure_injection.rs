@@ -267,22 +267,27 @@ fn stale_compaction_leftovers_never_change_results() {
     let want = algo::pagerank(dg.graph(), 4, &cfg).unwrap().0;
     let old_base = disk.read_all(&GraphManifest::subshard_base_file(i, j, false, 0)).unwrap();
     let old_delta = disk.read_all(&delta_name).unwrap();
-    assert!(dg.compact().unwrap() > 0);
+    assert!(dg.compact().unwrap().cells_folded > 0);
     // Re-create the stale files the sweep would have removed.
     disk.write_all_to(&GraphManifest::subshard_base_file(i, j, false, 0), &old_base).unwrap();
     disk.write_all_to(&delta_name, &old_delta).unwrap();
     let graph = nxgraph::core::PreparedGraph::open(Arc::clone(&disk)).unwrap();
     assert_eq!(algo::pagerank(&graph, 4, &cfg).unwrap().0, want);
-    // And the next compact() garbage-collects the orphaned delta blob
-    // for good (the plain gen-0 base name is the prep-time layout and is
-    // never a sweep candidate).
+    // And the next compact() garbage-collects both leftovers for good:
+    // the orphaned delta blob and the superseded plain gen-0 base (its
+    // cell's chain lives at a later generation now).
     let mut dg2 = nxgraph::core::dynamic::DynamicGraph::new(graph).unwrap();
     dg2.add_edges(&[(0, 4)]).unwrap();
-    dg2.compact().unwrap();
+    let report = dg2.compact().unwrap();
     assert!(
         !disk.exists(&delta_name),
         "orphaned {delta_name} must be swept by compact()"
     );
+    assert!(
+        !disk.exists(&GraphManifest::subshard_base_file(i, j, false, 0)),
+        "superseded gen-0 base must be swept by compact()"
+    );
+    assert!(report.files_swept >= 2 && report.bytes_swept > 0);
 }
 
 #[test]

@@ -634,7 +634,7 @@ fn matrix_dynamic_delta_compacted_and_fresh_bitwise_identical() {
         dg_chained.graph().manifest().chains().unwrap().iter().any(|c| c.3.deltas > 0),
         "variant (a) must actually carry pending delta chains"
     );
-    assert!(dg_compacted.compact().unwrap() > 0);
+    assert!(dg_compacted.compact().unwrap().cells_folded > 0);
     assert!(
         dg_compacted.graph().manifest().chains().unwrap().iter().all(|c| c.3.deltas == 0),
         "variant (b) must have folded every chain"
@@ -668,6 +668,89 @@ fn matrix_dynamic_delta_compacted_and_fresh_bitwise_identical() {
             assert_eq!(
                 compacted, scratch,
                 "{algo_name}/{strategy:?}: compacted graph diverged from fresh prep"
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_dynamic_background_maintenance_bitwise_identical() {
+    use nxgraph::core::dynamic::{DynamicConfig, DynamicGraph};
+    use rand::{Rng, SeedableRng};
+
+    const ALGOS: [&str; 8] = [
+        "pagerank", "bfs", "sssp", "wcc", "scc", "kcore", "hits", "ppr",
+    ];
+    let base = rmat_raw(8, 6, 97);
+    let mut known: Vec<u64> = base.iter().flat_map(|&(s, d)| [s, d]).collect();
+    known.sort_unstable();
+    known.dedup();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4321);
+    let batches: Vec<Vec<(u64, u64)>> = (0..6)
+        .map(|_| {
+            (0..40)
+                .map(|_| {
+                    (
+                        known[rng.random_range(0..known.len())],
+                        known[rng.random_range(0..known.len())],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // The same stream committed twice: with every fold (and an auto-scrub
+    // after each) running on the maintenance thread, and never at all.
+    let disk_bg: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(&base, &PrepConfig::new("dyn-bg", 5), disk_bg).unwrap();
+    let cfg = DynamicConfig {
+        max_deltas: 2, // folds keep firing mid-stream
+        max_delta_ratio: f64::INFINITY,
+        ..DynamicConfig::background()
+    };
+    let mut dg_bg = DynamicGraph::with_config(g, cfg).unwrap();
+    let disk_inl: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let g = preprocess(&base, &PrepConfig::new("dyn-inline", 5), disk_inl).unwrap();
+    let mut dg_inline = DynamicGraph::with_config(g, DynamicConfig::never_compact()).unwrap();
+    for batch in &batches {
+        let stats = dg_bg.add_edges(batch).unwrap();
+        assert!(!stats.rebuilt && stats.cells_compacted == 0);
+        assert!(!dg_inline.add_edges(batch).unwrap().rebuilt);
+    }
+    dg_bg.wait_maintenance_idle().unwrap();
+    let stats = dg_bg.maintenance().unwrap().stats();
+    assert!(stats.cells_folded > 0, "background folds must have run: {stats:?}");
+    assert!(stats.scrubs > 0, "auto-scrub must have run: {stats:?}");
+    assert!(dg_bg.maintenance().unwrap().last_scrub().unwrap().is_clean());
+
+    let mut full = base.clone();
+    full.extend(batches.iter().flatten());
+    let disk_c: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    let fresh = preprocess(&full, &PrepConfig::new("dyn-fresh", 5), disk_c).unwrap();
+    assert_eq!(fresh.num_edges(), dg_bg.graph().num_edges());
+
+    let n = fresh.num_vertices() as u64;
+    for algo_name in ALGOS {
+        for (strategy, budget) in [
+            (Strategy::Spu, 0),
+            (Strategy::Dpu, 0),
+            (Strategy::Mpu, 4 * n + n * 8),
+        ] {
+            let cfg = EngineConfig::default()
+                .with_strategy(strategy)
+                .with_budget(budget)
+                .with_sync(SyncMode::Callback)
+                .with_threads(3);
+            let bg = algo_fingerprint(algo_name, dg_bg.graph(), &cfg);
+            let chained = algo_fingerprint(algo_name, dg_inline.graph(), &cfg);
+            let scratch = algo_fingerprint(algo_name, &fresh, &cfg);
+            assert_eq!(
+                bg, scratch,
+                "{algo_name}/{strategy:?}: background-folded graph diverged from fresh prep"
+            );
+            assert_eq!(
+                chained, scratch,
+                "{algo_name}/{strategy:?}: unfolded chain diverged from fresh prep"
             );
         }
     }

@@ -14,7 +14,8 @@ use nxgraph::core::parallel::split_ranges;
 use nxgraph::core::prep::{self, PrepConfig};
 use nxgraph::core::reference;
 use nxgraph::core::PreparedGraph;
-use nxgraph::storage::{Disk, EncodingPolicy, MemDisk, SharedBytes};
+use nxgraph::core::maintain;
+use nxgraph::storage::{Disk, EncodingPolicy, GraphManifest, MemDisk, SharedBytes};
 
 /// A random small graph: up to 40 vertices, up to 200 edges (duplicates
 /// and self-loops included, as in raw crawls).
@@ -177,11 +178,81 @@ proptest! {
             names.sort();
             names.iter().map(|n| (n.clone(), disk.read_all(n).unwrap())).collect()
         };
-        prop_assert_eq!(dg.compact().unwrap(), 0);
+        let report = dg.compact().unwrap();
+        prop_assert_eq!(report.cells_folded, 0);
+        prop_assert_eq!(report.files_swept, 0);
         let disk = dg.graph().disk();
         for (name, bytes) in &snapshot {
             prop_assert_eq!(&disk.read_all(name).unwrap(), bytes, "{} changed", name);
         }
+    }
+
+    #[test]
+    fn scrubber_flags_exactly_the_bit_flipped_blob(
+        raw in arb_graph(),
+        extra in proptest::collection::vec((0usize..64, 0usize..64), 1..20),
+        file_sel in 0usize..1 << 16,
+        byte_sel in 0usize..1 << 20,
+        bit in 0u32..8,
+    ) {
+        // Prepare a graph, then append deltas over *known* vertices only,
+        // so the store holds every referenced blob species: bases, delta
+        // chains, a bumped degree generation, and the mapping tables.
+        let g = prepare(&raw, 3);
+        let disk = Arc::clone(g.disk());
+        let mut ids: Vec<u64> = raw.iter().flat_map(|&(s, d)| [s, d]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let extra: Vec<(u64, u64)> = extra
+            .iter()
+            .map(|&(s, d)| (ids[s % ids.len()], ids[d % ids.len()]))
+            .collect();
+        let mut dg = DynamicGraph::with_config(g, DynamicConfig::never_compact()).unwrap();
+        prop_assert!(!dg.add_edges(&extra).unwrap().rebuilt);
+        drop(dg);
+
+        // A healthy store scrubs clean…
+        let baseline = maintain::scrub(disk.as_ref()).unwrap();
+        prop_assert!(baseline.is_clean(), "healthy store flagged: {:?}", baseline);
+        prop_assert!(baseline.swept.is_empty());
+
+        // …then enumerate every blob the manifest references and flip one
+        // arbitrary bit in one of them.
+        let m = GraphManifest::load(disk.as_ref()).unwrap();
+        let mut files = vec![
+            GraphManifest::mapping_file().to_string(),
+            GraphManifest::reverse_mapping_file().to_string(),
+            m.degree_file_current().unwrap(),
+        ];
+        let dirs: &[bool] = if m.has_reverse { &[false, true] } else { &[false] };
+        for i in 0..m.num_intervals {
+            for j in 0..m.num_intervals {
+                for &rev in dirs {
+                    let c = m.chain_info(i, j, rev).unwrap();
+                    files.push(GraphManifest::subshard_base_file(i, j, rev, c.gen));
+                    for k in 1..=c.deltas {
+                        files.push(GraphManifest::subshard_delta_file(i, j, rev, c.gen, k));
+                    }
+                }
+            }
+        }
+        let target = files[file_sel % files.len()].clone();
+        let mut bytes = disk.read_all(&target).unwrap();
+        let pos = byte_sel % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        disk.write_all_to(&target, &bytes).unwrap();
+
+        // The scrubber must flag exactly the damaged blob — no misses, no
+        // collateral — and park it in quarantine so loads fail hard.
+        let report = maintain::scrub(disk.as_ref()).unwrap();
+        prop_assert_eq!(
+            &report.corrupt,
+            &vec![target.clone()],
+            "flip of {} byte {} bit {} ", &target, pos, bit
+        );
+        prop_assert!(report.swept.is_empty(), "swept {:?}", report.swept);
+        prop_assert!(disk.exists(&format!("quarantine.{target}")));
+        prop_assert!(!disk.exists(&target));
     }
 
     #[test]
