@@ -10,23 +10,34 @@
 //! engine `threads` to every strategy row (so the committed JSON can
 //! distinguish "1-core host" from "configured 1 thread") and embeds the
 //! [`scaling`](crate::exps::scaling) experiment's thread-sweep +
-//! determinism section. With `--json` the results are written to
-//! `BENCH_pagerank.json` (override with `--out PATH`) so successive PRs
-//! can diff the numbers; CI runs it at a tiny scale, once per encoding,
-//! to keep both paths from bit-rotting. `--encoding` pins a single
-//! policy; the default measures raw and auto side by side.
+//! determinism section. Schema v5 adds the I/O-scheduler dimension
+//! (`io_sched` + `read_syscalls_per_iter` per strategy row), a
+//! `cold_cache` flag (`--cold-cache` drops the workload's page cache
+//! between reps) and an `out_of_core` section: a forward-only R-MAT graph
+//! **prepared in streamed chunks on real files** — never fully resident —
+//! run under SPU + prefetch + I/O scheduler, with `O_DIRECT` reads when
+//! cold-cache mode is on, raw vs compressed encoding side by side. With
+//! `--json` the results are written to `BENCH_pagerank.json` (override
+//! with `--out PATH`) so successive PRs can diff the numbers; CI runs it
+//! at a tiny scale, once per encoding, to keep both paths from
+//! bit-rotting. `--encoding` pins a single policy for the strategy grid;
+//! the default measures raw and auto side by side.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use nxgraph_bench::report::{fmt_secs, Table};
-use nxgraph_bench::workloads::prepare_os_enc;
+use nxgraph_bench::workloads::{prepare_os_disk, prepare_streamed_os};
 use nxgraph_core::algo;
 use nxgraph_core::dsss::{SubShard, SubShardView};
 use nxgraph_core::engine::Strategy;
 use nxgraph_graphgen::datasets::Dataset;
 use nxgraph_graphgen::rmat::{self, RmatConfig};
-use nxgraph_storage::{EncodingPolicy, SharedBytes};
+use nxgraph_core::PreparedGraph;
+use nxgraph_storage::{
+    Disk, DiskConfig, EncodingPolicy, IoProfileSnapshot, OsDisk, PacedDisk, SharedBytes,
+};
 
 use crate::exps::scaling::{self, ScalingReport};
 use crate::exps::{half_resident_budget, nx_cfg};
@@ -38,11 +49,18 @@ const BASE_SCALES: [i32; 2] = [12, 15];
 /// Edges per vertex of the fixture.
 const EDGE_FACTOR: u32 = 16;
 
+/// Base R-MAT log2 scale of the out-of-core section before
+/// `--scale-shift`: large enough that the graph must stream from disk at
+/// shift 0, tuned down by the same knob as everything else for CI.
+const OOC_BASE_SCALE: i32 = 20;
+
 /// One measured configuration.
 struct Row {
     encoding: String,
     strategy: &'static str,
     prefetch: bool,
+    /// Whether the per-iteration I/O scheduler issued the reads.
+    io_sched: bool,
     /// Effective engine thread count of this run (post-clamping), not the
     /// raw `--threads` request.
     threads: usize,
@@ -52,6 +70,9 @@ struct Row {
     /// Counted disk read traffic divided by iterations — the lever the
     /// compressed encoding moves.
     read_bytes_per_iter: u64,
+    /// Read syscalls divided by iterations, from the per-disk I/O
+    /// profile — the request-count companion to `read_bytes_per_iter`.
+    read_syscalls_per_iter: u64,
 }
 
 /// Aggregate on-disk footprint of one encoding at one scale.
@@ -140,6 +161,11 @@ fn measure_decode(opts: &Opts) -> DecodeReport {
     }
 }
 
+/// Snapshot an [`OsDisk`]'s I/O profile (always present on real disks).
+fn io_snap(os: &OsDisk) -> IoProfileSnapshot {
+    os.io_profile().expect("OsDisk always profiles").snapshot()
+}
+
 fn dataset(scale: u32, opts: &Opts) -> Dataset {
     let cfg = RmatConfig::graph500(scale, EDGE_FACTOR, opts.seed);
     Dataset {
@@ -169,7 +195,7 @@ fn measure(scale: u32, opts: &Opts) -> ScaleReport {
             "nxbench-perf-{}-{scale}-{encoding}",
             std::process::id()
         ));
-        let g = prepare_os_enc(&d, 8, false, &root, encoding);
+        let (g, os) = prepare_os_disk(&d, 8, false, &root, encoding, DiskConfig::default());
         let n = g.num_vertices() as u64;
         shape = (g.num_vertices(), g.num_edges());
         disk.push(DiskReport {
@@ -181,30 +207,41 @@ fn measure(scale: u32, opts: &Opts) -> ScaleReport {
             ("mpu", Strategy::Mpu, half_resident_budget(n, 8)),
             ("dpu", Strategy::Dpu, 0),
         ] {
-            for prefetch in [true, false] {
+            // Prefetch on/off (scheduler off), plus the scheduler on top
+            // of the prefetched path — its intended configuration.
+            for (prefetch, io_sched) in [(true, false), (false, false), (true, true)] {
                 let cfg = nx_cfg(opts)
                     .with_strategy(strategy)
                     .with_budget(budget)
-                    .with_prefetch(prefetch);
+                    .with_prefetch(prefetch)
+                    .with_io_scheduler(io_sched);
                 // One untimed warmup run, then the median of three measured
                 // runs — single engine runs at these scales are noisy.
                 algo::pagerank(&g, opts.iters, &cfg).expect("pagerank warmup");
                 let mut samples = Vec::with_capacity(3);
                 for _ in 0..3 {
+                    if opts.cold_cache {
+                        os.drop_all_page_cache();
+                    }
+                    let before = io_snap(&os);
                     let (_, stats) = algo::pagerank(&g, opts.iters, &cfg).expect("pagerank");
-                    samples.push((stats.elapsed.as_secs_f64().max(1e-9), stats));
+                    let io = io_snap(&os).delta(&before);
+                    samples.push((stats.elapsed.as_secs_f64().max(1e-9), stats, io));
                 }
                 samples.sort_by(|a, b| a.0.total_cmp(&b.0));
-                let (secs, stats) = &samples[1];
+                let (secs, stats, io) = &samples[1];
+                let iters = stats.iterations.max(1) as u64;
                 rows.push(Row {
                     encoding: encoding.to_string(),
                     strategy: name,
                     prefetch,
+                    io_sched,
                     threads: cfg.threads,
                     elapsed_secs: *secs,
                     iters_per_sec: stats.iterations as f64 / secs,
                     edges_per_sec: stats.edges_traversed as f64 / secs,
-                    read_bytes_per_iter: stats.io.read_bytes / stats.iterations.max(1) as u64,
+                    read_bytes_per_iter: stats.io.read_bytes / iters,
+                    read_syscalls_per_iter: io.read_syscalls / iters,
                 });
             }
         }
@@ -217,6 +254,134 @@ fn measure(scale: u32, opts: &Opts) -> ScaleReport {
         vertices: shape.0,
         edges: shape.1,
         disk,
+        rows,
+    }
+}
+
+/// One encoding of the out-of-core workload, with the full per-disk I/O
+/// profile of the median run.
+struct OocRow {
+    encoding: String,
+    elapsed_secs: f64,
+    iters_per_sec: f64,
+    edges_per_sec: f64,
+    read_bytes_per_iter: u64,
+    io: IoProfileSnapshot,
+}
+
+/// The out-of-core section: streamed prep + SPU + prefetch + I/O
+/// scheduler on real files, raw vs compressed.
+struct OocReport {
+    dataset: String,
+    scale: u32,
+    vertices: u32,
+    edges: u64,
+    cold_cache: bool,
+    direct_requested: bool,
+    /// `DeviceProfile` name the reads were paced to, or `"real"` for the
+    /// container's actual (unpaced) device.
+    device: String,
+    prep_secs: f64,
+    rows: Vec<OocRow>,
+}
+
+impl OocReport {
+    /// Compressed-over-raw iterations/sec ratio — `> 1` means the
+    /// compressed encoding wins wall-clock, the out-of-core design goal.
+    fn compressed_speedup(&self) -> Option<f64> {
+        let ips = |enc: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.encoding == enc)
+                .map(|r| r.iters_per_sec)
+        };
+        match (ips("raw"), ips("compressed")) {
+            (Some(raw), Some(c)) if raw > 0.0 => Some(c / raw),
+            _ => None,
+        }
+    }
+}
+
+fn measure_out_of_core(opts: &Opts) -> OocReport {
+    // `--ooc-scale` pins the workload size independently of the in-memory
+    // sections: the committed cold-cache baseline runs the out-of-core
+    // workload at scale ≥ 22 (where disk bandwidth, not request latency,
+    // is the bottleneck) without dragging the warm sections up with it.
+    let scale = opts
+        .ooc_scale
+        .unwrap_or_else(|| (OOC_BASE_SCALE + opts.scale_shift).max(6) as u32)
+        .max(6);
+    // O_DIRECT only in cold-cache mode: a warm-cache direct run would
+    // compare apples (device reads) to oranges (page-cache hits).
+    let disk_cfg = DiskConfig { direct_reads: opts.cold_cache };
+    let mut rows = Vec::new();
+    let mut shape = (String::new(), 0u32, 0u64);
+    let mut prep_secs = 0.0f64;
+    for encoding in [EncodingPolicy::Raw, EncodingPolicy::Compressed] {
+        let root = std::env::temp_dir().join(format!(
+            "nxbench-ooc-{}-{scale}-{encoding}",
+            std::process::id()
+        ));
+        let t = Instant::now();
+        let (g, os) =
+            prepare_streamed_os(scale, EDGE_FACTOR, opts.seed, 8, &root, encoding, disk_cfg);
+        prep_secs += t.elapsed().as_secs_f64();
+        // Device emulation: reopen the graph through a pacing wrapper so
+        // the measured iterations see the named profile's bandwidth and
+        // seek behaviour (prep above ran unpaced; it isn't measured).
+        let g = match &opts.ooc_device {
+            Some(profile) => {
+                drop(g);
+                let paced: Arc<dyn Disk> =
+                    Arc::new(PacedDisk::new(Arc::clone(&os) as Arc<dyn Disk>, *profile));
+                PreparedGraph::open(paced).expect("reopen paced out-of-core graph")
+            }
+            None => g,
+        };
+        shape = (g.manifest().name.clone(), g.num_vertices(), g.num_edges());
+        // SPU with a zero budget streams every sub-shard every iteration —
+        // the most read-bound configuration, where the encoding's byte
+        // savings translate directly into wall-clock.
+        let cfg = nx_cfg(opts)
+            .with_strategy(Strategy::Spu)
+            .with_budget(0)
+            .with_prefetch(true)
+            .with_io_scheduler(true);
+        algo::pagerank(&g, opts.iters, &cfg).expect("ooc warmup");
+        let mut samples = Vec::with_capacity(3);
+        for _ in 0..3 {
+            if opts.cold_cache {
+                os.drop_all_page_cache();
+            }
+            let before = io_snap(&os);
+            let (_, stats) = algo::pagerank(&g, opts.iters, &cfg).expect("ooc pagerank");
+            let io = io_snap(&os).delta(&before);
+            samples.push((stats.elapsed.as_secs_f64().max(1e-9), stats, io));
+        }
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (secs, stats, io) = &samples[1];
+        rows.push(OocRow {
+            encoding: encoding.to_string(),
+            elapsed_secs: *secs,
+            iters_per_sec: stats.iterations as f64 / secs,
+            edges_per_sec: stats.edges_traversed as f64 / secs,
+            read_bytes_per_iter: stats.io.read_bytes / stats.iterations.max(1) as u64,
+            io: *io,
+        });
+        drop(g);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    OocReport {
+        dataset: shape.0,
+        scale,
+        vertices: shape.1,
+        edges: shape.2,
+        cold_cache: opts.cold_cache,
+        direct_requested: disk_cfg.direct_reads,
+        device: opts
+            .ooc_device
+            .map_or_else(|| "real".to_string(), |p| p.name.to_string()),
+        prep_secs,
         rows,
     }
 }
@@ -241,15 +406,17 @@ fn render_json(
     opts: &Opts,
     reports: &[ScaleReport],
     decode: &DecodeReport,
+    ooc: &OocReport,
     scaling: &ScalingReport,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"pagerank\",");
-    let _ = writeln!(s, "  \"schema_version\": 4,");
+    let _ = writeln!(s, "  \"schema_version\": 5,");
     let _ = writeln!(s, "  \"seed\": {},", opts.seed);
     let _ = writeln!(s, "  \"iters\": {},", opts.iters);
     let _ = writeln!(s, "  \"threads\": {},", opts.threads);
+    let _ = writeln!(s, "  \"cold_cache\": {},", opts.cold_cache);
     // Record the host's parallelism: prefetch numbers from a single-core
     // host are degenerate (nothing to overlap) and should be diffed only
     // against baselines with comparable hardware.
@@ -280,15 +447,17 @@ fn render_json(
         for (ri, row) in r.rows.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "        {{\"encoding\": \"{}\", \"strategy\": \"{}\", \"prefetch\": {}, \"threads\": {}, \"elapsed_secs\": {:.6}, \"iters_per_sec\": {:.3}, \"edges_per_sec\": {:.1}, \"read_bytes_per_iter\": {}}}{}",
+                "        {{\"encoding\": \"{}\", \"strategy\": \"{}\", \"prefetch\": {}, \"io_sched\": {}, \"threads\": {}, \"elapsed_secs\": {:.6}, \"iters_per_sec\": {:.3}, \"edges_per_sec\": {:.1}, \"read_bytes_per_iter\": {}, \"read_syscalls_per_iter\": {}}}{}",
                 row.encoding,
                 row.strategy,
                 row.prefetch,
+                row.io_sched,
                 row.threads,
                 row.elapsed_secs,
                 row.iters_per_sec,
                 row.edges_per_sec,
                 row.read_bytes_per_iter,
+                row.read_syscalls_per_iter,
                 if ri + 1 < r.rows.len() { "," } else { "" }
             );
         }
@@ -309,6 +478,44 @@ fn render_json(
         decode.compressed_medges_per_sec,
         decode.compressed_blob_ratio
     );
+    let _ = writeln!(s, "  \"out_of_core\": {{");
+    let _ = writeln!(s, "    \"dataset\": \"{}\",", ooc.dataset);
+    let _ = writeln!(s, "    \"scale\": {},", ooc.scale);
+    let _ = writeln!(s, "    \"vertices\": {},", ooc.vertices);
+    let _ = writeln!(s, "    \"edges\": {},", ooc.edges);
+    let _ = writeln!(s, "    \"strategy\": \"spu\",");
+    let _ = writeln!(s, "    \"io_sched\": true,");
+    let _ = writeln!(s, "    \"cold_cache\": {},", ooc.cold_cache);
+    let _ = writeln!(s, "    \"direct_requested\": {},", ooc.direct_requested);
+    let _ = writeln!(s, "    \"device\": \"{}\",", ooc.device);
+    let _ = writeln!(s, "    \"prep_secs\": {:.3},", ooc.prep_secs);
+    let _ = writeln!(s, "    \"rows\": [");
+    for (ri, row) in ooc.rows.iter().enumerate() {
+        let io = &row.io;
+        let _ = writeln!(
+            s,
+            "      {{\"encoding\": \"{}\", \"elapsed_secs\": {:.6}, \"iters_per_sec\": {:.3}, \"edges_per_sec\": {:.1}, \"read_bytes_per_iter\": {}, \"read_syscalls\": {}, \"direct_reads\": {}, \"direct_bytes\": {}, \"direct_fallbacks\": {}, \"sched_batches\": {}, \"sched_reads\": {}, \"max_queue_depth\": {}, \"cache_drops\": {}}}{}",
+            row.encoding,
+            row.elapsed_secs,
+            row.iters_per_sec,
+            row.edges_per_sec,
+            row.read_bytes_per_iter,
+            io.read_syscalls,
+            io.direct_reads,
+            io.direct_bytes,
+            io.direct_fallbacks,
+            io.sched_batches,
+            io.sched_reads,
+            io.max_queue_depth,
+            io.cache_drops,
+            if ri + 1 < ooc.rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ]{}", if ooc.compressed_speedup().is_some() { "," } else { "" });
+    if let Some(speedup) = ooc.compressed_speedup() {
+        let _ = writeln!(s, "    \"compressed_iters_per_sec_ratio\": {speedup:.3}");
+    }
+    let _ = writeln!(s, "  }},");
     let _ = write!(s, "  \"scaling\": ");
     scaling.write_json_object(&mut s, 2);
     let _ = writeln!(s);
@@ -325,8 +532,9 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
         reports.push(measure(scale, opts));
     }
     let decode = measure_decode(opts);
+    let ooc = measure_out_of_core(opts);
     // The thread-scaling sweep + bitwise determinism matrix ride along in
-    // the same JSON (schema v4), so the committed baseline carries the
+    // the same JSON (schema v5), so the committed baseline carries the
     // multi-thread story; a determinism failure fails `perf` too.
     let scaling = scaling::measure(opts);
 
@@ -337,8 +545,8 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
                 r.dataset, r.vertices, r.edges, opts.iters
             ),
             &[
-                "encoding", "strategy", "prefetch", "threads", "time (s)", "iters/s", "edges/s",
-                "read B/iter",
+                "encoding", "strategy", "prefetch", "sched", "threads", "time (s)", "iters/s",
+                "edges/s", "read B/iter", "read calls/iter",
             ],
         );
         for row in &r.rows {
@@ -346,11 +554,13 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
                 row.encoding.clone(),
                 row.strategy.to_string(),
                 row.prefetch.to_string(),
+                row.io_sched.to_string(),
                 row.threads.to_string(),
                 fmt_secs(std::time::Duration::from_secs_f64(row.elapsed_secs)),
                 format!("{:.2}", row.iters_per_sec),
                 format!("{:.3e}", row.edges_per_sec),
                 row.read_bytes_per_iter.to_string(),
+                row.read_syscalls_per_iter.to_string(),
             ]);
         }
         t.print();
@@ -368,12 +578,40 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
         1.0 / decode.compressed_blob_ratio.max(1e-9)
     );
 
+    let mut t = Table::new(
+        format!(
+            "perf — out-of-core PageRank on {} ({} vertices, {} edges, streamed prep {:.1}s, cold_cache={}, direct={}, device={})",
+            ooc.dataset, ooc.vertices, ooc.edges, ooc.prep_secs, ooc.cold_cache,
+            ooc.direct_requested, ooc.device
+        ),
+        &[
+            "encoding", "time (s)", "iters/s", "read B/iter", "read syscalls", "direct B",
+            "sched batches", "max qdepth",
+        ],
+    );
+    for row in &ooc.rows {
+        t.row(vec![
+            row.encoding.clone(),
+            fmt_secs(std::time::Duration::from_secs_f64(row.elapsed_secs)),
+            format!("{:.2}", row.iters_per_sec),
+            row.read_bytes_per_iter.to_string(),
+            row.io.read_syscalls.to_string(),
+            row.io.direct_bytes.to_string(),
+            row.io.sched_batches.to_string(),
+            row.io.max_queue_depth.to_string(),
+        ]);
+    }
+    t.print();
+    if let Some(speedup) = ooc.compressed_speedup() {
+        println!("out-of-core compressed/raw iters/sec: {speedup:.2}x");
+    }
+
     if !scaling.deterministic() {
         eprintln!("perf: thread-scaling determinism matrix diverged (see `nxbench scaling`)");
     }
 
     if let Some(path) = json_out {
-        let json = render_json(opts, &reports, &decode, &scaling);
+        let json = render_json(opts, &reports, &decode, &ooc, &scaling);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("perf: failed to write {path}: {e}");
             return false;
@@ -399,14 +637,34 @@ mod tests {
         assert!(decode.owned_medges_per_sec > 0.0 && decode.view_medges_per_sec > 0.0);
         assert!(decode.compressed_medges_per_sec > 0.0);
         assert!(decode.compressed_blob_ratio > 0.0 && decode.compressed_blob_ratio < 1.0);
-        let json = render_json(&opts, &reports, &decode, &scaling::stub_report());
-        assert!(json.contains("\"schema_version\": 4"));
+        let ooc = measure_out_of_core(&opts);
+        assert_eq!(ooc.rows.len(), 2);
+        assert!(ooc.compressed_speedup().is_some());
+        let json = render_json(&opts, &reports, &decode, &ooc, &scaling::stub_report());
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"bench\": \"pagerank\""));
-        // Schema v4: every strategy row records its effective threads, and
-        // the scaling section is present.
-        for line in json.lines().filter(|l| l.contains("\"strategy\":")) {
+        // Schema v5: every strategy row records its effective threads and
+        // scheduler state, and the scaling section is present.
+        for line in json.lines().filter(|l| l.contains("\"strategy\": \"") && l.contains("\"prefetch\":")) {
             assert!(line.contains("\"threads\":"), "row missing threads: {line}");
         }
+        for line in json.lines().filter(|l| l.contains("\"prefetch\":")) {
+            assert!(line.contains("\"io_sched\":"), "row missing io_sched: {line}");
+            assert!(
+                line.contains("\"read_syscalls_per_iter\":"),
+                "row missing read_syscalls_per_iter: {line}"
+            );
+        }
+        assert!(json.contains("\"cold_cache\": false"));
+        assert!(json.contains("\"out_of_core\": {"));
+        assert!(json.contains("\"device\": \"real\""));
+        assert!(json.contains("\"encoding\": \"compressed\""));
+        assert!(json.contains("\"direct_requested\": false"));
+        assert!(json.contains("\"sched_batches\""));
+        assert!(json.contains("\"max_queue_depth\""));
+        assert!(json.contains("\"compressed_iters_per_sec_ratio\""));
+        assert!(json.contains("\"io_sched\": true"));
+        assert!(json.contains("\"io_sched\": false"));
         assert!(json.contains("\"scaling\": {"));
         assert!(json.contains("\"bitwise_identical\""));
         assert!(json.contains("\"strategy\": \"spu\""));
@@ -458,7 +716,13 @@ mod tests {
         assert!(r.rows.iter().all(|row| row.encoding == "raw"));
         assert_eq!(r.disk.len(), 1);
         assert!(r.blob_ratio().is_none());
-        let json = render_json(&opts, &[r], &measure_decode(&opts), &scaling::stub_report());
+        let json = render_json(
+            &opts,
+            &[r],
+            &measure_decode(&opts),
+            &measure_out_of_core(&opts),
+            &scaling::stub_report(),
+        );
         assert!(!json.contains("\"encoding\": \"auto\""));
         assert!(
             !json.contains("\"blob_ratio\""),

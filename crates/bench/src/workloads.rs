@@ -3,9 +3,10 @@
 use std::sync::Arc;
 
 use nxgraph_core::dsss::PreparedGraph;
-use nxgraph_core::prep::{preprocess, PrepConfig};
+use nxgraph_core::prep::{preprocess, preprocess_streamed, PrepConfig};
 use nxgraph_graphgen::datasets::Dataset;
-use nxgraph_storage::{Disk, EncodingPolicy, MemDisk};
+use nxgraph_graphgen::rmat::{self, RmatConfig};
+use nxgraph_storage::{Disk, DiskConfig, EncodingPolicy, MemDisk, OsDisk};
 
 /// Convert generated raw edges into the `(u64, u64)` pairs preprocessing
 /// consumes.
@@ -53,10 +54,61 @@ pub fn prepare_os_enc(
     root: &std::path::Path,
     encoding: EncodingPolicy,
 ) -> PreparedGraph {
-    let disk: Arc<dyn Disk> =
-        Arc::new(nxgraph_storage::OsDisk::new(root.join(&d.name)).expect("mkdir failed"));
-    preprocess(&raw_pairs(d), &prep_cfg(d, p, reverse, encoding), disk)
-        .expect("preprocessing failed")
+    prepare_os_disk(d, p, reverse, root, encoding, DiskConfig::default()).0
+}
+
+/// [`prepare_os_enc`] that also hands back the concrete [`OsDisk`] (for
+/// cold-cache drops and I/O profile snapshots) and takes a
+/// [`DiskConfig`] (e.g. `O_DIRECT` reads).
+pub fn prepare_os_disk(
+    d: &Dataset,
+    p: u32,
+    reverse: bool,
+    root: &std::path::Path,
+    encoding: EncodingPolicy,
+    disk_cfg: DiskConfig,
+) -> (PreparedGraph, Arc<OsDisk>) {
+    let os = Arc::new(
+        OsDisk::with_config(root.join(&d.name), disk_cfg).expect("mkdir failed"),
+    );
+    let disk: Arc<dyn Disk> = Arc::clone(&os) as Arc<dyn Disk>;
+    let g = preprocess(&raw_pairs(d), &prep_cfg(d, p, reverse, encoding), disk)
+        .expect("preprocessing failed");
+    (g, os)
+}
+
+/// Edges per spill chunk of the out-of-core workload: small enough that
+/// the full edge list is never resident, large enough to amortise the
+/// per-chunk generator reseed.
+const STREAM_CHUNK_EDGES: u64 = 1 << 20;
+
+/// Build the out-of-core workload: a forward-only R-MAT graph generated
+/// and sharded **in chunks on disk** — at no point does the whole edge
+/// list exist in memory — onto a real-file [`OsDisk`] under `root`.
+/// Returns the graph plus the concrete disk for cold-cache control.
+pub fn prepare_streamed_os(
+    scale: u32,
+    edge_factor: u32,
+    seed: u64,
+    p: u32,
+    root: &std::path::Path,
+    encoding: EncodingPolicy,
+    disk_cfg: DiskConfig,
+) -> (PreparedGraph, Arc<OsDisk>) {
+    let name = format!("rmat-stream-{scale}x{edge_factor}");
+    let os = Arc::new(OsDisk::with_config(root.join(&name), disk_cfg).expect("mkdir failed"));
+    let disk: Arc<dyn Disk> = Arc::clone(&os) as Arc<dyn Disk>;
+    let rcfg = RmatConfig::graph500(scale, edge_factor, seed);
+    let chunks = rmat::generate_chunked(&rcfg, STREAM_CHUNK_EDGES).map(|chunk| {
+        chunk
+            .into_iter()
+            .map(|e| (e.src as u32, e.dst as u32))
+            .collect::<Vec<_>>()
+    });
+    let cfg = PrepConfig::forward_only(name, p).with_encoding(encoding);
+    let g = preprocess_streamed(rcfg.num_vertices() as u32, chunks, &cfg, disk)
+        .expect("streamed preprocessing failed");
+    (g, os)
 }
 
 #[cfg(test)]
@@ -70,5 +122,26 @@ mod tests {
         let g = prepare_mem(&d, 4, true);
         assert!(g.num_vertices() > 0);
         assert!(g.has_reverse());
+    }
+
+    #[test]
+    fn streamed_workload_builds_and_runs() {
+        let root = std::env::temp_dir().join(format!("nxbench-stream-test-{}", std::process::id()));
+        let (g, os) = prepare_streamed_os(
+            6,
+            4,
+            7,
+            4,
+            &root,
+            EncodingPolicy::Auto,
+            DiskConfig { direct_reads: true },
+        );
+        assert_eq!(g.num_vertices(), 1 << 6);
+        assert_eq!(g.num_edges(), 4 << 6);
+        assert!(!g.has_reverse());
+        // The direct-read config made it through to the disk.
+        assert!(os.config().direct_reads);
+        drop(g);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -19,7 +19,11 @@ usage:
   nxgraph-cli hits <graph-dir> [--iters N] [--top K]
 
 engine flags (all algorithms): [--no-prefetch] disables the background
-sub-shard/hub prefetch thread (synchronous loads, for debugging/baselines)";
+sub-shard/hub prefetch thread (synchronous loads, for debugging/baselines);
+[--io-sched] batches each iteration's reads into layout-ordered
+submissions on a dedicated I/O thread (results are bitwise-identical);
+[--direct] opens the graph with O_DIRECT reads where the platform allows
+(falls back to buffered reads otherwise)";
 
 /// Parsed command line: positionals plus flags.
 pub struct Args {
@@ -29,7 +33,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["--no-reverse", "--no-prefetch"];
+const SWITCHES: &[&str] = &["--no-reverse", "--no-prefetch", "--io-sched", "--direct"];
 
 impl Args {
     /// Parse raw argv (after the subcommand).

@@ -9,7 +9,7 @@ use nxgraph_core::engine::EngineConfig;
 use nxgraph_core::prep::{preprocess, PrepConfig};
 use nxgraph_core::PreparedGraph;
 use nxgraph_graphgen::{er, io as gio, mesh, rmat};
-use nxgraph_storage::{Disk, EncodingPolicy, OsDisk};
+use nxgraph_storage::{Disk, DiskConfig, EncodingPolicy, OsDisk};
 
 use crate::args::Args;
 
@@ -98,7 +98,9 @@ fn prep(args: &Args) -> Result<(), String> {
 
 fn open(args: &Args) -> Result<PreparedGraph, String> {
     let dir = args.pos(0, "graph directory")?;
-    let disk: Arc<dyn Disk> = Arc::new(OsDisk::new(dir).map_err(|e| e.to_string())?);
+    let disk_cfg = DiskConfig { direct_reads: args.switch("--direct") };
+    let disk: Arc<dyn Disk> =
+        Arc::new(OsDisk::with_config(dir, disk_cfg).map_err(|e| e.to_string())?);
     PreparedGraph::open(disk).map_err(|e| e.to_string())
 }
 
@@ -117,7 +119,31 @@ fn engine_cfg(args: &Args) -> Result<EngineConfig, String> {
     if args.switch("--no-prefetch") {
         cfg.prefetch = false;
     }
+    if args.switch("--io-sched") {
+        cfg = cfg.with_io_scheduler(true);
+    }
     Ok(cfg)
+}
+
+/// Print the per-disk I/O profile after an engine run, when the disk
+/// exposes one (real `OsDisk`s always do).
+fn report_io_profile(g: &PreparedGraph) {
+    if let Some(profile) = g.disk().io_profile() {
+        let io = profile.snapshot();
+        println!(
+            "io profile: {} read / {} write syscalls, {} opens; direct: {} reads / {} bytes / {} fallbacks; sched: {} batches / {} reads, max queue depth {}; {} cache drops",
+            io.read_syscalls,
+            io.write_syscalls,
+            io.opens,
+            io.direct_reads,
+            io.direct_bytes,
+            io.direct_fallbacks,
+            io.sched_batches,
+            io.sched_reads,
+            io.max_queue_depth,
+            io.cache_drops
+        );
+    }
 }
 
 fn info(args: &Args) -> Result<(), String> {
@@ -178,6 +204,7 @@ fn info(args: &Args) -> Result<(), String> {
         m.num_edges as f64 / m.num_vertices as f64,
         max
     );
+    report_io_profile(&g);
     Ok(())
 }
 
@@ -233,7 +260,7 @@ fn scrub(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn report(stats: &nxgraph_core::engine::RunStats) {
+fn report(g: &PreparedGraph, stats: &nxgraph_core::engine::RunStats) {
     println!(
         "done: {:?} strategy, {} iterations, {:?}, {:.1} MTEPS, {} read / {} written",
         stats.strategy,
@@ -243,6 +270,7 @@ fn report(stats: &nxgraph_core::engine::RunStats) {
         stats.io.read_bytes,
         stats.io.written_bytes
     );
+    report_io_profile(g);
 }
 
 fn pagerank(args: &Args) -> Result<(), String> {
@@ -251,7 +279,7 @@ fn pagerank(args: &Args) -> Result<(), String> {
     let iters = args.get_or("iters", 10usize)?;
     let top = args.get_or("top", 10usize)?;
     let (ranks, stats) = algo::pagerank(&g, iters, &cfg).map_err(|e| e.to_string())?;
-    report(&stats);
+    report(&g, &stats);
     let mapping = g.load_reverse_mapping().map_err(|e| e.to_string())?;
     let mut order: Vec<usize> = (0..ranks.len()).collect();
     order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
@@ -267,7 +295,7 @@ fn bfs(args: &Args) -> Result<(), String> {
     let cfg = engine_cfg(args)?;
     let root: u32 = args.get_or("root", 0u32)?;
     let (depths, stats) = algo::bfs(&g, root, &cfg).map_err(|e| e.to_string())?;
-    report(&stats);
+    report(&g, &stats);
     let reached = depths.iter().filter(|&&d| d != u32::MAX).count();
     println!(
         "bfs from id {root}: {reached}/{} reachable, max depth {:?}",
@@ -285,7 +313,7 @@ fn sssp(args: &Args) -> Result<(), String> {
     let prog = algo::Sssp::new(root, algo::sssp::hash_weights(1.0, 10.0));
     let (dist, stats) =
         nxgraph_core::engine::run(&g, &prog, &cfg).map_err(|e| e.to_string())?;
-    report(&stats);
+    report(&g, &stats);
     let reached = dist.iter().filter(|d| d.is_finite()).count();
     let max = dist.iter().filter(|d| d.is_finite()).fold(0.0f64, |a, &b| a.max(b));
     println!("sssp from id {root} (hash weights 1..10): {reached} reachable, max distance {max:.3}");
@@ -296,7 +324,7 @@ fn wcc(args: &Args) -> Result<(), String> {
     let g = open(args)?;
     let cfg = engine_cfg(args)?;
     let (labels, stats) = algo::wcc(&g, &cfg).map_err(|e| e.to_string())?;
-    report(&stats);
+    report(&g, &stats);
     println!(
         "wcc: {} components, largest {}",
         algo::wcc::component_count(&labels),

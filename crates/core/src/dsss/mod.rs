@@ -16,7 +16,9 @@ use std::sync::Arc;
 
 use nxgraph_storage::format::{self, Encoding, EncodingPolicy, FileKind};
 use nxgraph_storage::manifest::{ChainInfo, GraphManifest};
-use nxgraph_storage::{BufferPool, ChecksumPolicy, Disk, StorageError, StorageResult};
+use nxgraph_storage::{
+    BufferPool, ChecksumPolicy, Disk, SharedBytes, StorageError, StorageResult,
+};
 
 use crate::error::{EngineError, EngineResult};
 use crate::types::{Attr, VertexId};
@@ -191,6 +193,13 @@ impl ViewLoader {
     /// One chain part (base or delta blob) as a zero-copy view.
     fn load_part(&self, name: &str) -> EngineResult<SubShardView> {
         let bytes = self.disk.read_shared(name, &self.pool)?;
+        self.decode_part(name, bytes)
+    }
+
+    /// Decode one already-read chain part. Shared by the inline read path
+    /// and the I/O-scheduler path, so both apply the identical verify-once
+    /// checksum discipline.
+    fn decode_part(&self, name: &str, bytes: SharedBytes) -> EngineResult<SubShardView> {
         let verify = self.checksums.should_verify(name);
         // Compressed (v3) blobs inflate into a buffer from the same pool
         // the read came from; raw blobs cast in place as before.
@@ -199,6 +208,78 @@ impl ViewLoader {
             self.checksums.note_verified(name);
         }
         Ok(view)
+    }
+
+    /// The disk this loader reads from.
+    pub fn disk(&self) -> &Arc<dyn Disk> {
+        &self.disk
+    }
+
+    /// The page-aligned read-buffer pool behind this loader.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The on-disk files backing cell `(i, j, reverse)`: the base blob
+    /// first, then each delta of the chain in append order — exactly the
+    /// reads [`ViewLoader::load_subshard`] would issue, exposed so an I/O
+    /// scheduler can plan them without loading anything.
+    pub fn subshard_part_names(&self, i: u32, j: u32, reverse: bool) -> Vec<String> {
+        let chain = self.chains.info(i, j, reverse);
+        let mut names = Vec::with_capacity(chain.deltas as usize + 1);
+        names.push(GraphManifest::subshard_base_file(i, j, reverse, chain.gen));
+        for k in 1..=chain.deltas {
+            names.push(GraphManifest::subshard_delta_file(i, j, reverse, chain.gen, k));
+        }
+        names
+    }
+
+    /// The hub file backing `H(i→j)`, or `None` when it was never
+    /// written. Hub files are stable within an engine phase (they are
+    /// written during ToHub and removed only after their column's fold),
+    /// so a plan-time existence check agrees with decode time.
+    pub fn hub_part_name(&self, i: u32, j: u32) -> Option<String> {
+        let name = GraphManifest::hub_file(i, j);
+        self.disk.exists(&name).then_some(name)
+    }
+
+    /// Assemble cell `(i, j)` from parts already read off disk (in
+    /// [`ViewLoader::subshard_part_names`] order) — the scheduler-fed
+    /// twin of [`ViewLoader::load_subshard`], bitwise-identical in every
+    /// decode, checksum and merge step.
+    pub fn decode_subshard(
+        &self,
+        i: u32,
+        j: u32,
+        names: &[String],
+        bytes: Vec<StorageResult<SharedBytes>>,
+    ) -> EngineResult<SubShardView> {
+        // `bytes` can be shorter than `names` only when the session shut
+        // down mid-plan, in which case its single entry is an error that
+        // propagates out of the `?` below.
+        let mut parts = Vec::with_capacity(names.len());
+        for (k, (name, b)) in names.iter().zip(bytes).enumerate() {
+            let part = self.decode_part(name, b?)?;
+            if k > 0 {
+                check_delta_cell(part.src_interval(), part.dst_interval(), i, j, name)?;
+            }
+            parts.push(part);
+        }
+        if parts.len() == 1 {
+            return Ok(parts.pop().expect("base part always present"));
+        }
+        Ok(MergedSubShardView::merge(&parts).into_view())
+    }
+
+    /// Decode hub bytes already read off disk — the scheduler-fed twin of
+    /// [`ViewLoader::read_hub`]'s parse step (hubs are mutable, so every
+    /// read verifies unless the policy is `Never`).
+    pub fn decode_hub<A: Attr>(&self, name: &str, bytes: SharedBytes) -> EngineResult<HubView<A>> {
+        Ok(HubView::parse(
+            bytes,
+            name,
+            self.checksums.should_verify_mutable(),
+        )?)
     }
 
     /// Read hub `H(i→j)` as a zero-copy view; `None` when the hub was

@@ -22,6 +22,7 @@ use crate::error::EngineResult;
 use crate::program::VertexProgram;
 use crate::types::VertexId;
 
+use super::iosched::IoSession;
 use super::kernel::absorb_single;
 use super::prefetch::{JobStream, Jobs, Prefetcher};
 use super::state::{finalize_interval_par, AccBuf};
@@ -67,16 +68,38 @@ pub fn run_dpu<P: VertexProgram>(
             }
             let src_vals: Vec<P::Value> = g.read_interval(i)?;
             let r_i = g.interval_range(i);
-            let jobs: Jobs<EngineResult<SubShardView>> = (0..p)
+            let keys: Vec<(u32, bool)> = (0..p)
                 .flat_map(|j| {
                     ShardStore::dirs(cfg.direction).iter().map(move |&reverse| (j, reverse))
                 })
-                .map(|(j, reverse)| {
-                    let loader = g.view_loader();
-                    Box::new(move || loader.load_subshard(i, j, reverse))
-                        as Box<dyn FnOnce() -> EngineResult<SubShardView> + Send>
-                })
                 .collect();
+            // With the I/O scheduler on, the row becomes one access plan
+            // whose reads a dedicated I/O thread issues in batched layout
+            // order; delivery order (and so every fold) is unchanged.
+            let session = cfg.io_scheduler.then(|| {
+                let loader = g.view_loader();
+                let plan = keys
+                    .iter()
+                    .map(|&(j, rev)| loader.subshard_part_names(i, j, rev))
+                    .collect();
+                IoSession::start(
+                    Arc::clone(loader.disk()),
+                    Arc::clone(loader.pool()),
+                    plan,
+                    cfg.io_queue_depth,
+                )
+            });
+            let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::with_capacity(keys.len());
+            for (seq, &(j, reverse)) in keys.iter().enumerate() {
+                let loader = g.view_loader();
+                match session.as_ref().map(IoSession::client) {
+                    Some(client) => jobs.push(Box::new(move || {
+                        let names = loader.subshard_part_names(i, j, reverse);
+                        loader.decode_subshard(i, j, &names, client.take(seq))
+                    })),
+                    None => jobs.push(Box::new(move || loader.load_subshard(i, j, reverse))),
+                }
+            }
             let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
             for j in 0..p {
                 let r_j = g.interval_range(j);
@@ -121,13 +144,44 @@ pub fn run_dpu<P: VertexProgram>(
             };
             let mut buf: AccBuf<P> = AccBuf::new(prog, r_j.start, len);
             type Hub<P> = Option<HubView<<P as VertexProgram>::Accum>>;
-            let jobs: Jobs<EngineResult<Hub<P>>> = (0..p)
-                .map(|i| {
-                    let loader = g.view_loader();
-                    Box::new(move || loader.read_hub::<P::Accum>(i, j))
-                        as Box<dyn FnOnce() -> EngineResult<Hub<P>> + Send>
-                })
-                .collect();
+            // Hubs are stable within the phase (written in ToHub, removed
+            // only after this column folds), so planning by name up-front
+            // sees exactly the hubs the jobs will read. Absent hubs become
+            // empty plan entries the scheduler parks immediately.
+            let session = cfg.io_scheduler.then(|| {
+                let loader = g.view_loader();
+                let plan = (0..p)
+                    .map(|i| loader.hub_part_name(i, j).map(|n| vec![n]).unwrap_or_default())
+                    .collect();
+                IoSession::start(
+                    Arc::clone(loader.disk()),
+                    Arc::clone(loader.pool()),
+                    plan,
+                    cfg.io_queue_depth,
+                )
+            });
+            let mut jobs: Jobs<EngineResult<Hub<P>>> = Vec::with_capacity(p as usize);
+            for (seq, i) in (0..p).enumerate() {
+                let loader = g.view_loader();
+                match session.as_ref().map(IoSession::client) {
+                    Some(client) => jobs.push(Box::new(move || {
+                        match loader.hub_part_name(i, j) {
+                            Some(name) => {
+                                let mut bytes = client.take(seq);
+                                let b = bytes.pop().expect("one part per hub plan")?;
+                                loader.decode_hub::<P::Accum>(&name, b).map(Some)
+                            }
+                            None => {
+                                // Nothing planned for this seq; still take
+                                // it so the scheduler frontier advances.
+                                client.take(seq);
+                                Ok(None)
+                            }
+                        }
+                    })),
+                    None => jobs.push(Box::new(move || loader.read_hub::<P::Accum>(i, j))),
+                }
+            }
             let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
             // Collect the column's hubs in row order, then fold them as
             // one destination-range-parallel batch — per-slot merge order
@@ -209,6 +263,18 @@ mod tests {
                 assert!((a - b).abs() < 1e-12, "P={p}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn io_scheduler_is_bitwise_identical() {
+        let g = graph(4);
+        let prog = PageRank::new(g.num_vertices(), Arc::clone(g.out_degrees()));
+        let base = EngineConfig::default().with_max_iterations(6);
+        let (off, ..) = run_dpu(&g, &prog, &base).unwrap();
+        let (on, ..) =
+            run_dpu(&g, &prog, &base.clone().with_io_scheduler(true)).unwrap();
+        assert_eq!(off.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                   on.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
     }
 
     #[test]

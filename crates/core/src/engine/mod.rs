@@ -6,6 +6,7 @@
 //! engine, and reports wall time, iteration count and byte-exact I/O.
 
 pub mod dpu;
+pub mod iosched;
 pub mod kernel;
 pub mod mpu;
 pub mod prefetch;
@@ -23,6 +24,7 @@ use crate::error::{EngineError, EngineResult};
 use crate::program::{Direction, VertexProgram};
 use crate::types::Attr;
 
+pub use iosched::{IoClient, IoSession};
 pub use prefetch::{JobStream, Prefetcher};
 pub use select::choose_strategy;
 pub use state::{finalize_interval, AccBuf};
@@ -82,6 +84,17 @@ pub struct EngineConfig {
     /// background decoder would only add context switches);
     /// [`with_threads`](Self::with_threads) re-derives it.
     pub prefetch: bool,
+    /// Route each iteration's sub-shard/hub reads through the
+    /// [`iosched`] I/O thread: batched, layout-ordered submissions per
+    /// window of the access plan instead of decode-paced single reads.
+    /// Delivery order is unchanged, so results are bitwise-identical with
+    /// the scheduler on or off. Off by default (it adds a thread; it pays
+    /// off when the disk, not decode, is the bottleneck).
+    pub io_scheduler: bool,
+    /// Plan entries per scheduler issue window (clamped to at least
+    /// [`iosched::MIN_QUEUE_DEPTH`]); larger windows mean longer
+    /// sequential read batches but more parked memory.
+    pub io_queue_depth: usize,
 }
 
 /// `NXGRAPH_THREADS` environment override for the default thread count
@@ -114,6 +127,8 @@ impl Default for EngineConfig {
             direction: Direction::Forward,
             edges_per_task: 8192,
             prefetch: threads > 1,
+            io_scheduler: false,
+            io_queue_depth: iosched::DEFAULT_QUEUE_DEPTH,
         }
     }
 }
@@ -170,6 +185,19 @@ impl EngineConfig {
     /// Builder-style prefetch override.
     pub fn with_prefetch(mut self, prefetch: bool) -> Self {
         self.prefetch = prefetch;
+        self
+    }
+
+    /// Builder-style I/O scheduler toggle.
+    pub fn with_io_scheduler(mut self, on: bool) -> Self {
+        self.io_scheduler = on;
+        self
+    }
+
+    /// Builder-style scheduler window size (clamped to at least
+    /// [`iosched::MIN_QUEUE_DEPTH`]).
+    pub fn with_io_queue_depth(mut self, depth: usize) -> Self {
+        self.io_queue_depth = depth.max(iosched::MIN_QUEUE_DEPTH);
         self
     }
 }
@@ -338,7 +366,9 @@ mod tests {
             .with_sync(SyncMode::Lock)
             .with_max_iterations(7)
             .with_direction(Direction::Both)
-            .with_prefetch(false);
+            .with_prefetch(false)
+            .with_io_scheduler(true)
+            .with_io_queue_depth(32);
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.memory_budget, 1024);
         assert_eq!(cfg.strategy, Strategy::Dpu);
@@ -346,6 +376,18 @@ mod tests {
         assert_eq!(cfg.max_iterations, 7);
         assert_eq!(cfg.direction, Direction::Both);
         assert!(!cfg.prefetch);
+        assert!(cfg.io_scheduler);
+        assert_eq!(cfg.io_queue_depth, 32);
+    }
+
+    #[test]
+    fn io_scheduler_defaults_off_and_depth_is_clamped() {
+        let cfg = EngineConfig::default();
+        assert!(!cfg.io_scheduler);
+        assert_eq!(cfg.io_queue_depth, iosched::DEFAULT_QUEUE_DEPTH);
+        // A degenerate depth cannot undercut the deadlock-safety floor.
+        let cfg = cfg.with_io_queue_depth(1);
+        assert_eq!(cfg.io_queue_depth, iosched::MIN_QUEUE_DEPTH);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::parallel::{run_tasks, split_ranges};
 use crate::program::VertexProgram;
 use crate::types::{Attr, VertexId};
 
+use super::iosched::IoSession;
 use super::kernel::{absorb_row, absorb_single};
 use super::prefetch::{JobStream, Jobs, Prefetcher};
 use super::select::choose_strategy;
@@ -169,11 +170,37 @@ pub fn run_mpu<P: VertexProgram>(
                 .iter()
                 .map(|&(j, reverse)| store.cached(i, j, reverse))
                 .collect();
-            let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::new();
-            for (&(j, reverse), hit) in keys.iter().zip(&hits) {
-                if hit.is_none() {
-                    let loader = g.view_loader();
-                    jobs.push(Box::new(move || loader.load_subshard(i, j, reverse)));
+            let misses: Vec<(u32, bool)> = keys
+                .iter()
+                .zip(&hits)
+                .filter(|(_, hit)| hit.is_none())
+                .map(|(&k, _)| k)
+                .collect();
+            // With the I/O scheduler on, the row's misses become one access
+            // plan whose reads a dedicated I/O thread issues in batched
+            // layout order; delivery order (and so every fold) is unchanged.
+            let session = cfg.io_scheduler.then(|| {
+                let loader = g.view_loader();
+                let plan = misses
+                    .iter()
+                    .map(|&(j, rev)| loader.subshard_part_names(i, j, rev))
+                    .collect();
+                IoSession::start(
+                    Arc::clone(loader.disk()),
+                    Arc::clone(loader.pool()),
+                    plan,
+                    cfg.io_queue_depth,
+                )
+            });
+            let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::with_capacity(misses.len());
+            for (seq, &(j, reverse)) in misses.iter().enumerate() {
+                let loader = g.view_loader();
+                match session.as_ref().map(IoSession::client) {
+                    Some(client) => jobs.push(Box::new(move || {
+                        let names = loader.subshard_part_names(i, j, reverse);
+                        loader.decode_subshard(i, j, &names, client.take(seq))
+                    })),
+                    None => jobs.push(Box::new(move || loader.load_subshard(i, j, reverse))),
                 }
             }
             let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
@@ -292,20 +319,65 @@ pub fn run_mpu<P: VertexProgram>(
                 .iter()
                 .map(|&(i, reverse)| store.cached(i, j, reverse))
                 .collect();
+            let misses: Vec<(u32, bool)> = keys
+                .iter()
+                .zip(&hits)
+                .filter(|(_, hit)| hit.is_none())
+                .map(|(&k, _)| k)
+                .collect();
+            // One access plan for the whole mixed stream: shard misses
+            // first, then the column's hubs, in exact consumption order.
+            let session = cfg.io_scheduler.then(|| {
+                let loader = g.view_loader();
+                let plan: Vec<Vec<String>> = misses
+                    .iter()
+                    .map(|&(i, rev)| loader.subshard_part_names(i, j, rev))
+                    .chain((q..p).map(|i| {
+                        loader.hub_part_name(i, j).map(|n| vec![n]).unwrap_or_default()
+                    }))
+                    .collect();
+                IoSession::start(
+                    Arc::clone(loader.disk()),
+                    Arc::clone(loader.pool()),
+                    plan,
+                    cfg.io_queue_depth,
+                )
+            });
             let mut jobs: Jobs<EngineResult<ColItem<P::Accum>>> = Vec::new();
-            for (&(i, reverse), hit) in keys.iter().zip(&hits) {
-                if hit.is_none() {
-                    let loader = g.view_loader();
-                    jobs.push(Box::new(move || {
+            for (seq, &(i, reverse)) in misses.iter().enumerate() {
+                let loader = g.view_loader();
+                match session.as_ref().map(IoSession::client) {
+                    Some(client) => jobs.push(Box::new(move || {
+                        let names = loader.subshard_part_names(i, j, reverse);
+                        loader
+                            .decode_subshard(i, j, &names, client.take(seq))
+                            .map(ColItem::Shard)
+                    })),
+                    None => jobs.push(Box::new(move || {
                         loader.load_subshard(i, j, reverse).map(ColItem::Shard)
-                    }));
+                    })),
                 }
             }
-            for i in q..p {
+            for (seq, i) in (q..p).enumerate().map(|(k, i)| (misses.len() + k, i)) {
                 let loader = g.view_loader();
-                jobs.push(Box::new(move || {
-                    loader.read_hub::<P::Accum>(i, j).map(ColItem::Hub)
-                }));
+                match session.as_ref().map(IoSession::client) {
+                    Some(client) => jobs.push(Box::new(move || {
+                        match loader.hub_part_name(i, j) {
+                            Some(name) => {
+                                let mut bytes = client.take(seq);
+                                let b = bytes.pop().expect("one part per hub plan")?;
+                                loader.decode_hub::<P::Accum>(&name, b).map(Some).map(ColItem::Hub)
+                            }
+                            None => {
+                                client.take(seq);
+                                Ok(ColItem::Hub(None))
+                            }
+                        }
+                    })),
+                    None => jobs.push(Box::new(move || {
+                        loader.read_hub::<P::Accum>(i, j).map(ColItem::Hub)
+                    })),
+                }
             }
             let mut stream = JobStream::new(prefetcher.as_ref(), jobs);
             for (i, _) in keys {
@@ -422,6 +494,23 @@ mod tests {
             for (a, b) in vals.iter().zip(&want) {
                 assert!((a - b).abs() < 1e-12, "q={q}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn io_scheduler_is_bitwise_identical_at_every_q() {
+        for q in 0..=4u32 {
+            let g = graph(4);
+            let prog = PageRank::new(g.num_vertices(), Arc::clone(g.out_degrees()));
+            let base = EngineConfig::default()
+                .with_max_iterations(6)
+                .with_budget(budget_for_q(&g, q));
+            let (off, ..) = run_mpu(&g, &prog, &base).unwrap();
+            let (on, ..) =
+                run_mpu(&g, &prog, &base.clone().with_io_scheduler(true)).unwrap();
+            assert_eq!(off.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                       on.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                       "q={q}");
         }
     }
 

@@ -24,6 +24,13 @@
 //! `prefetch: false` produce bitwise-identical results and byte-identical
 //! I/O totals (`tests/pipeline.rs` pins this across the oracle matrix),
 //! and the result does not depend on the worker count either.
+//!
+//! With the I/O scheduler on ([`super::iosched`]), jobs stop issuing their
+//! own reads: a dedicated I/O thread reads each file per the iteration's
+//! access plan and parks the raw bytes, and the job merely takes and
+//! decodes them. The reorder buffer here still delivers results in
+//! submission order, so scheduling composes with prefetch without
+//! changing a single delivered byte.
 
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};

@@ -2,6 +2,7 @@
 
 pub mod degree;
 pub mod shard;
+pub mod stream;
 
 use std::sync::Arc;
 
@@ -12,6 +13,7 @@ use crate::error::EngineResult;
 
 pub use degree::{degree, Degreeing};
 pub use shard::shard;
+pub use stream::preprocess_streamed;
 
 /// Configuration for [`preprocess`].
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -77,6 +77,33 @@ pub fn generate(cfg: &RmatConfig) -> Vec<RawEdge> {
     edges
 }
 
+/// Generate the edge list in fixed-size chunks without ever holding the
+/// whole list in memory — the source for out-of-core preprocessing, where
+/// the graph must not fit in RAM.
+///
+/// Each chunk reseeds from `cfg.seed + chunk_index`, so chunk `k` is
+/// deterministic and independent of every other chunk; the union follows
+/// the same R-MAT distribution as [`generate`] (each edge is an i.i.d.
+/// sample), though not the identical edge sequence.
+pub fn generate_chunked(
+    cfg: &RmatConfig,
+    chunk_edges: u64,
+) -> impl Iterator<Item = Vec<RawEdge>> + '_ {
+    assert!(cfg.scale > 0 && cfg.scale < 40, "scale out of range");
+    assert!(chunk_edges > 0, "chunk_edges must be positive");
+    let m = cfg.num_edges();
+    let chunks = m.div_ceil(chunk_edges);
+    (0..chunks).map(move |k| {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(k));
+        let len = chunk_edges.min(m - k * chunk_edges) as usize;
+        let mut edges = Vec::with_capacity(len);
+        for _ in 0..len {
+            edges.push(sample_edge(cfg, &mut rng));
+        }
+        edges
+    })
+}
+
 /// Sample a single R-MAT edge.
 fn sample_edge(cfg: &RmatConfig, rng: &mut StdRng) -> RawEdge {
     let mut src = 0u64;
@@ -136,6 +163,22 @@ mod tests {
         assert_eq!(edges.len(), 4 << 8);
         let n = cfg.num_vertices();
         assert!(edges.iter().all(|e| e.src < n && e.dst < n));
+    }
+
+    #[test]
+    fn chunked_generation_is_deterministic_and_complete() {
+        let cfg = RmatConfig::graph500(8, 4, 9);
+        let a: Vec<Vec<RawEdge>> = generate_chunked(&cfg, 100).collect();
+        let b: Vec<Vec<RawEdge>> = generate_chunked(&cfg, 100).collect();
+        assert_eq!(a, b);
+        let total: usize = a.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, cfg.num_edges());
+        // Every chunk except the last is exactly chunk_edges long.
+        for c in &a[..a.len() - 1] {
+            assert_eq!(c.len(), 100);
+        }
+        let n = cfg.num_vertices();
+        assert!(a.iter().flatten().all(|e| e.src < n && e.dst < n));
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! through [`Disk`], so every byte of graph traffic is observable via the
 //! disk's [`IoCounters`]. Three implementations are provided:
 //!
-//! * [`OsDisk`] — a directory of real files, buffered sequential streams.
+//! * [`OsDisk`] — a directory of real files, buffered sequential streams;
+//!   opt-in `O_DIRECT` reads via [`DiskConfig`] / [`OsDisk::open_direct`]
+//!   (falling back cleanly where the filesystem refuses them), plus
+//!   [`OsDisk::drop_page_cache`] for cold-cache measurement.
 //! * [`MemDisk`] — an in-memory file map, used by the test-suite and to run
 //!   experiments on a "RAM disk" profile without touching the filesystem.
 //! * [`FaultyDisk`] — wraps another disk and injects failures after a
@@ -17,14 +20,88 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::counter::IoCounters;
 use crate::error::{StorageError, StorageResult};
-use crate::pool::{AlignedBuf, BufferPool, SharedBytes};
+use crate::pool::{AlignedBuf, BufferPool, SharedBytes, PAGE_SIZE};
+use crate::profile::IoProfile;
+
+/// The Linux `O_DIRECT` open flag on architectures where we know its
+/// value (the asm-generic `0o40000`, shared by x86, x86-64, aarch64 and
+/// riscv64). `None` elsewhere: the direct path simply reports itself
+/// unsupported and the buffered path serves every read.
+#[cfg(all(
+    target_os = "linux",
+    any(
+        target_arch = "x86",
+        target_arch = "x86_64",
+        target_arch = "aarch64",
+        target_arch = "riscv64"
+    )
+))]
+const O_DIRECT_FLAG: Option<i32> = Some(0o40000);
+#[cfg(not(all(
+    target_os = "linux",
+    any(
+        target_arch = "x86",
+        target_arch = "x86_64",
+        target_arch = "aarch64",
+        target_arch = "riscv64"
+    )
+)))]
+const O_DIRECT_FLAG: Option<i32> = None;
+
+/// `posix_fadvise(2)` advice value for "this data will not be needed".
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+const POSIX_FADV_DONTNEED: i32 = 4;
+
+// std already links libc; declaring the symbol directly avoids a crate
+// dependency the container cannot fetch. 64-bit Linux only, where
+// `off_t` is unambiguously `i64`.
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+extern "C" {
+    fn posix_fadvise(fd: i32, offset: i64, len: i64, advice: i32) -> i32;
+}
+
+/// How an [`OsDisk`] performs reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskConfig {
+    /// Attempt `O_DIRECT` whole-file reads, bypassing the page cache.
+    /// Requires page-aligned buffers (which [`AlignedBuf`] guarantees);
+    /// on filesystems that refuse the flag (tmpfs, most network
+    /// filesystems) the disk falls back to buffered reads permanently
+    /// and counts the fallback in its [`IoProfile`].
+    pub direct_reads: bool,
+}
+
+/// Read the full advertised length of `r` into `buf`, reporting a
+/// truncated stream as [`StorageError::ShortRead`] (file name plus
+/// expected/actual byte counts) rather than a bare I/O error.
+fn read_full(r: &mut dyn DiskRead, name: &str, buf: &mut AlignedBuf) -> StorageResult<()> {
+    let expected = r.len();
+    buf.resize(expected as usize);
+    let mut filled = 0usize;
+    while filled < expected as usize {
+        match r.read(&mut buf.as_mut_slice()[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if filled as u64 != expected {
+        return Err(StorageError::ShortRead {
+            name: name.to_string(),
+            expected,
+            actual: filled as u64,
+        });
+    }
+    Ok(())
+}
 
 /// A sequential reader handed out by a [`Disk`].
 pub trait DiskRead: Read + Send {
@@ -96,11 +173,19 @@ pub trait Disk: Send + Sync {
 
     /// Read an entire file into a caller-supplied page-aligned buffer,
     /// resizing it to the file length. The reusable-buffer primitive
-    /// behind [`Disk::read_shared`].
+    /// behind [`Disk::read_shared`]. A stream shorter than its advertised
+    /// length surfaces as [`StorageError::ShortRead`] — truncation is
+    /// corruption, not a retryable I/O hiccup.
     fn read_into(&self, name: &str, buf: &mut AlignedBuf) -> StorageResult<()> {
         let mut r = self.open(name)?;
-        buf.resize(r.len() as usize);
-        r.read_exact(buf.as_mut_slice()).map_err(StorageError::from)
+        read_full(&mut *r, name, buf)
+    }
+
+    /// The per-path I/O statistics of this disk, when it keeps them.
+    /// Only disks doing real kernel I/O ([`OsDisk`]) have a meaningful
+    /// profile; in-memory disks return `None`. Wrappers delegate.
+    fn io_profile(&self) -> Option<&Arc<IoProfile>> {
+        None
     }
 
     /// Read an entire file into shared bytes suitable for zero-copy
@@ -133,17 +218,56 @@ pub trait Disk: Send + Sync {
 pub struct OsDisk {
     root: PathBuf,
     counters: Arc<IoCounters>,
+    config: DiskConfig,
+    profile: Arc<IoProfile>,
+    /// Latched once the filesystem refuses `O_DIRECT`; later reads skip
+    /// the doomed attempt instead of paying a failed open per file.
+    direct_broken: AtomicBool,
 }
 
 impl OsDisk {
     /// Open (creating if necessary) a disk rooted at `root`.
     pub fn new(root: impl Into<PathBuf>) -> StorageResult<Self> {
+        Self::with_config(root, DiskConfig::default())
+    }
+
+    /// Open a disk rooted at `root` with explicit read-path configuration.
+    pub fn with_config(root: impl Into<PathBuf>, config: DiskConfig) -> StorageResult<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
         Ok(Self {
             root,
             counters: IoCounters::new(),
+            config,
+            profile: IoProfile::new(),
+            direct_broken: AtomicBool::new(false),
         })
+    }
+
+    /// Open a disk that reads through `O_DIRECT` where the platform and
+    /// filesystem allow it, falling back to buffered reads (and counting
+    /// the fallback) where they don't.
+    pub fn open_direct(root: impl Into<PathBuf>) -> StorageResult<Self> {
+        Self::with_config(
+            root,
+            DiskConfig {
+                direct_reads: true,
+            },
+        )
+    }
+
+    /// The read-path configuration this disk was opened with.
+    pub fn config(&self) -> DiskConfig {
+        self.config
+    }
+
+    /// Whether reads are currently served through `O_DIRECT`: requested
+    /// by config, supported on this platform, and not yet refused by the
+    /// underlying filesystem.
+    pub fn direct_active(&self) -> bool {
+        self.config.direct_reads
+            && O_DIRECT_FLAG.is_some()
+            && !self.direct_broken.load(Ordering::Relaxed)
     }
 
     /// The root directory backing this disk.
@@ -159,18 +283,130 @@ impl OsDisk {
             .collect();
         self.root.join(safe)
     }
+
+    /// Ask the kernel to evict `name`'s pages from the page cache via
+    /// `posix_fadvise(DONTNEED)`. Returns whether the advice was applied
+    /// — `false` on platforms without the syscall, for missing files, or
+    /// when the kernel refuses. Dirty pages are flushed first (`fsync`)
+    /// so freshly-written files actually leave the cache.
+    pub fn drop_page_cache(&self, name: &str) -> bool {
+        #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+        {
+            use std::os::fd::AsRawFd;
+            let Ok(file) = fs::File::open(self.path_of(name)) else {
+                return false;
+            };
+            let _ = file.sync_all();
+            // Safety: a plain fd + constant advice; the kernel validates.
+            let rc = unsafe {
+                posix_fadvise(file.as_raw_fd(), 0, 0, POSIX_FADV_DONTNEED)
+            };
+            if rc == 0 {
+                self.profile.record_cache_drop();
+                return true;
+            }
+            false
+        }
+        #[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+        {
+            let _ = name;
+            false
+        }
+    }
+
+    /// Drop every file of this disk from the page cache; returns how many
+    /// files were actually evicted.
+    pub fn drop_all_page_cache(&self) -> usize {
+        self.list()
+            .iter()
+            .filter(|name| self.drop_page_cache(name))
+            .count()
+    }
+
+    /// One whole-file `O_DIRECT` read. `Err(None)` means "unsupported
+    /// here" (open or first read refused the flag) — the caller falls
+    /// back to buffered I/O; `Err(Some(e))` is a real failure.
+    fn read_into_direct(
+        &self,
+        name: &str,
+        buf: &mut AlignedBuf,
+    ) -> Result<(), Option<StorageError>> {
+        let Some(flag) = O_DIRECT_FLAG else {
+            return Err(None);
+        };
+        #[cfg(unix)]
+        let opened = {
+            use std::os::unix::fs::OpenOptionsExt;
+            fs::OpenOptions::new()
+                .read(true)
+                .custom_flags(flag)
+                .open(self.path_of(name))
+        };
+        #[cfg(not(unix))]
+        let opened: io::Result<fs::File> = {
+            let _ = flag;
+            Err(io::Error::other("no O_DIRECT off unix"))
+        };
+        let mut file = match opened {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(Some(StorageError::NotFound(name.to_string())));
+            }
+            // EINVAL & friends: the filesystem refuses the flag.
+            Err(_) => return Err(None),
+        };
+        let len = file.metadata().map_err(|e| Some(e.into()))?.len();
+        self.counters.record_seek();
+        self.profile.record_open();
+        // O_DIRECT requires block-aligned transfer lengths, so read into
+        // the page-rounded capacity; the kernel legally short-reads the
+        // unaligned tail at EOF, after which the buffer shrinks back to
+        // the true file length.
+        let rounded = (len as usize).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        buf.resize(rounded);
+        let mut filled = 0usize;
+        while filled < rounded {
+            match file.read(&mut buf.as_mut_slice()[filled..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.counters.record_read(n as u64);
+                    self.profile.record_read_syscall();
+                    self.profile.record_direct_read(n as u64);
+                    filled += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A first-read EINVAL means the open tolerated the flag
+                // but the read path doesn't (seen on some FUSE mounts).
+                Err(e) if filled == 0 && e.raw_os_error() == Some(22) => {
+                    return Err(None);
+                }
+                Err(e) => return Err(Some(e.into())),
+            }
+        }
+        if filled as u64 != len {
+            return Err(Some(StorageError::ShortRead {
+                name: name.to_string(),
+                expected: len,
+                actual: filled as u64,
+            }));
+        }
+        buf.resize(len as usize);
+        Ok(())
+    }
 }
 
 struct CountingFileRead {
     inner: BufReader<fs::File>,
     len: u64,
     counters: Arc<IoCounters>,
+    profile: Arc<IoProfile>,
 }
 
 impl Read for CountingFileRead {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let n = self.inner.read(buf)?;
         self.counters.record_read(n as u64);
+        self.profile.record_read_syscall();
         Ok(n)
     }
 }
@@ -184,12 +420,14 @@ impl DiskRead for CountingFileRead {
 struct CountingFileWrite {
     inner: BufWriter<fs::File>,
     counters: Arc<IoCounters>,
+    profile: Arc<IoProfile>,
 }
 
 impl Write for CountingFileWrite {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         let n = self.inner.write(buf)?;
         self.counters.record_write(n as u64);
+        self.profile.record_write_syscall();
         Ok(n)
     }
 
@@ -209,9 +447,11 @@ impl Disk for OsDisk {
     fn create(&self, name: &str) -> StorageResult<Box<dyn DiskWrite>> {
         let file = fs::File::create(self.path_of(name))?;
         self.counters.record_seek();
+        self.profile.record_open();
         Ok(Box::new(CountingFileWrite {
             inner: BufWriter::with_capacity(1 << 20, file),
             counters: Arc::clone(&self.counters),
+            profile: Arc::clone(&self.profile),
         }))
     }
 
@@ -221,11 +461,36 @@ impl Disk for OsDisk {
             .map_err(|_| StorageError::NotFound(name.to_string()))?;
         let len = file.metadata()?.len();
         self.counters.record_seek();
+        self.profile.record_open();
         Ok(Box::new(CountingFileRead {
             inner: BufReader::with_capacity(1 << 20, file),
             len,
             counters: Arc::clone(&self.counters),
+            profile: Arc::clone(&self.profile),
         }))
+    }
+
+    /// The whole-file read primitive: `O_DIRECT` when configured and the
+    /// filesystem cooperates, buffered otherwise. Byte accounting is
+    /// identical on both paths, so the Table II checks hold regardless of
+    /// which one served a run.
+    fn read_into(&self, name: &str, buf: &mut AlignedBuf) -> StorageResult<()> {
+        if self.direct_active() {
+            match self.read_into_direct(name, buf) {
+                Ok(()) => return Ok(()),
+                Err(Some(e)) => return Err(e),
+                Err(None) => {
+                    self.direct_broken.store(true, Ordering::Relaxed);
+                    self.profile.record_direct_fallback();
+                }
+            }
+        }
+        let mut r = self.open(name)?;
+        read_full(&mut *r, name, buf)
+    }
+
+    fn io_profile(&self) -> Option<&Arc<IoProfile>> {
+        Some(&self.profile)
     }
 
     fn exists(&self, name: &str) -> bool {
@@ -266,8 +531,10 @@ impl Disk for OsDisk {
     fn write_all_to(&self, name: &str, data: &[u8]) -> StorageResult<()> {
         let mut file = fs::File::create(self.path_of(name))?;
         self.counters.record_seek();
+        self.profile.record_open();
         file.write_all(data)?;
         self.counters.record_write(data.len() as u64);
+        self.profile.record_write_syscall();
         Ok(())
     }
 
@@ -601,6 +868,10 @@ impl Disk for FaultyDisk {
     fn counters(&self) -> &Arc<IoCounters> {
         self.inner.counters()
     }
+
+    fn io_profile(&self) -> Option<&Arc<IoProfile>> {
+        self.inner.io_profile()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -814,6 +1085,10 @@ impl Disk for CrashDisk {
 
     fn counters(&self) -> &Arc<IoCounters> {
         self.inner.counters()
+    }
+
+    fn io_profile(&self) -> Option<&Arc<IoProfile>> {
+        self.inner.io_profile()
     }
 
     fn read_shared(&self, name: &str, pool: &Arc<BufferPool>) -> StorageResult<SharedBytes> {
@@ -1061,6 +1336,144 @@ mod tests {
                 _ => assert!(!d.exists("f")),
             }
         }
+    }
+
+    #[test]
+    fn direct_and_buffered_reads_are_byte_identical() {
+        // The payload deliberately has an unaligned tail so the direct
+        // path exercises its page-rounded read + shrink. In environments
+        // whose temp filesystem refuses O_DIRECT the direct disk falls
+        // back to buffered reads — the bytes (and counted traffic) must
+        // be identical either way.
+        let base = std::env::temp_dir().join(format!(
+            "nxgraph-osdisk-direct-{}",
+            std::process::id()
+        ));
+        let buffered = OsDisk::new(base.join("buf")).unwrap();
+        let direct = OsDisk::open_direct(base.join("dir")).unwrap();
+        assert!(direct.config().direct_reads);
+        let payload: Vec<u8> = (0..PAGE_SIZE * 3 + 937).map(|k| (k * 7) as u8).collect();
+        buffered.write_all_to("f", &payload).unwrap();
+        direct.write_all_to("f", &payload).unwrap();
+        let pool = BufferPool::new();
+        for disk in [&buffered, &direct] {
+            let before = disk.counters().read_bytes();
+            let bytes = disk.read_shared("f", &pool).unwrap();
+            assert_eq!(bytes.as_slice(), &payload[..]);
+            assert_eq!(
+                disk.counters().read_bytes() - before,
+                payload.len() as u64
+            );
+        }
+        let prof = direct.io_profile().expect("OsDisk keeps a profile").snapshot();
+        if direct.direct_active() {
+            assert!(prof.direct_reads > 0, "direct path served the read");
+            assert_eq!(prof.direct_bytes, payload.len() as u64);
+        } else {
+            assert_eq!(prof.direct_fallbacks, 1, "fallback must be counted");
+        }
+        assert!(matches!(
+            direct.read_shared("missing", &pool),
+            Err(StorageError::NotFound(_))
+        ));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn direct_disk_handles_empty_and_exact_page_files() {
+        let base = std::env::temp_dir().join(format!(
+            "nxgraph-osdisk-direct-edge-{}",
+            std::process::id()
+        ));
+        let disk = OsDisk::open_direct(&base).unwrap();
+        let pool = BufferPool::new();
+        disk.write_all_to("empty", b"").unwrap();
+        assert_eq!(disk.read_shared("empty", &pool).unwrap().len(), 0);
+        let page: Vec<u8> = (0..PAGE_SIZE).map(|k| k as u8).collect();
+        disk.write_all_to("page", &page).unwrap();
+        assert_eq!(disk.read_shared("page", &pool).unwrap().as_slice(), &page[..]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    /// A disk whose readers over-report their length: the only way to
+    /// exercise the short-read path deterministically, since a real
+    /// OsDisk's metadata length always matches its content.
+    struct LyingDisk(MemDisk);
+
+    struct LyingRead(Box<dyn DiskRead>);
+
+    impl Read for LyingRead {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+
+    impl DiskRead for LyingRead {
+        fn len(&self) -> u64 {
+            self.0.len() + 10
+        }
+    }
+
+    impl Disk for LyingDisk {
+        fn create(&self, name: &str) -> StorageResult<Box<dyn DiskWrite>> {
+            self.0.create(name)
+        }
+        fn open(&self, name: &str) -> StorageResult<Box<dyn DiskRead>> {
+            Ok(Box::new(LyingRead(self.0.open(name)?)))
+        }
+        fn exists(&self, name: &str) -> bool {
+            self.0.exists(name)
+        }
+        fn len_of(&self, name: &str) -> StorageResult<u64> {
+            self.0.len_of(name)
+        }
+        fn remove(&self, name: &str) -> StorageResult<()> {
+            self.0.remove(name)
+        }
+        fn list(&self) -> Vec<String> {
+            self.0.list()
+        }
+        fn counters(&self) -> &Arc<IoCounters> {
+            self.0.counters()
+        }
+    }
+
+    #[test]
+    fn truncated_stream_reports_short_read_with_lengths() {
+        let disk = LyingDisk(MemDisk::new());
+        disk.0.write_all_to("t", &[9u8; 90]).unwrap();
+        let mut buf = AlignedBuf::with_capacity(0);
+        match disk.read_into("t", &mut buf) {
+            Err(StorageError::ShortRead {
+                name,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(name, "t");
+                assert_eq!(expected, 100);
+                assert_eq!(actual, 90);
+            }
+            other => panic!("expected ShortRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_page_cache_is_graceful() {
+        let dir = std::env::temp_dir().join(format!(
+            "nxgraph-osdisk-fadvise-{}",
+            std::process::id()
+        ));
+        let disk = OsDisk::new(&dir).unwrap();
+        disk.write_all_to("f", &[1u8; 8192]).unwrap();
+        // Whether the kernel honours the advice is platform-dependent;
+        // what must hold is that the call neither errors nor lies about
+        // missing files, and that successes are counted.
+        let dropped = disk.drop_page_cache("f");
+        let counted = disk.io_profile().unwrap().snapshot().cache_drops;
+        assert_eq!(counted, dropped as u64);
+        assert!(!disk.drop_page_cache("missing"));
+        assert_eq!(disk.drop_all_page_cache(), dropped as usize);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -15,6 +15,14 @@ pub enum StorageError {
     NotFound(String),
     /// A file exists but its header or checksum is invalid.
     Corrupt { name: String, reason: String },
+    /// A file ended before the expected number of bytes was read — the
+    /// stream's reported length and the delivered bytes disagree, which
+    /// means truncation (or a lying reader), never a transient condition.
+    ShortRead {
+        name: String,
+        expected: u64,
+        actual: u64,
+    },
     /// A manifest line could not be parsed.
     Manifest { line: usize, reason: String },
     /// An operation was rejected by injected fault (tests only).
@@ -31,6 +39,14 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt { name, reason } => {
                 write!(f, "corrupt file {name}: {reason}")
             }
+            StorageError::ShortRead {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "short read on {name}: expected {expected} bytes, got {actual}"
+            ),
             StorageError::Manifest { line, reason } => {
                 write!(f, "manifest parse error at line {line}: {reason}")
             }
@@ -75,6 +91,19 @@ mod tests {
         };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn short_read_names_file_and_lengths() {
+        let e = StorageError::ShortRead {
+            name: "ss_0_1.bin".into(),
+            expected: 4096,
+            actual: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ss_0_1.bin"));
+        assert!(s.contains("4096"));
+        assert!(s.contains("100"));
     }
 
     #[test]

@@ -40,16 +40,23 @@ pub mod counter;
 pub mod disk;
 pub mod error;
 pub mod format;
+pub mod layout;
 pub mod manifest;
+pub mod paced;
 pub mod pool;
 pub mod profile;
 pub mod varint;
 
 pub use budget::MemoryBudget;
 pub use counter::{IoCounters, IoSnapshot};
-pub use disk::{CrashDisk, CrashOp, CutPoint, Disk, DiskRead, DiskWrite, FaultyDisk, MemDisk, OsDisk};
+pub use disk::{
+    CrashDisk, CrashOp, CutPoint, Disk, DiskConfig, DiskRead, DiskWrite, FaultyDisk, MemDisk,
+    OsDisk,
+};
 pub use error::{StorageError, StorageResult};
 pub use format::{ChecksumMode, ChecksumPolicy, Encoding, EncodingPolicy};
+pub use layout::{layout_key, LayoutToken};
 pub use manifest::{ChainInfo, GraphManifest};
+pub use paced::PacedDisk;
 pub use pool::{AlignedBuf, BufferPool, PooledBuf, SharedBytes};
-pub use profile::DeviceProfile;
+pub use profile::{DeviceProfile, IoProfile, IoProfileSnapshot};

@@ -1,4 +1,4 @@
-//! Device cost models.
+//! Device cost models and per-disk I/O statistics.
 //!
 //! The paper evaluates NXgraph on two 128 GB SSDs in RAID-0 and on a 1 TB
 //! HDD; several comparisons (Table V, Fig 9) hinge on the device type. We
@@ -13,10 +13,160 @@
 //! The model intentionally favours the same thing the paper's designs
 //! optimise for — fewer bytes and streaming (few-seek) access — so the
 //! *shape* of every device-dependent figure is preserved.
+//!
+//! Alongside the models lives [`IoProfile`]: the per-disk *measured* I/O
+//! statistics (syscalls, direct-read traffic, scheduler queue depth) that
+//! the [`IoCounters`](crate::counter::IoCounters) byte totals deliberately
+//! do not carry. Counters answer "how many bytes moved"; the profile
+//! answers "through which path, in how many submissions, and how deep was
+//! the queue".
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::counter::IoSnapshot;
+
+/// Shared, atomically-updated I/O path statistics for one disk.
+///
+/// All fields are monotonically increasing except `queue_depth`, a gauge
+/// maintained by the engine's I/O scheduler (`enqueue`/`dequeue`); its
+/// high-water mark is kept in `max_queue_depth`.
+#[derive(Debug, Default)]
+pub struct IoProfile {
+    read_syscalls: AtomicU64,
+    write_syscalls: AtomicU64,
+    opens: AtomicU64,
+    direct_reads: AtomicU64,
+    direct_bytes: AtomicU64,
+    direct_fallbacks: AtomicU64,
+    cache_drops: AtomicU64,
+    sched_batches: AtomicU64,
+    sched_reads: AtomicU64,
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl IoProfile {
+    /// Create a fresh, shareable profile.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// One `read(2)` completed (any path).
+    pub fn record_read_syscall(&self) {
+        self.read_syscalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `write(2)` completed.
+    pub fn record_write_syscall(&self) {
+        self.write_syscalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One file opened (read or write).
+    pub fn record_open(&self) {
+        self.opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `read(2)` completed through an `O_DIRECT` descriptor,
+    /// delivering `bytes` bytes straight past the page cache.
+    pub fn record_direct_read(&self, bytes: u64) {
+        self.direct_reads.fetch_add(1, Ordering::Relaxed);
+        self.direct_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A direct open/read was refused and the buffered path took over.
+    pub fn record_direct_fallback(&self) {
+        self.direct_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One file's pages were evicted via `posix_fadvise(DONTNEED)`.
+    pub fn record_cache_drop(&self) {
+        self.cache_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The I/O scheduler issued one batch of `reads` reads.
+    pub fn record_sched_batch(&self, reads: u64) {
+        self.sched_batches.fetch_add(1, Ordering::Relaxed);
+        self.sched_reads.fetch_add(reads, Ordering::Relaxed);
+    }
+
+    /// A scheduled read entered the in-flight queue.
+    pub fn enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A scheduled read left the in-flight queue (delivered to a consumer).
+    pub fn dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every statistic.
+    pub fn snapshot(&self) -> IoProfileSnapshot {
+        IoProfileSnapshot {
+            read_syscalls: self.read_syscalls.load(Ordering::Relaxed),
+            write_syscalls: self.write_syscalls.load(Ordering::Relaxed),
+            opens: self.opens.load(Ordering::Relaxed),
+            direct_reads: self.direct_reads.load(Ordering::Relaxed),
+            direct_bytes: self.direct_bytes.load(Ordering::Relaxed),
+            direct_fallbacks: self.direct_fallbacks.load(Ordering::Relaxed),
+            cache_drops: self.cache_drops.load(Ordering::Relaxed),
+            sched_batches: self.sched_batches.load(Ordering::Relaxed),
+            sched_reads: self.sched_reads.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of an [`IoProfile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoProfileSnapshot {
+    /// `read(2)` calls completed (buffered + direct).
+    pub read_syscalls: u64,
+    /// `write(2)` calls completed.
+    pub write_syscalls: u64,
+    /// Files opened.
+    pub opens: u64,
+    /// `read(2)` calls served through `O_DIRECT`.
+    pub direct_reads: u64,
+    /// Bytes delivered through `O_DIRECT`.
+    pub direct_bytes: u64,
+    /// Times the direct path was refused and buffered I/O took over.
+    pub direct_fallbacks: u64,
+    /// Files evicted from the page cache on request.
+    pub cache_drops: u64,
+    /// Batches issued by the I/O scheduler.
+    pub sched_batches: u64,
+    /// Individual reads issued by the I/O scheduler.
+    pub sched_reads: u64,
+    /// Scheduled reads currently in flight (gauge).
+    pub queue_depth: u64,
+    /// High-water mark of the in-flight queue.
+    pub max_queue_depth: u64,
+}
+
+impl IoProfileSnapshot {
+    /// Statistics accumulated since `earlier` (monotonic fields
+    /// subtracted; the `queue_depth` gauge and its high-water mark are
+    /// carried over from `self` as-is).
+    pub fn delta(&self, earlier: &IoProfileSnapshot) -> IoProfileSnapshot {
+        IoProfileSnapshot {
+            read_syscalls: self.read_syscalls - earlier.read_syscalls,
+            write_syscalls: self.write_syscalls - earlier.write_syscalls,
+            opens: self.opens - earlier.opens,
+            direct_reads: self.direct_reads - earlier.direct_reads,
+            direct_bytes: self.direct_bytes - earlier.direct_bytes,
+            direct_fallbacks: self.direct_fallbacks - earlier.direct_fallbacks,
+            cache_drops: self.cache_drops - earlier.cache_drops,
+            sched_batches: self.sched_batches - earlier.sched_batches,
+            sched_reads: self.sched_reads - earlier.sched_reads,
+            queue_depth: self.queue_depth,
+            max_queue_depth: self.max_queue_depth,
+        }
+    }
+}
 
 /// A storage device cost model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,6 +306,36 @@ mod tests {
         // 150 MB at 150 MB/s ≈ 1s read.
         let t = DeviceProfile::HDD.modeled_time(&io(150_000_000, 0, 0));
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_profile_counts_and_tracks_queue_high_water() {
+        let p = IoProfile::new();
+        p.record_open();
+        p.record_read_syscall();
+        p.record_direct_read(4096);
+        p.record_direct_read(8192);
+        p.record_direct_fallback();
+        p.record_cache_drop();
+        p.record_sched_batch(3);
+        p.enqueue();
+        p.enqueue();
+        p.dequeue();
+        p.enqueue();
+        let s = p.snapshot();
+        assert_eq!(s.opens, 1);
+        assert_eq!(s.read_syscalls, 1);
+        assert_eq!(s.direct_reads, 2);
+        assert_eq!(s.direct_bytes, 12288);
+        assert_eq!(s.direct_fallbacks, 1);
+        assert_eq!(s.cache_drops, 1);
+        assert_eq!(s.sched_batches, 1);
+        assert_eq!(s.sched_reads, 3);
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.max_queue_depth, 2);
+        let d = p.snapshot().delta(&s);
+        assert_eq!(d.opens, 0);
+        assert_eq!(d.queue_depth, 2, "gauge carries over in a delta");
     }
 
     #[test]

@@ -52,6 +52,101 @@ fn dpu_run_fails_cleanly_when_disk_dies_mid_run() {
     }
 }
 
+/// A disk whose sub-shard readers advertise more bytes than they deliver
+/// — the canonical short-read / early-EOF fault (a file truncated behind
+/// the reader's back, a device returning less than its metadata claims).
+struct TruncatingDisk(Arc<dyn Disk>);
+
+struct TruncatingRead(Box<dyn nxgraph::storage::DiskRead>);
+
+impl std::io::Read for TruncatingRead {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+impl nxgraph::storage::DiskRead for TruncatingRead {
+    fn len(&self) -> u64 {
+        self.0.len() + 7
+    }
+}
+
+impl Disk for TruncatingDisk {
+    fn create(&self, name: &str) -> nxgraph::storage::StorageResult<Box<dyn nxgraph::storage::DiskWrite>> {
+        self.0.create(name)
+    }
+    fn open(&self, name: &str) -> nxgraph::storage::StorageResult<Box<dyn nxgraph::storage::DiskRead>> {
+        let r = self.0.open(name)?;
+        if name.starts_with("ss_") {
+            Ok(Box::new(TruncatingRead(r)))
+        } else {
+            Ok(r)
+        }
+    }
+    fn exists(&self, name: &str) -> bool {
+        self.0.exists(name)
+    }
+    fn len_of(&self, name: &str) -> nxgraph::storage::StorageResult<u64> {
+        self.0.len_of(name)
+    }
+    fn remove(&self, name: &str) -> nxgraph::storage::StorageResult<()> {
+        self.0.remove(name)
+    }
+    fn list(&self) -> Vec<String> {
+        self.0.list()
+    }
+    fn counters(&self) -> &Arc<nxgraph::storage::IoCounters> {
+        self.0.counters()
+    }
+}
+
+#[test]
+fn short_read_is_a_distinct_error_with_lengths() {
+    let inner: Arc<dyn Disk> = Arc::new(MemDisk::new());
+    preprocess(&raw_edges(), &PrepConfig::new("sr", 2), Arc::clone(&inner)).unwrap();
+    let disk: Arc<dyn Disk> = Arc::new(TruncatingDisk(inner));
+
+    // The raw read primitive names the file and both byte counts.
+    let name = GraphManifest::subshard_file(1, 0);
+    let full = disk.len_of(&name).unwrap();
+    let mut buf = nxgraph::storage::AlignedBuf::with_capacity(0);
+    match disk.read_into(&name, &mut buf) {
+        Err(StorageError::ShortRead {
+            name: n,
+            expected,
+            actual,
+        }) => {
+            assert_eq!(n, name);
+            assert_eq!(expected, full + 7);
+            assert_eq!(actual, full);
+        }
+        other => panic!("expected ShortRead, got {other:?}"),
+    }
+    let msg = disk.read_into(&name, &mut buf).unwrap_err().to_string();
+    assert!(
+        msg.contains(&name) && msg.contains(&full.to_string()),
+        "unhelpful short-read message: {msg}"
+    );
+
+    // End to end: whole runs fail with the same distinct error — through
+    // the synchronous path, the prefetcher, and the I/O scheduler alike.
+    let g = PreparedGraph::open(disk).unwrap();
+    for cfg in [
+        EngineConfig::default().with_strategy(Strategy::Dpu).with_prefetch(false),
+        EngineConfig::default().with_strategy(Strategy::Dpu),
+        EngineConfig::default()
+            .with_strategy(Strategy::Spu)
+            .with_budget(0)
+            .with_io_scheduler(true),
+    ] {
+        let res = algo::pagerank(&g, 3, &cfg);
+        match res {
+            Err(EngineError::Storage(StorageError::ShortRead { .. })) => {}
+            other => panic!("expected ShortRead to surface, got {other:?}"),
+        }
+    }
+}
+
 #[test]
 fn corrupt_subshard_is_rejected() {
     let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
