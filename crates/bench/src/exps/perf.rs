@@ -281,6 +281,8 @@ struct OocReport {
     /// `DeviceProfile` name the reads were paced to, or `"real"` for the
     /// container's actual (unpaced) device.
     device: String,
+    /// Configured scheduler window size the runs were issued with.
+    io_queue_depth: usize,
     prep_secs: f64,
     rows: Vec<OocRow>,
 }
@@ -381,6 +383,7 @@ fn measure_out_of_core(opts: &Opts) -> OocReport {
         device: opts
             .ooc_device
             .map_or_else(|| "real".to_string(), |p| p.name.to_string()),
+        io_queue_depth: nx_cfg(opts).io_queue_depth,
         prep_secs,
         rows,
     }
@@ -485,6 +488,7 @@ fn render_json(
     let _ = writeln!(s, "    \"edges\": {},", ooc.edges);
     let _ = writeln!(s, "    \"strategy\": \"spu\",");
     let _ = writeln!(s, "    \"io_sched\": true,");
+    let _ = writeln!(s, "    \"io_queue_depth\": {},", ooc.io_queue_depth);
     let _ = writeln!(s, "    \"cold_cache\": {},", ooc.cold_cache);
     let _ = writeln!(s, "    \"direct_requested\": {},", ooc.direct_requested);
     let _ = writeln!(s, "    \"device\": \"{}\",", ooc.device);
@@ -662,6 +666,7 @@ mod tests {
         assert!(json.contains("\"direct_requested\": false"));
         assert!(json.contains("\"sched_batches\""));
         assert!(json.contains("\"max_queue_depth\""));
+        assert!(json.contains("\"io_queue_depth\""));
         assert!(json.contains("\"compressed_iters_per_sec_ratio\""));
         assert!(json.contains("\"io_sched\": true"));
         assert!(json.contains("\"io_sched\": false"));

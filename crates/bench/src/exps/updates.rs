@@ -11,9 +11,16 @@
 //! background mode takes off the commit path. After the stream (and
 //! after quiescing maintenance), PageRank on each dynamic graph must be
 //! bitwise-identical to PageRank on a from-scratch preprocessing of the
-//! same final edge set; the run *fails* otherwise. With `--json` the
-//! results land in `BENCH_updates.json` (schema v2) so successive PRs
-//! can diff the numbers; CI uploads a tiny-scale run as an artifact.
+//! same final edge set; the run *fails* otherwise.
+//!
+//! A separate degradation pass replays the delta-log stream against a
+//! disk whose write budget runs out partway (injected ENOSPC via
+//! [`FaultDisk`](nxgraph_storage::FaultDisk)): every commit past the
+//! budget must abort cleanly — typed error, store parked on its last
+//! manifest — and the surviving prefix must still be bitwise-identical
+//! to a fresh preparation of exactly the applied edges. With `--json`
+//! the results land in `BENCH_updates.json` (schema v3) so successive
+//! PRs can diff the numbers; CI uploads a tiny-scale run as an artifact.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,7 +32,7 @@ use nxgraph_core::engine::EngineConfig;
 use nxgraph_core::prep::{preprocess, PrepConfig};
 use nxgraph_core::PreparedGraph;
 use nxgraph_graphgen::rmat::{self, RmatConfig};
-use nxgraph_storage::{Disk, EncodingPolicy, MemDisk};
+use nxgraph_storage::{Disk, EncodingPolicy, FaultDisk, FaultPlan, MemDisk};
 use rand::{Rng, SeedableRng};
 
 use crate::Opts;
@@ -69,6 +76,22 @@ fn percentile_us(samples: &mut [f64], q: f64) -> f64 {
     samples[((samples.len() - 1) as f64 * q).round() as usize]
 }
 
+/// Graceful write-side degradation under injected ENOSPC.
+struct EnospcReport {
+    /// Write budget (bytes through the fault wrapper) before every
+    /// further write fails with ENOSPC.
+    budget_bytes: u64,
+    commits_attempted: usize,
+    /// Commits that landed before the budget ran out.
+    commits_applied: usize,
+    /// Commits aborted by the injected ENOSPC (typed error, store left on
+    /// its last manifest).
+    commits_aborted: u64,
+    /// Whether the surviving store is bitwise-identical to a fresh
+    /// preparation of exactly the applied edges.
+    post_abort_identical: bool,
+}
+
 struct Report {
     scale: u32,
     vertices: u32,
@@ -76,6 +99,7 @@ struct Report {
     batch_size: usize,
     modes: Vec<ModeReport>,
     identical: bool,
+    enospc: EnospcReport,
 }
 
 fn fingerprint(g: &PreparedGraph, iters: usize) -> Vec<u64> {
@@ -191,6 +215,15 @@ fn measure(opts: &Opts) -> Report {
     let want = fingerprint(&fresh, opts.iters.min(5));
     let identical = modes.iter().all(|m| m.fingerprint == want);
 
+    // Degradation pass: half the delta log's measured write bytes, so the
+    // stream deterministically runs out of space partway through.
+    let delta_bytes = modes
+        .iter()
+        .find(|m| m.mode == "delta")
+        .expect("delta mode always measured")
+        .write_bytes_total;
+    let enospc = measure_enospc(&raw, &prep_cfg, &stream, (delta_bytes / 2).max(1), opts.iters.min(5));
+
     Report {
         scale,
         vertices: probe_graph.num_vertices(),
@@ -198,6 +231,51 @@ fn measure(opts: &Opts) -> Report {
         batch_size,
         modes,
         identical,
+        enospc,
+    }
+}
+
+/// Replay the delta-log stream against a write budget: commits past the
+/// budget must abort with a typed error and leave the store on its last
+/// manifest, never torn.
+fn measure_enospc(
+    raw: &[(u64, u64)],
+    prep_cfg: &PrepConfig,
+    stream: &[Vec<(u64, u64)>],
+    budget_bytes: u64,
+    iters: usize,
+) -> EnospcReport {
+    let mem: std::sync::Arc<dyn Disk> = std::sync::Arc::new(MemDisk::new());
+    preprocess(raw, prep_cfg, std::sync::Arc::clone(&mem)).expect("prep");
+    // Prep ran unbudgeted on the raw disk; only the commits are rationed.
+    let faulted: std::sync::Arc<dyn Disk> = std::sync::Arc::new(FaultDisk::new(
+        std::sync::Arc::clone(&mem),
+        FaultPlan::new().with_enospc_after(budget_bytes),
+    ));
+    let g = PreparedGraph::open(faulted).expect("open budgeted graph");
+    let mut dg = DynamicGraph::with_config(g, DynamicConfig::default()).expect("dynamic");
+    let mut applied: Vec<(u64, u64)> = raw.to_vec();
+    let mut commits_applied = 0usize;
+    for batch in stream {
+        if dg.add_edges(batch).is_ok() {
+            commits_applied += 1;
+            applied.extend(batch);
+        }
+    }
+    let commits_aborted = dg.commit_aborts();
+    drop(dg);
+    // Reopen through the raw disk: the store must be exactly the applied
+    // prefix, bit-for-bit (aborted attempts left only unreferenced blobs).
+    let reopened = PreparedGraph::open(mem).expect("reopen after aborts");
+    let fresh_disk: std::sync::Arc<dyn Disk> = std::sync::Arc::new(MemDisk::new());
+    let fresh = preprocess(&applied, prep_cfg, fresh_disk).expect("fresh prep of applied prefix");
+    let post_abort_identical = fingerprint(&reopened, iters) == fingerprint(&fresh, iters);
+    EnospcReport {
+        budget_bytes,
+        commits_attempted: stream.len(),
+        commits_applied,
+        commits_aborted,
+        post_abort_identical,
     }
 }
 
@@ -222,7 +300,7 @@ fn render_json(opts: &Opts, r: &Report) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"updates\",");
-    let _ = writeln!(s, "  \"schema_version\": 2,");
+    let _ = writeln!(s, "  \"schema_version\": 3,");
     let _ = writeln!(s, "  \"seed\": {},", opts.seed);
     let _ = writeln!(s, "  \"scale\": {},", r.scale);
     let _ = writeln!(s, "  \"edge_factor\": {EDGE_FACTOR},");
@@ -252,6 +330,12 @@ fn render_json(opts: &Opts, r: &Report) -> String {
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"speedup_edges_per_sec\": {:.2},", r.speedup());
     let _ = writeln!(s, "  \"write_bytes_ratio\": {:.2},", r.write_ratio());
+    let e = &r.enospc;
+    let _ = writeln!(
+        s,
+        "  \"enospc\": {{\"budget_bytes\": {}, \"commits_attempted\": {}, \"commits_applied\": {}, \"commits_aborted\": {}, \"post_abort_identical\": {}}},",
+        e.budget_bytes, e.commits_attempted, e.commits_applied, e.commits_aborted, e.post_abort_identical
+    );
     let _ = writeln!(s, "  \"identical_to_fresh_prep\": {}", r.identical);
     let _ = writeln!(s, "}}");
     s
@@ -292,6 +376,14 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
         r.write_ratio(),
         r.identical
     );
+    println!(
+        "enospc degradation: {}/{} commits applied before a {}-byte budget, {} aborted cleanly; surviving prefix identical to fresh prep: {}",
+        r.enospc.commits_applied,
+        r.enospc.commits_attempted,
+        r.enospc.budget_bytes,
+        r.enospc.commits_aborted,
+        r.enospc.post_abort_identical
+    );
     if let Some(path) = json_out {
         let json = render_json(opts, &r);
         if let Err(e) = std::fs::write(path, &json) {
@@ -300,7 +392,7 @@ pub fn run(opts: &Opts, json_out: Option<&str>) -> bool {
         }
         println!("wrote {path}");
     }
-    r.identical
+    r.identical && r.enospc.post_abort_identical
 }
 
 #[cfg(test)]
@@ -336,9 +428,20 @@ mod tests {
                 m.add_latency_p50_us
             );
         }
+        // The degradation pass must actually hit the budget and recover.
+        assert!(r.enospc.commits_aborted >= 1, "no commit hit the ENOSPC budget");
+        assert!(r.enospc.commits_applied >= 1, "budget too small to land any commit");
+        assert_eq!(
+            r.enospc.commits_applied as u64 + r.enospc.commits_aborted,
+            r.enospc.commits_attempted as u64
+        );
+        assert!(r.enospc.post_abort_identical, "aborted commits tore the store");
         let json = render_json(&opts, &r);
         assert!(json.contains("\"bench\": \"updates\""));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"enospc\": {"));
+        assert!(json.contains("\"commits_aborted\""));
+        assert!(json.contains("\"post_abort_identical\": true"));
         assert!(json.contains("\"mode\": \"delta\""));
         assert!(json.contains("\"mode\": \"rewrite\""));
         assert!(json.contains("\"mode\": \"background\""));

@@ -22,8 +22,17 @@ engine flags (all algorithms): [--no-prefetch] disables the background
 sub-shard/hub prefetch thread (synchronous loads, for debugging/baselines);
 [--io-sched] batches each iteration's reads into layout-ordered
 submissions on a dedicated I/O thread (results are bitwise-identical);
+[--io-queue-depth N] plan entries per scheduler issue window (>= 1;
+small values clamp to the scheduler minimum);
+[--io-deadline-ms N] hung-I/O watchdog: a scheduled read with no
+completion after N ms fails with a typed stall error instead of hanging;
 [--direct] opens the graph with O_DIRECT reads where the platform allows
-(falls back to buffered reads otherwise)";
+(falls back to buffered reads otherwise)
+
+reliability flags (all graph-reading commands): [--retries N] attempts
+per transient-failing read (default 4; 1 disables retrying);
+[--retry-backoff-ms M] base backoff between attempts, doubling per retry
+(default 1 ms)";
 
 /// Parsed command line: positionals plus flags.
 pub struct Args {

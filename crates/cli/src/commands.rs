@@ -9,7 +9,7 @@ use nxgraph_core::engine::EngineConfig;
 use nxgraph_core::prep::{preprocess, PrepConfig};
 use nxgraph_core::PreparedGraph;
 use nxgraph_graphgen::{er, io as gio, mesh, rmat};
-use nxgraph_storage::{Disk, DiskConfig, EncodingPolicy, OsDisk};
+use nxgraph_storage::{Disk, DiskConfig, EncodingPolicy, OsDisk, RetryPolicy};
 
 use crate::args::Args;
 
@@ -101,7 +101,19 @@ fn open(args: &Args) -> Result<PreparedGraph, String> {
     let disk_cfg = DiskConfig { direct_reads: args.switch("--direct") };
     let disk: Arc<dyn Disk> =
         Arc::new(OsDisk::with_config(dir, disk_cfg).map_err(|e| e.to_string())?);
-    PreparedGraph::open(disk).map_err(|e| e.to_string())
+    let mut g = PreparedGraph::open(disk).map_err(|e| e.to_string())?;
+    let mut retry = RetryPolicy::default();
+    if let Some(attempts) = args.get::<u32>("retries")? {
+        if attempts == 0 {
+            return Err("--retries must be at least 1 (1 disables retrying)".into());
+        }
+        retry = RetryPolicy::with_attempts(attempts);
+    }
+    if let Some(ms) = args.get::<u64>("retry-backoff-ms")? {
+        retry = retry.with_base_backoff(std::time::Duration::from_millis(ms));
+    }
+    g.set_retry_policy(retry);
+    Ok(g)
 }
 
 fn engine_cfg(args: &Args) -> Result<EngineConfig, String> {
@@ -121,6 +133,18 @@ fn engine_cfg(args: &Args) -> Result<EngineConfig, String> {
     }
     if args.switch("--io-sched") {
         cfg = cfg.with_io_scheduler(true);
+    }
+    if let Some(depth) = args.get::<usize>("io-queue-depth")? {
+        if depth == 0 {
+            return Err("--io-queue-depth must be at least 1".into());
+        }
+        cfg = cfg.with_io_queue_depth(depth);
+    }
+    if let Some(ms) = args.get::<u64>("io-deadline-ms")? {
+        if ms == 0 {
+            return Err("--io-deadline-ms must be at least 1".into());
+        }
+        cfg = cfg.with_io_deadline(Some(std::time::Duration::from_millis(ms)));
     }
     Ok(cfg)
 }
@@ -142,6 +166,10 @@ fn report_io_profile(g: &PreparedGraph) {
             io.sched_reads,
             io.max_queue_depth,
             io.cache_drops
+        );
+        println!(
+            "reliability : {} retries / {} giveups; {} injected faults, {} watchdog stalls",
+            io.retries, io.giveups, io.injected_faults, io.stalls
         );
     }
 }

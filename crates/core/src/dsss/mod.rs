@@ -17,7 +17,7 @@ use std::sync::Arc;
 use nxgraph_storage::format::{self, Encoding, EncodingPolicy, FileKind};
 use nxgraph_storage::manifest::{ChainInfo, GraphManifest};
 use nxgraph_storage::{
-    BufferPool, ChecksumPolicy, Disk, SharedBytes, StorageError, StorageResult,
+    BufferPool, ChecksumPolicy, Disk, RetryPolicy, SharedBytes, StorageError, StorageResult,
 };
 
 use crate::error::{EngineError, EngineResult};
@@ -158,6 +158,9 @@ pub struct ViewLoader {
     /// Delta-chain snapshot from the manifest this loader was built from;
     /// a dynamic commit reopens the graph, producing fresh loaders.
     chains: Arc<DeltaIndex>,
+    /// Transient-failure retry policy applied to every blob read this
+    /// loader issues (sync path and prefetch workers alike).
+    retry: RetryPolicy,
 }
 
 impl ViewLoader {
@@ -190,10 +193,22 @@ impl ViewLoader {
         Ok(MergedSubShardView::merge(&parts).into_view())
     }
 
-    /// One chain part (base or delta blob) as a zero-copy view.
+    /// One chain part (base or delta blob) as a zero-copy view. The read
+    /// retries transient failures per this loader's [`RetryPolicy`]; the
+    /// decode does not (corrupt bytes re-read identically).
     fn load_part(&self, name: &str) -> EngineResult<SubShardView> {
-        let bytes = self.disk.read_shared(name, &self.pool)?;
+        let bytes = self.read_retried(name)?;
         self.decode_part(name, bytes)
+    }
+
+    /// `read_shared` with transient-failure retry, counting re-issues and
+    /// giveups in the disk's [`IoProfile`](nxgraph_storage::IoProfile).
+    fn read_retried(&self, name: &str) -> EngineResult<SharedBytes> {
+        Ok(self
+            .retry
+            .run(self.disk.io_profile(), || {
+                self.disk.read_shared(name, &self.pool)
+            })?)
     }
 
     /// Decode one already-read chain part. Shared by the inline read path
@@ -218,6 +233,11 @@ impl ViewLoader {
     /// The page-aligned read-buffer pool behind this loader.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The retry policy applied to this loader's reads.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The on-disk files backing cell `(i, j, reverse)`: the base blob
@@ -291,7 +311,7 @@ impl ViewLoader {
         if !self.disk.exists(&name) {
             return Ok(None);
         }
-        let bytes = self.disk.read_shared(&name, &self.pool)?;
+        let bytes = self.read_retried(&name)?;
         Ok(Some(HubView::parse(
             bytes,
             &name,
@@ -338,6 +358,9 @@ pub struct PreparedGraph {
     encoding: EncodingPolicy,
     /// Per-cell delta-chain snapshot parsed from the manifest.
     chains: Arc<DeltaIndex>,
+    /// Transient-failure retry policy handed to every [`ViewLoader`]
+    /// (default: 4 attempts with 1 ms doubling backoff).
+    retry: RetryPolicy,
 }
 
 impl PreparedGraph {
@@ -368,6 +391,7 @@ impl PreparedGraph {
             checksums: Arc::new(ChecksumPolicy::default()),
             encoding,
             chains,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -405,6 +429,7 @@ impl PreparedGraph {
             checksums,
             encoding,
             chains,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -429,6 +454,18 @@ impl PreparedGraph {
         self.checksums = Arc::new(policy);
     }
 
+    /// The transient-failure retry policy applied to blob reads.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replace the blob-read retry policy (default: 4 attempts, 1 ms
+    /// deterministic doubling backoff; [`RetryPolicy::none`] disables
+    /// retrying entirely).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
     /// The encoding policy applied to blobs written during runs (hubs,
     /// dynamic sub-shard rewrites). Defaults to what the graph was
     /// prepped with, via the manifest.
@@ -450,6 +487,7 @@ impl PreparedGraph {
             pool: Arc::clone(&self.pool),
             checksums: Arc::clone(&self.checksums),
             chains: Arc::clone(&self.chains),
+            retry: self.retry,
         }
     }
 

@@ -216,6 +216,9 @@ pub struct DynamicGraph {
     mapping: Vec<u64>,
     config: DynamicConfig,
     maint: Option<MaintenanceThread>,
+    /// Commits aborted by a storage error (ENOSPC, EIO) before reaching
+    /// their manifest save; the store stayed on its last commit.
+    commit_aborts: u64,
 }
 
 impl DynamicGraph {
@@ -247,6 +250,7 @@ impl DynamicGraph {
             mapping,
             config,
             maint: None,
+            commit_aborts: 0,
         };
         dg.spawn_maintenance();
         Ok(dg)
@@ -334,6 +338,7 @@ impl DynamicGraph {
         out_degrees: Arc<Vec<u32>>,
         epoch: u64,
     ) -> EngineResult<()> {
+        let retry = self.graph.retry_policy();
         self.graph = PreparedGraph::from_parts_reusing(
             Arc::clone(&self.shared.disk),
             manifest,
@@ -341,6 +346,7 @@ impl DynamicGraph {
             Arc::clone(self.graph.checksum_policy()),
             Arc::clone(self.graph.buffer_pool()),
         )?;
+        self.graph.set_retry_policy(retry);
         self.seen_epoch = epoch;
         Ok(())
     }
@@ -361,7 +367,32 @@ impl DynamicGraph {
     /// state update — runs under the `state` lock, so a background fold
     /// can never interleave with it (the fold detects the changed chain
     /// and retries; this side needs no retry loop).
+    ///
+    /// ## Failure semantics
+    ///
+    /// Any storage error before the manifest save — ENOSPC, EIO, a torn
+    /// blob write — aborts the commit: the error is returned, the
+    /// committed state stays on the *previous* manifest (new blobs were
+    /// written under fresh names the old manifest never references, so
+    /// nothing is torn), and [`commit_aborts`](Self::commit_aborts)
+    /// increments. The caller may simply retry the same batch once the
+    /// condition clears; leftover blobs from the aborted attempt are
+    /// reclaimed by the next [`compact`](Self::compact) sweep.
     pub fn add_edges(&mut self, new_raw: &[(u64, u64)]) -> EngineResult<CommitStats> {
+        let res = self.add_edges_inner(new_raw);
+        if res.is_err() {
+            self.commit_aborts += 1;
+        }
+        res
+    }
+
+    /// Commits aborted by a storage error, each leaving the store on its
+    /// last successful manifest commit.
+    pub fn commit_aborts(&self) -> u64 {
+        self.commit_aborts
+    }
+
+    fn add_edges_inner(&mut self, new_raw: &[(u64, u64)]) -> EngineResult<CommitStats> {
         if new_raw.is_empty() {
             return Ok(CommitStats::default());
         }
@@ -1218,6 +1249,98 @@ mod tests {
         }
         assert_eq!(dg.graph().num_edges() as usize, full.len());
         assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn enospc_aborts_the_commit_and_preserves_the_last_manifest() {
+        use crate::error::EngineError;
+        use nxgraph_storage::{FaultDisk, FaultPlan};
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
+        let mem: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        prep::preprocess(&base, &PrepConfig::new("dyn", 3), Arc::clone(&mem)).unwrap();
+        // Zero byte budget: the commit's very first blob write hits ENOSPC.
+        let disk: Arc<dyn Disk> =
+            Arc::new(FaultDisk::new(Arc::clone(&mem), FaultPlan::new().with_enospc_after(0)));
+        let g = PreparedGraph::open(disk).unwrap();
+        let mut dg = DynamicGraph::with_config(g, DynamicConfig::never_compact()).unwrap();
+        let err = dg.add_edges(&[(0, 2), (3, 1)]).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Storage(s) if s.is_transient()),
+            "ENOSPC must surface as a typed transient storage error: {err}"
+        );
+        assert_eq!(dg.commit_aborts(), 1);
+        // Rollback: reopening through the raw disk sees the pre-batch
+        // graph, bit-for-bit usable.
+        let reopened = PreparedGraph::open(mem).unwrap();
+        assert_eq!(reopened.num_edges(), 4);
+        let cfg = EngineConfig::default().with_max_iterations(6);
+        let (a, _) = algo::pagerank(&reopened, 6, &cfg).unwrap();
+        let (b, _) = algo::pagerank(&prepare(&base), 6, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn background_folds_survive_transient_write_faults() {
+        use nxgraph_storage::{FaultDisk, FaultKind, FaultOp, FaultPlan, FaultRule};
+        let base: Vec<(u64, u64)> = (0..200u64).map(|k| (k % 9, (k + 1) % 9)).collect();
+        let mem: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        prep::preprocess(&base, &PrepConfig::new("dyn", 3), Arc::clone(&mem)).unwrap();
+        // The first attempt to write each folded gen-1 base for cell (0,0)
+        // fails with EIO; the maintenance worker must back off and retry,
+        // never surface a fold error.
+        let plan = FaultPlan::new().with_rule(FaultRule {
+            name_contains: "ss_0_0.g1.bin".into(),
+            op: FaultOp::Write,
+            kind: FaultKind::WriteError,
+            first: 0,
+            count: 1,
+        });
+        let disk: Arc<dyn Disk> = Arc::new(FaultDisk::new(mem, plan));
+        let g = PreparedGraph::open(disk).unwrap();
+        let cfg = DynamicConfig {
+            max_deltas: 3,
+            max_delta_ratio: f64::INFINITY,
+            auto_scrub: false,
+            ..DynamicConfig::background()
+        };
+        let mut dg = DynamicGraph::with_config(g, cfg).unwrap();
+        let mut full = base.clone();
+        for k in 0..9u64 {
+            let batch = vec![(k % 3, (k + 1) % 3)];
+            dg.add_edges(&batch).unwrap();
+            full.extend(batch);
+        }
+        dg.wait_maintenance_idle().unwrap();
+        let stats = dg.maintenance().unwrap().stats();
+        assert!(stats.cells_folded >= 1, "{stats:?}");
+        assert!(stats.transient_retries >= 1, "faulted fold must retry: {stats:?}");
+        assert_eq!(dg.commit_aborts(), 0);
+        assert_equivalent(&dg, &full);
+    }
+
+    #[test]
+    fn scrubs_survive_a_transient_open_fault() {
+        use nxgraph_storage::{FaultDisk, FaultKind, FaultOp, FaultPlan, FaultRule};
+        let base: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 0)];
+        let mem: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        prep::preprocess(&base, &PrepConfig::new("dyn", 3), Arc::clone(&mem)).unwrap();
+        // The scrubber's first open of this blob fails; the worker re-runs
+        // the whole pass after backoff.
+        let plan = FaultPlan::new().with_rule(FaultRule {
+            name_contains: "ss_0_0.bin".into(),
+            op: FaultOp::Open,
+            kind: FaultKind::OpenError,
+            first: 0,
+            count: 1,
+        });
+        let disk: Arc<dyn Disk> = Arc::new(FaultDisk::new(mem, plan));
+        let g = PreparedGraph::open(disk).unwrap();
+        let mut dg = DynamicGraph::with_config(g, DynamicConfig::background()).unwrap();
+        let report = dg.scrub().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        let stats = dg.maintenance().unwrap().stats();
+        assert!(stats.transient_retries >= 1, "faulted scrub must retry: {stats:?}");
+        assert_eq!(stats.scrubs, 1);
     }
 
     #[test]

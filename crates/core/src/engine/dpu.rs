@@ -87,6 +87,8 @@ pub fn run_dpu<P: VertexProgram>(
                     Arc::clone(loader.pool()),
                     plan,
                     cfg.io_queue_depth,
+                    loader.retry_policy(),
+                    cfg.io_deadline,
                 )
             });
             let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::with_capacity(keys.len());
@@ -158,6 +160,8 @@ pub fn run_dpu<P: VertexProgram>(
                     Arc::clone(loader.pool()),
                     plan,
                     cfg.io_queue_depth,
+                    loader.retry_policy(),
+                    cfg.io_deadline,
                 )
             });
             let mut jobs: Jobs<EngineResult<Hub<P>>> = Vec::with_capacity(p as usize);

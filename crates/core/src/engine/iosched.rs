@@ -34,10 +34,13 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use nxgraph_storage::{BufferPool, Disk, IoProfile, SharedBytes, StorageError, StorageResult};
+use nxgraph_storage::{
+    BufferPool, Disk, IoProfile, RetryPolicy, SharedBytes, StorageError, StorageResult,
+};
 
 /// Default number of plan entries per issue window.
 pub const DEFAULT_QUEUE_DEPTH: usize = 16;
@@ -104,6 +107,12 @@ struct Shared {
     /// Signalled on new parked results and on frontier/shutdown changes.
     cv: Condvar,
     profile: Option<Arc<IoProfile>>,
+    /// Hung-I/O watchdog: how long a consumer waits for its seq before
+    /// the wait converts into [`StorageError::Stalled`]. `None` waits
+    /// forever (the pre-watchdog behaviour).
+    deadline: Option<Duration>,
+    /// The planned file names per seq, for naming a stalled read.
+    plan: Vec<Vec<String>>,
 }
 
 /// The consumer half: cloned into decode-job closures.
@@ -115,8 +124,13 @@ pub struct IoClient {
 impl IoClient {
     /// Block until seq `seq`'s reads are all parked, then take them (in
     /// part order). After session shutdown, returns a synthesized error
-    /// per missing part instead of blocking forever.
+    /// per missing part instead of blocking forever. With a watchdog
+    /// deadline configured, a wait that exceeds it returns a typed
+    /// [`StorageError::Stalled`] (and flags the session for shutdown so
+    /// every other waiter unblocks promptly) — a hung device cancels the
+    /// iteration instead of deadlocking the reorder buffer.
     pub fn take(&self, seq: usize) -> SeqResult {
+        let started = Instant::now();
         let mut st = self.shared.state.lock();
         loop {
             if let Some(parts) = st.ready[seq].take() {
@@ -137,7 +151,34 @@ impl IoClient {
                     "i/o scheduler shut down before this read was served",
                 )))];
             }
-            self.shared.cv.wait(&mut st);
+            match self.shared.deadline {
+                None => self.shared.cv.wait(&mut st),
+                Some(deadline) => {
+                    let Some(remaining) = deadline.checked_sub(started.elapsed()) else {
+                        // Deadline tripped: poison the session so sibling
+                        // waiters fail fast instead of each burning a full
+                        // deadline, then surface the typed error.
+                        st.shutdown = true;
+                        self.shared.cv.notify_all();
+                        drop(st);
+                        if let Some(p) = &self.shared.profile {
+                            p.record_stall();
+                        }
+                        let name = self
+                            .shared
+                            .plan
+                            .get(seq)
+                            .and_then(|names| names.first())
+                            .cloned()
+                            .unwrap_or_else(|| format!("seq {seq}"));
+                        return vec![Err(StorageError::Stalled {
+                            name,
+                            waited_ms: started.elapsed().as_millis() as u64,
+                        })];
+                    };
+                    let _ = self.shared.cv.wait_for(&mut st, remaining);
+                }
+            }
         }
     }
 }
@@ -152,15 +193,21 @@ pub struct IoSession {
 
 impl IoSession {
     /// Start scheduling `plan` against `disk`: one I/O thread issues each
-    /// window's reads in layout order, parking results for [`IoClient::take`].
+    /// window's reads in layout order — retrying transient failures per
+    /// `retry` — parking results for [`IoClient::take`]. A `deadline`
+    /// arms the hung-I/O watchdog on every take.
     pub fn start(
         disk: Arc<dyn Disk>,
         pool: Arc<BufferPool>,
         plan: Vec<Vec<String>>,
         depth: usize,
+        retry: RetryPolicy,
+        deadline: Option<Duration>,
     ) -> Self {
         let depth = depth.max(MIN_QUEUE_DEPTH);
         let profile = disk.io_profile().cloned();
+        let windows = plan_windows(&plan, depth);
+        let parts_per_seq: Vec<usize> = plan.iter().map(Vec::len).collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 ready: (0..plan.len()).map(|_| None).collect(),
@@ -170,13 +217,15 @@ impl IoSession {
             }),
             cv: Condvar::new(),
             profile,
+            deadline,
+            plan,
         });
-        let windows = plan_windows(&plan, depth);
-        let parts_per_seq: Vec<usize> = plan.iter().map(Vec::len).collect();
         let worker = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
             .name("nxgraph-iosched".into())
-            .spawn(move || issue_loop(&worker, &*disk, &pool, &windows, &parts_per_seq, depth))
+            .spawn(move || {
+                issue_loop(&worker, &*disk, &pool, &windows, &parts_per_seq, depth, retry)
+            })
             .expect("spawn io scheduler thread");
         Self {
             shared,
@@ -200,7 +249,18 @@ impl Drop for IoSession {
             self.shared.cv.notify_all();
         }
         if let Some(t) = self.thread.take() {
-            let _ = t.join();
+            // The issuer may be stuck inside a genuinely hung read; give
+            // it a bounded grace period to observe the shutdown flag and
+            // exit, then detach rather than inherit the hang. A detached
+            // issuer only touches state it co-owns via `Arc` and exits at
+            // its next gate/park check.
+            let grace = Instant::now();
+            while !t.is_finished() && grace.elapsed() < Duration::from_millis(500) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if t.is_finished() {
+                let _ = t.join();
+            }
         }
     }
 }
@@ -212,6 +272,7 @@ fn issue_loop(
     windows: &[Vec<PlannedRead>],
     parts_per_seq: &[usize],
     depth: usize,
+    retry: RetryPolicy,
 ) {
     for (w, window) in windows.iter().enumerate() {
         // Look-ahead gate: don't run more than two windows past the
@@ -253,7 +314,7 @@ fn issue_loop(
             }
         }
         for (seq, part, name) in window {
-            let res = disk.read_shared(name, pool);
+            let res = retry.run(disk.io_profile(), || disk.read_shared(name, pool));
             if let Some(p) = &shared.profile {
                 p.enqueue();
             }
@@ -318,7 +379,14 @@ mod tests {
             plan.push(vec![name]);
         }
         let pool = BufferPool::new();
-        let session = IoSession::start(disk as Arc<dyn Disk>, pool, plan.clone(), 4);
+        let session = IoSession::start(
+            disk as Arc<dyn Disk>,
+            pool,
+            plan.clone(),
+            4,
+            RetryPolicy::none(),
+            None,
+        );
         let client = session.client();
         for (s, planned) in plan.iter().enumerate() {
             let parts = client.take(s);
@@ -343,7 +411,14 @@ mod tests {
             vec!["ok.bin".to_string()],
         ];
         let pool = BufferPool::new();
-        let session = IoSession::start(disk as Arc<dyn Disk>, pool, plan, 4);
+        let session = IoSession::start(
+            disk as Arc<dyn Disk>,
+            pool,
+            plan,
+            4,
+            RetryPolicy::none(),
+            None,
+        );
         let client = session.client();
         assert!(client.take(0)[0].is_ok());
         assert!(matches!(
@@ -363,7 +438,14 @@ mod tests {
             plan.push(vec![name]);
         }
         let pool = BufferPool::new();
-        let session = IoSession::start(disk as Arc<dyn Disk>, pool, plan, 4);
+        let session = IoSession::start(
+            disk as Arc<dyn Disk>,
+            pool,
+            plan,
+            4,
+            RetryPolicy::none(),
+            None,
+        );
         let client = session.client();
         // Take only the first few; the gate keeps most windows unissued.
         for s in 0..3 {
@@ -372,5 +454,117 @@ mod tests {
         drop(session); // must join, not hang
         // A take after shutdown gets an error, not a hang.
         assert!(client.take(100).iter().all(|r| r.is_err()));
+    }
+
+    #[test]
+    fn scheduler_reads_retry_transient_faults() {
+        use nxgraph_storage::{FaultDisk, FaultOp, FaultPlan, FaultRule};
+        let mem = Arc::new(MemDisk::new());
+        let mut plan = Vec::new();
+        for s in 0..8usize {
+            let name = format!("f_{s}.bin");
+            mem.write_all_to(&name, &[s as u8; 64]).unwrap();
+            plan.push(vec![name]);
+        }
+        // Every file's first bulk read faults; the second succeeds.
+        let fault_plan = FaultPlan::new().with_rule(FaultRule {
+            name_contains: "f_".into(),
+            op: FaultOp::Read,
+            kind: nxgraph_storage::FaultKind::ReadError,
+            first: 0,
+            count: 1,
+        });
+        let disk: Arc<dyn Disk> = Arc::new(FaultDisk::new(mem, fault_plan));
+        let profile = disk.io_profile().unwrap().clone();
+        let session = IoSession::start(
+            Arc::clone(&disk),
+            BufferPool::new(),
+            plan,
+            4,
+            RetryPolicy::default(),
+            None,
+        );
+        let client = session.client();
+        for s in 0..8 {
+            let parts = client.take(s);
+            assert!(parts[0].is_ok(), "seq {s} should be healed by retry");
+        }
+        let snap = profile.snapshot();
+        assert_eq!(snap.retries, 8, "one retry per faulted first read");
+        assert_eq!(snap.giveups, 0);
+        assert_eq!(snap.injected_faults, 8);
+    }
+
+    #[test]
+    fn watchdog_converts_a_stalled_read_into_a_typed_error() {
+        use nxgraph_storage::{FaultDisk, FaultKind, FaultOp, FaultPlan, FaultRule};
+        let mem = Arc::new(MemDisk::new());
+        mem.write_all_to("slow.bin", &[7u8; 32]).unwrap();
+        // The only read stalls for 2 s; the watchdog deadline is 100 ms.
+        let fault_plan = FaultPlan::new().with_rule(FaultRule {
+            name_contains: "slow".into(),
+            op: FaultOp::Read,
+            kind: FaultKind::Stall(Duration::from_secs(2)),
+            first: 0,
+            count: 1,
+        });
+        let disk: Arc<dyn Disk> = Arc::new(FaultDisk::new(mem, fault_plan));
+        let profile = disk.io_profile().unwrap().clone();
+        let started = Instant::now();
+        let session = IoSession::start(
+            Arc::clone(&disk),
+            BufferPool::new(),
+            vec![vec!["slow.bin".to_string()]],
+            4,
+            RetryPolicy::none(),
+            Some(Duration::from_millis(100)),
+        );
+        let client = session.client();
+        let parts = client.take(0);
+        match &parts[0] {
+            Err(StorageError::Stalled { name, waited_ms }) => {
+                assert_eq!(name, "slow.bin");
+                assert!(*waited_ms >= 100, "waited only {waited_ms} ms");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(1500),
+            "watchdog must fire well before the 2 s stall ends (took {:?})",
+            started.elapsed()
+        );
+        assert_eq!(profile.snapshot().stalls, 1);
+        // Dropping the session must detach from the stuck issuer rather
+        // than inherit its hang.
+        let drop_started = Instant::now();
+        drop(session);
+        assert!(
+            drop_started.elapsed() < Duration::from_millis(1500),
+            "drop waited on a hung issuer for {:?}",
+            drop_started.elapsed()
+        );
+    }
+
+    #[test]
+    fn watchdog_with_generous_deadline_never_fires_on_healthy_reads() {
+        let disk = Arc::new(MemDisk::new());
+        let mut plan = Vec::new();
+        for s in 0..12usize {
+            let name = format!("f_{s}.bin");
+            disk.write_all_to(&name, &[s as u8; 64]).unwrap();
+            plan.push(vec![name]);
+        }
+        let session = IoSession::start(
+            disk as Arc<dyn Disk>,
+            BufferPool::new(),
+            plan,
+            4,
+            RetryPolicy::default(),
+            Some(Duration::from_secs(30)),
+        );
+        let client = session.client();
+        for s in 0..12 {
+            assert!(client.take(s)[0].is_ok());
+        }
     }
 }

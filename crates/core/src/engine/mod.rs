@@ -95,6 +95,13 @@ pub struct EngineConfig {
     /// [`iosched::MIN_QUEUE_DEPTH`]); larger windows mean longer
     /// sequential read batches but more parked memory.
     pub io_queue_depth: usize,
+    /// Hung-I/O watchdog deadline for scheduled reads: how long a decode
+    /// job waits on the reorder buffer before the wait converts into a
+    /// typed `StorageError::Stalled` and the iteration cancels cleanly.
+    /// `None` (the default) waits forever. Only effective with
+    /// [`io_scheduler`](Self::io_scheduler) on — unscheduled blocking
+    /// reads have no cancellation point.
+    pub io_deadline: Option<Duration>,
 }
 
 /// `NXGRAPH_THREADS` environment override for the default thread count
@@ -129,6 +136,7 @@ impl Default for EngineConfig {
             prefetch: threads > 1,
             io_scheduler: false,
             io_queue_depth: iosched::DEFAULT_QUEUE_DEPTH,
+            io_deadline: None,
         }
     }
 }
@@ -198,6 +206,13 @@ impl EngineConfig {
     /// [`iosched::MIN_QUEUE_DEPTH`]).
     pub fn with_io_queue_depth(mut self, depth: usize) -> Self {
         self.io_queue_depth = depth.max(iosched::MIN_QUEUE_DEPTH);
+        self
+    }
+
+    /// Builder-style hung-I/O watchdog deadline (scheduled reads only;
+    /// `None` disables the watchdog).
+    pub fn with_io_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.io_deadline = deadline;
         self
     }
 }

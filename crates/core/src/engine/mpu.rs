@@ -190,6 +190,8 @@ pub fn run_mpu<P: VertexProgram>(
                     Arc::clone(loader.pool()),
                     plan,
                     cfg.io_queue_depth,
+                    loader.retry_policy(),
+                    cfg.io_deadline,
                 )
             });
             let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::with_capacity(misses.len());
@@ -341,6 +343,8 @@ pub fn run_mpu<P: VertexProgram>(
                     Arc::clone(loader.pool()),
                     plan,
                     cfg.io_queue_depth,
+                    loader.retry_policy(),
+                    cfg.io_deadline,
                 )
             });
             let mut jobs: Jobs<EngineResult<ColItem<P::Accum>>> = Vec::new();

@@ -125,6 +125,8 @@ pub fn run_spu<P: VertexProgram>(
                 Arc::clone(loader.pool()),
                 plan,
                 cfg.io_queue_depth,
+                loader.retry_policy(),
+                cfg.io_deadline,
             )
         });
         let mut jobs: Jobs<EngineResult<SubShardView>> = Vec::with_capacity(misses.len());

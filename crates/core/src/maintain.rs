@@ -45,15 +45,18 @@
 //! swept; clean orphans are only counted (reclaiming them is the owner's
 //! sweep).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use nxgraph_storage::format::{self, Encoding, FileKind};
 use nxgraph_storage::manifest::{ChainInfo, MANIFEST_FILE, MANIFEST_TMP_FILE};
-use nxgraph_storage::{ChecksumPolicy, Disk, EncodingPolicy, GraphManifest, StorageError};
+use nxgraph_storage::{
+    ChecksumPolicy, Disk, EncodingPolicy, GraphManifest, RetryPolicy, StorageError,
+};
 
 use crate::dsss::{self, SubShard};
 use crate::error::{EngineError, EngineResult};
@@ -120,6 +123,9 @@ pub struct MaintStats {
     pub fold_races: u64,
     /// Completed scrub passes.
     pub scrubs: u64,
+    /// Jobs re-queued after a transient storage fault (EIO, EINTR, short
+    /// read, ENOSPC): the worker backs off and retries instead of dying.
+    pub transient_retries: u64,
 }
 
 type PauseHook = Arc<dyn Fn() + Send + Sync>;
@@ -275,6 +281,17 @@ enum Job {
     Scrub { target: u64 },
 }
 
+/// How many transient-fault retries one maintenance job gets before its
+/// error is treated as terminal and surfaced through `fold_error`.
+const MAX_TRANSIENT_ATTEMPTS: u32 = 8;
+
+/// Whether a failed maintenance job is worth re-queueing after backoff.
+/// Only transient storage faults qualify; corruption and logic errors are
+/// terminal.
+fn is_transient(e: &EngineError) -> bool {
+    matches!(e, EngineError::Storage(s) if s.is_transient())
+}
+
 fn worker(
     shared: Arc<StoreShared>,
     ctl: Arc<Ctl>,
@@ -282,6 +299,11 @@ fn worker(
     checksums: Arc<ChecksumPolicy>,
     auto_scrub: bool,
 ) {
+    let retry = RetryPolicy::default();
+    // Worker-local retry budgets; cleared when a job finally succeeds or
+    // is surfaced as terminal.
+    let mut fold_attempts: HashMap<(u32, u32, bool), u32> = HashMap::new();
+    let mut scrub_attempts: u32 = 0;
     loop {
         let job = {
             let mut st = ctl.m.lock();
@@ -303,6 +325,9 @@ fn worker(
                 ctl.cv.wait(&mut st);
             }
         };
+        // Backoff to apply after the gate is released, so a retrying
+        // worker never blocks appends or the owner's quiesce while asleep.
+        let mut backoff: Option<Duration> = None;
         {
             let _gate = shared.gate.lock();
             match job {
@@ -310,6 +335,7 @@ fn worker(
                     let pause = ctl.m.lock().pause_hook.clone();
                     match fold_cell(&shared, cell, encoding, &checksums, pause.as_ref()) {
                         Ok(outcome) => {
+                            fold_attempts.remove(&cell);
                             let mut st = ctl.m.lock();
                             st.stats.fold_races += outcome.races;
                             if outcome.folded {
@@ -322,8 +348,22 @@ fn worker(
                             }
                         }
                         Err(e) => {
+                            let attempt = fold_attempts.get(&cell).copied().unwrap_or(0);
                             let mut st = ctl.m.lock();
-                            st.fold_error.get_or_insert(e.to_string());
+                            if is_transient(&e) && attempt + 1 < MAX_TRANSIENT_ATTEMPTS {
+                                fold_attempts.insert(cell, attempt + 1);
+                                st.stats.transient_retries += 1;
+                                backoff = Some(retry.backoff_for(attempt));
+                                // Front of the queue: the cell keeps its
+                                // place, and `wait_idle` keeps waiting until
+                                // it resolves one way or the other.
+                                if !st.due.contains(&cell) {
+                                    st.due.push_front(cell);
+                                }
+                            } else {
+                                fold_attempts.remove(&cell);
+                                st.fold_error.get_or_insert(e.to_string());
+                            }
                         }
                     }
                 }
@@ -340,6 +380,7 @@ fn worker(
                         &mut should_yield,
                     ) {
                         Ok(Some(report)) => {
+                            scrub_attempts = 0;
                             let mut st = ctl.m.lock();
                             st.scrubs_done = st.scrubs_done.max(target);
                             st.stats.scrubs += 1;
@@ -350,8 +391,17 @@ fn worker(
                         Ok(None) => {}
                         Err(e) => {
                             let mut st = ctl.m.lock();
-                            st.fold_error.get_or_insert(e.to_string());
-                            st.scrubs_done = st.scrubs_done.max(target);
+                            if is_transient(&e) && scrub_attempts + 1 < MAX_TRANSIENT_ATTEMPTS {
+                                scrub_attempts += 1;
+                                st.stats.transient_retries += 1;
+                                backoff = Some(retry.backoff_for(scrub_attempts - 1));
+                                // `scrubs_done` stays behind `target`, so the
+                                // request remains pending and re-runs.
+                            } else {
+                                scrub_attempts = 0;
+                                st.fold_error.get_or_insert(e.to_string());
+                                st.scrubs_done = st.scrubs_done.max(target);
+                            }
                         }
                     }
                 }
@@ -361,6 +411,9 @@ fn worker(
         st.active = false;
         drop(st);
         ctl.cv.notify_all();
+        if let Some(d) = backoff {
+            std::thread::sleep(d);
+        }
     }
 }
 

@@ -849,6 +849,16 @@ impl Disk for FaultyDisk {
         }))
     }
 
+    /// Forward to the inner disk's (possibly `O_DIRECT`) bulk-read path —
+    /// the default `open()`-based implementation would silently bypass it
+    /// when this wrapper sits above an [`OsDisk`] — then charge the
+    /// delivered bytes against the budget.
+    fn read_into(&self, name: &str, buf: &mut AlignedBuf) -> StorageResult<()> {
+        self.inner.read_into(name, buf)?;
+        Self::consume(&self.remaining, buf.len() as u64)?;
+        Ok(())
+    }
+
     fn exists(&self, name: &str) -> bool {
         self.inner.exists(name)
     }
@@ -1091,6 +1101,13 @@ impl Disk for CrashDisk {
         self.inner.io_profile()
     }
 
+    /// Reads don't crash: forward straight to the inner disk's (possibly
+    /// `O_DIRECT`) bulk path so a wrapped `OsDisk` keeps its direct reads
+    /// and per-path accounting.
+    fn read_into(&self, name: &str, buf: &mut AlignedBuf) -> StorageResult<()> {
+        self.inner.read_into(name, buf)
+    }
+
     fn read_shared(&self, name: &str, pool: &Arc<BufferPool>) -> StorageResult<SharedBytes> {
         self.inner.read_shared(name, pool)
     }
@@ -1223,6 +1240,46 @@ mod tests {
         let disk = FaultyDisk::new(inner, 16);
         let pool = BufferPool::new();
         assert!(disk.read_shared("f", &pool).is_err());
+    }
+
+    /// Wrapper audit: every Disk wrapper must forward `read_into` to the
+    /// inner disk rather than inherit the default `open()`-based path, so
+    /// a stacked chain (Fault → Crash → Faulty → Paced → Os) still
+    /// reaches `OsDisk`'s `O_DIRECT` implementation and its per-path
+    /// counters. The direct attempt records either a direct read or a
+    /// fallback; the default path records neither.
+    #[test]
+    fn stacked_wrappers_preserve_the_direct_read_path_and_counters() {
+        use crate::fault::{FaultDisk, FaultPlan};
+        use crate::paced::PacedDisk;
+        use crate::profile::DeviceProfile;
+
+        let dir = std::env::temp_dir().join(format!(
+            "nxgraph-osdisk-stack-{}",
+            std::process::id()
+        ));
+        let os = Arc::new(
+            OsDisk::with_config(&dir, DiskConfig { direct_reads: true }).unwrap(),
+        );
+        let payload: Vec<u8> = (0..10_000u32).map(|k| (k % 251) as u8).collect();
+        os.write_all_to("ss_0_0.bin", &payload).unwrap();
+
+        let paced: Arc<dyn Disk> =
+            Arc::new(PacedDisk::new(Arc::clone(&os) as Arc<dyn Disk>, DeviceProfile::RAM));
+        let faulty: Arc<dyn Disk> = Arc::new(FaultyDisk::new(paced, u64::MAX));
+        let crash: Arc<dyn Disk> = Arc::new(CrashDisk::new(faulty).unwrap());
+        let fault: Arc<dyn Disk> = Arc::new(FaultDisk::new(crash, FaultPlan::new()));
+
+        let before = fault.io_profile().expect("profile flows up the stack").snapshot();
+        let pool = BufferPool::new();
+        let bytes = fault.read_shared("ss_0_0.bin", &pool).unwrap();
+        assert_eq!(bytes.as_slice(), &payload[..], "stacking never alters bytes");
+        let after = fault.io_profile().unwrap().snapshot().delta(&before);
+        assert!(
+            after.direct_reads + after.direct_fallbacks >= 1,
+            "stacked read_shared bypassed OsDisk::read_into: {after:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

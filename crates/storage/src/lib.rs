@@ -39,12 +39,14 @@ pub mod budget;
 pub mod counter;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod format;
 pub mod layout;
 pub mod manifest;
 pub mod paced;
 pub mod pool;
 pub mod profile;
+pub mod retry;
 pub mod varint;
 
 pub use budget::MemoryBudget;
@@ -53,10 +55,12 @@ pub use disk::{
     CrashDisk, CrashOp, CutPoint, Disk, DiskConfig, DiskRead, DiskWrite, FaultyDisk, MemDisk,
     OsDisk,
 };
-pub use error::{StorageError, StorageResult};
+pub use error::{ErrorClass, StorageError, StorageResult};
+pub use fault::{FaultDisk, FaultKind, FaultOp, FaultPlan, FaultRule, Injection};
 pub use format::{ChecksumMode, ChecksumPolicy, Encoding, EncodingPolicy};
 pub use layout::{layout_key, LayoutToken};
 pub use manifest::{ChainInfo, GraphManifest};
 pub use paced::PacedDisk;
 pub use pool::{AlignedBuf, BufferPool, PooledBuf, SharedBytes};
 pub use profile::{DeviceProfile, IoProfile, IoProfileSnapshot};
+pub use retry::RetryPolicy;

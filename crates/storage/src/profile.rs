@@ -45,6 +45,10 @@ pub struct IoProfile {
     sched_reads: AtomicU64,
     queue_depth: AtomicU64,
     max_queue_depth: AtomicU64,
+    retries: AtomicU64,
+    giveups: AtomicU64,
+    injected_faults: AtomicU64,
+    stalls: AtomicU64,
 }
 
 impl IoProfile {
@@ -102,6 +106,26 @@ impl IoProfile {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// A transient failure was re-issued by the retry layer.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The retry layer exhausted its attempts and surfaced the error.
+    pub fn record_giveup(&self) {
+        self.giveups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A fault-injection wrapper fired one scripted/seeded fault.
+    pub fn record_injected_fault(&self) {
+        self.injected_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A read tripped the hung-I/O watchdog deadline.
+    pub fn record_stall(&self) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every statistic.
     pub fn snapshot(&self) -> IoProfileSnapshot {
         IoProfileSnapshot {
@@ -116,6 +140,10 @@ impl IoProfile {
             sched_reads: self.sched_reads.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            giveups: self.giveups.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,6 +173,14 @@ pub struct IoProfileSnapshot {
     pub queue_depth: u64,
     /// High-water mark of the in-flight queue.
     pub max_queue_depth: u64,
+    /// Transient failures re-issued by the retry layer.
+    pub retries: u64,
+    /// Reads that exhausted their retry budget and surfaced an error.
+    pub giveups: u64,
+    /// Faults fired by an injection wrapper (tests/chaos runs only).
+    pub injected_faults: u64,
+    /// Reads that tripped the hung-I/O watchdog.
+    pub stalls: u64,
 }
 
 impl IoProfileSnapshot {
@@ -164,6 +200,10 @@ impl IoProfileSnapshot {
             sched_reads: self.sched_reads - earlier.sched_reads,
             queue_depth: self.queue_depth,
             max_queue_depth: self.max_queue_depth,
+            retries: self.retries - earlier.retries,
+            giveups: self.giveups - earlier.giveups,
+            injected_faults: self.injected_faults - earlier.injected_faults,
+            stalls: self.stalls - earlier.stalls,
         }
     }
 }
@@ -336,6 +376,29 @@ mod tests {
         let d = p.snapshot().delta(&s);
         assert_eq!(d.opens, 0);
         assert_eq!(d.queue_depth, 2, "gauge carries over in a delta");
+    }
+
+    #[test]
+    fn reliability_counters_count_and_delta() {
+        let p = IoProfile::new();
+        p.record_retry();
+        p.record_retry();
+        p.record_giveup();
+        p.record_injected_fault();
+        p.record_injected_fault();
+        p.record_injected_fault();
+        p.record_stall();
+        let s = p.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.giveups, 1);
+        assert_eq!(s.injected_faults, 3);
+        assert_eq!(s.stalls, 1);
+        p.record_retry();
+        let d = p.snapshot().delta(&s);
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.giveups, 0);
+        assert_eq!(d.injected_faults, 0);
+        assert_eq!(d.stalls, 0);
     }
 
     #[test]

@@ -448,3 +448,96 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault-plan determinism: the chaos matrix is only meaningful if a plan
+// replayed over the same access sequence injects the identical faults.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn seeded_fault_plan_replays_identically(
+        seed in any::<u64>(),
+        names in proptest::collection::vec("[a-z]{1,4}_[0-9]{1,2}\\.bin", 1..6),
+        accesses in 1u64..120,
+    ) {
+        use nxgraph::storage::{FaultOp, FaultPlan};
+        // Decision purity: the same (plan, name, op, index) always yields
+        // the same fault, across two independently-built plans.
+        let a = FaultPlan::seeded(seed);
+        let b = FaultPlan::seeded(seed);
+        for name in &names {
+            for op in [FaultOp::Open, FaultOp::Read, FaultOp::Write] {
+                for n in 0..accesses {
+                    let fa = a.fault_for(name, op, n);
+                    prop_assert_eq!(fa, b.fault_for(name, op, n));
+                    // Seeded plans only ever fault reads, and every
+                    // episode fits inside the default 4-attempt retry
+                    // budget (checked as: no 3 consecutive faults).
+                    if op != FaultOp::Read {
+                        prop_assert!(fa.is_none());
+                    } else if n >= 2 {
+                        prop_assert!(
+                            a.fault_for(name, op, n - 2).is_none()
+                                || a.fault_for(name, op, n - 1).is_none()
+                                || fa.is_none(),
+                            "3-long episode would exhaust the retry budget"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_fault_disk_injection_logs_replay_identically(
+        seed in any::<u64>(),
+        rounds in 1usize..30,
+    ) {
+        use nxgraph::storage::{BufferPool, FaultDisk, FaultPlan};
+        // End to end through the wrapper: same plan + same access
+        // sequence ⇒ byte-identical injection log, independent of any
+        // earlier runs (each replay builds a fresh disk).
+        let run = || {
+            let mem = MemDisk::new();
+            for name in ["ss_0_0.bin", "ss_0_1.bin", "hub_0.bin"] {
+                mem.write_all_to(name, &[0x5a; 64]).unwrap();
+            }
+            let fd = FaultDisk::new(Arc::new(mem), FaultPlan::seeded(seed));
+            let pool = BufferPool::new();
+            for _ in 0..rounds {
+                for name in ["ss_0_0.bin", "ss_0_1.bin", "hub_0.bin"] {
+                    let _ = fd.read_shared(name, &pool);
+                }
+            }
+            fd.injection_log()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn error_taxonomy_is_exhaustive_and_injected_faults_are_transient(
+        k in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        use nxgraph::storage::{ErrorClass, StorageError};
+        // Every variant maps to exactly one class, and `is_transient`
+        // agrees with the class — for arbitrary payloads, not just the
+        // ones unit tests happen to construct.
+        let e: StorageError = match k {
+            0 => StorageError::Io(std::io::Error::other(format!("e{seed}"))),
+            1 => StorageError::ShortRead { name: format!("f{seed}"), expected: seed, actual: seed / 2 },
+            2 => StorageError::Corrupt { name: format!("f{seed}"), reason: "x".into() },
+            3 => StorageError::NotFound(format!("f{seed}")),
+            4 => StorageError::Manifest { line: k, reason: "y".into() },
+            _ => StorageError::Stalled { name: format!("f{seed}"), waited_ms: seed % 10_000 },
+        };
+        let class = e.class();
+        prop_assert_eq!(e.is_transient(), class == ErrorClass::Transient);
+        // The retry layer's contract: exactly Io and ShortRead retry.
+        let retryable = matches!(e, StorageError::Io(_) | StorageError::ShortRead { .. });
+        prop_assert_eq!(e.is_transient(), retryable);
+    }
+}
