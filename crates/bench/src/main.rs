@@ -40,6 +40,16 @@
 //!            maintenance thread instead of inline. Fails unless every
 //!            mode lands bitwise on a from-scratch prep. `--json` writes
 //!            BENCH_updates.json (`--out` overrides).
+//!   serve    repo concurrent-serving baseline — reader threads run
+//!            point queries (BFS/SSSP/PPR/top-k PageRank) through the
+//!            GraphService's admission control while the writer commits
+//!            edge batches and background maintenance folds chains.
+//!            Reports queries/sec, p50/p99 latency, admission
+//!            rejections and max snapshot lag; fails on any query error
+//!            or if a snapshot pinned before the stream is not
+//!            bitwise-identical after compaction supersedes its
+//!            generation. `--json` writes BENCH_serve.json (`--out`
+//!            overrides).
 //!   all                — run everything
 //! ```
 //!
@@ -182,7 +192,7 @@ fn main() -> ExitCode {
     let (exp, opts) = match parse(&args) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|scaling|updates|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH] [--encoding raw|auto|compressed] [--background] [--cold-cache] [--ooc-scale N] [--ooc-device ssd-raid0|ssd|hdd]");
+            eprintln!("nxbench: {e}\nusage: nxbench <table2|fig6|exp1..exp9|perf|scaling|updates|serve|all> [--scale-shift N] [--seed N] [--threads N] [--iters N] [--json] [--out PATH] [--encoding raw|auto|compressed] [--background] [--cold-cache] [--ooc-scale N] [--ooc-device ssd-raid0|ssd|hdd]");
             return ExitCode::FAILURE;
         }
     };
@@ -212,6 +222,7 @@ fn main() -> ExitCode {
         "perf" => exps::perf::run(&opts, json_out("BENCH_pagerank.json").as_deref()),
         "scaling" => exps::scaling::run(&opts, json_out("BENCH_scaling.json").as_deref()),
         "updates" => exps::updates::run(&opts, json_out("BENCH_updates.json").as_deref()),
+        "serve" => exps::serve::run(&opts, json_out("BENCH_serve.json").as_deref()),
         other => {
             eprintln!("unknown experiment {other:?}");
             false
@@ -220,7 +231,7 @@ fn main() -> ExitCode {
     let ok = if exp == "all" {
         [
             "table2", "fig6", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8",
-            "exp9", "perf", "scaling", "updates",
+            "exp9", "perf", "scaling", "updates", "serve",
         ]
         .iter()
         .all(|e| run_one(e))

@@ -17,6 +17,9 @@ usage:
   nxgraph-cli wcc <graph-dir> [--threads N]
   nxgraph-cli scc <graph-dir> [--threads N]
   nxgraph-cli hits <graph-dir> [--iters N] [--top K]
+  nxgraph-cli serve <graph-dir> [--queries N] [--readers N] [--update-batches N] [--batch-size N]
+                    [--max-concurrent N] [--query-budget-mib N] [--total-budget-mib N]
+                    [--query-threads N] [--seed N]
 
 engine flags (all algorithms): [--no-prefetch] disables the background
 sub-shard/hub prefetch thread (synchronous loads, for debugging/baselines);

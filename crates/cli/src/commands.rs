@@ -29,6 +29,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "wcc" => wcc(&args),
         "scc" => scc(&args),
         "hits" => hits(&args),
+        "serve" => serve(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -232,6 +233,10 @@ fn info(args: &Args) -> Result<(), String> {
         m.num_edges as f64 / m.num_vertices as f64,
         max
     );
+    println!(
+        "over-releases : {} (unbalanced MemoryBudget releases this process)",
+        nxgraph_storage::global_over_releases()
+    );
     report_io_profile(&g);
     Ok(())
 }
@@ -391,5 +396,128 @@ fn hits(args: &Args) -> Result<(), String> {
     for &v in order.iter().take(top) {
         println!("  {}: auth {:.6} hub {:.6}", mapping[v], out.authorities[v], out.hubs[v]);
     }
+    Ok(())
+}
+
+/// Mixed read/update serving demo: concurrent point queries over pinned
+/// snapshots while update batches commit through the writer.
+fn serve(args: &Args) -> Result<(), String> {
+    use nxgraph_core::dynamic::DynamicConfig;
+    use nxgraph_core::{GraphService, Query, ServeConfig, ServeError};
+
+    let g = open(args)?;
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err("cannot serve an empty graph".into());
+    }
+    let known = g.load_reverse_mapping().map_err(|e| e.to_string())?;
+    let queries = args.get_or("queries", 64usize)?;
+    let readers = args.get_or("readers", 2usize)?.max(1);
+    let update_batches = args.get_or("update-batches", 4usize)?;
+    let batch_size = args.get_or("batch-size", 64usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let cfg = ServeConfig {
+        max_concurrent: args.get_or("max-concurrent", 4usize)?,
+        query_budget: args.get_or("query-budget-mib", 64u64)? << 20,
+        total_budget: args
+            .get::<u64>("total-budget-mib")?
+            .map_or(u64::MAX, |m| m << 20),
+        threads: args.get_or("query-threads", 1usize)?,
+        ..ServeConfig::default()
+    };
+    // Delta-log + background folds: the serving configuration (rewrite
+    // mode is rejected by the service).
+    let dg = nxgraph_core::dynamic::DynamicGraph::with_config(g, DynamicConfig::background())
+        .map_err(|e| e.to_string())?;
+    let svc = GraphService::new(dg, cfg).map_err(|e| e.to_string())?;
+
+    // SplitMix64: deterministic query/update streams without a rand dep.
+    let mix = |state: &mut u64| -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut x = *state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    };
+    let query_for = |k: u64| -> Query {
+        let mut s = seed ^ (k << 1);
+        let a = (mix(&mut s) % n as u64) as u32;
+        let b = (mix(&mut s) % n as u64) as u32;
+        match k % 4 {
+            0 => Query::Bfs { root: a, target: b },
+            1 => Query::Sssp { root: a, target: b },
+            2 => Query::PprFromSeed { seed: a, iterations: 5, k: 8 },
+            _ => Query::PageRankTopK { iterations: 3, k: 8 },
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let rejected = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let svc = &svc;
+            let rejected = &rejected;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut k = r as u64;
+                while k < queries as u64 {
+                    match svc.run_query(&query_for(k)) {
+                        Ok(_) => {}
+                        Err(ServeError::Busy { .. }) | Err(ServeError::OutOfMemory { .. }) => {
+                            rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            std::thread::yield_now();
+                            continue; // retry the same query
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    }
+                    k += readers as u64;
+                }
+                Ok(())
+            }));
+        }
+        // The writer runs on this thread: known-vertex batches, so every
+        // commit takes the incremental path (a rebuild would wait for all
+        // reader snapshots to drop).
+        let mut s = seed ^ 0x57ea11;
+        for _ in 0..update_batches {
+            let batch: Vec<(u64, u64)> = (0..batch_size)
+                .map(|_| {
+                    let a = known[(mix(&mut s) % known.len() as u64) as usize];
+                    let b = known[(mix(&mut s) % known.len() as u64) as usize];
+                    (a, b)
+                })
+                .collect();
+            svc.add_edges(&batch).map_err(|e| e.to_string())?;
+        }
+        for h in handles {
+            h.join().map_err(|_| "reader thread panicked".to_string())??;
+        }
+        Ok(())
+    })?;
+    svc.with_writer(|dg| dg.wait_maintenance_idle())
+        .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    let stats = svc.stats();
+    println!(
+        "served {} queries ({} readers) in {:?}: {:.1} queries/sec",
+        stats.completed,
+        readers,
+        elapsed,
+        stats.completed as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "admission: {} admitted, {} rejected busy, {} rejected budget ({} retried arrivals), {} errors",
+        stats.admitted,
+        stats.rejected_busy,
+        stats.rejected_budget,
+        rejected.load(std::sync::atomic::Ordering::Relaxed),
+        stats.errors
+    );
+    println!(
+        "snapshots: max commit lag {} epochs; final epoch {}; over-releases {}",
+        stats.max_snapshot_lag,
+        svc.current_epoch(),
+        nxgraph_storage::global_over_releases()
+    );
     Ok(())
 }

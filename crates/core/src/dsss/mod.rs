@@ -49,6 +49,52 @@ impl DeltaIndex {
     }
 }
 
+/// Scratch-file naming for one reader of a shared disk.
+///
+/// DPU/MPU runs rewrite per-iteration scratch files (interval attribute
+/// arrays, hubs) on the graph's disk. With a single reader the legacy
+/// names (`interval_{j}.bin`, `hub_{i}_{j}.bin`) are fine; concurrent
+/// readers — serve-layer [`Snapshot`](crate::serve::Snapshot)s running
+/// queries while the owner commits — would clobber each other's scratch,
+/// so each snapshot gets a unique tag woven into the names
+/// (`interval_{tag}_{j}.bin`, `hub_{tag}_{i}_{j}.bin`). Tagged names keep
+/// the `interval_`/`hub_` prefixes, so the scrubber still classifies them
+/// as scratch and the cell-file parser never mistakes them for chains.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchTag(Option<Arc<str>>);
+
+impl ScratchTag {
+    /// A tag namespacing scratch files under `q{n}` (serve-layer
+    /// snapshots draw `n` from a process-global counter).
+    pub fn numbered(n: u64) -> Self {
+        Self(Some(Arc::from(format!("q{n}").as_str())))
+    }
+
+    /// Interval `j`'s scratch attribute file under this tag.
+    pub fn interval_file(&self, j: u32) -> String {
+        match &self.0 {
+            None => GraphManifest::interval_file(j),
+            Some(t) => format!("interval_{t}_{j}.bin"),
+        }
+    }
+
+    /// Hub `H(i→j)`'s scratch file under this tag.
+    pub fn hub_file(&self, i: u32, j: u32) -> String {
+        match &self.0 {
+            None => GraphManifest::hub_file(i, j),
+            Some(t) => format!("hub_{t}_{i}_{j}.bin"),
+        }
+    }
+
+    /// Name prefixes owned by this tag (`None` for the untagged default,
+    /// whose files persist like always) — what a snapshot's drop removes.
+    pub fn owned_prefixes(&self) -> Option<[String; 2]> {
+        self.0
+            .as_ref()
+            .map(|t| [format!("interval_{t}_"), format!("hub_{t}_")])
+    }
+}
+
 /// Reject a delta blob whose header tags it for a different cell than the
 /// chain that listed it — checksums only prove the file is intact, not
 /// that it is the file the manifest meant.
@@ -115,12 +161,19 @@ pub fn read_hub_from<A: Attr>(
     i: u32,
     j: u32,
 ) -> EngineResult<Option<(Vec<VertexId>, Vec<A>)>> {
-    let name = GraphManifest::hub_file(i, j);
-    if !disk.exists(&name) {
+    read_hub_named(disk, &GraphManifest::hub_file(i, j))
+}
+
+/// Read a hub blob by (possibly scratch-tagged) name; `None` when absent.
+fn read_hub_named<A: Attr>(
+    disk: &dyn Disk,
+    name: &str,
+) -> EngineResult<Option<(Vec<VertexId>, Vec<A>)>> {
+    if !disk.exists(name) {
         return Ok(None);
     }
-    let bytes = disk.read_all(&name)?;
-    let (encoding, payload) = format::read_blob_encoded(&mut bytes.as_slice(), FileKind::Hub, &name)?;
+    let bytes = disk.read_all(name)?;
+    let (encoding, payload) = format::read_blob_encoded(&mut bytes.as_slice(), FileKind::Hub, name)?;
     let (dsts, accs) = match encoding {
         Encoding::Raw => {
             let mut c = format::Cursor::new(&payload);
@@ -128,7 +181,7 @@ pub fn read_hub_from<A: Attr>(
             (c.u32s(count)?, A::decode_slice(c.rest()))
         }
         Encoding::DeltaVarint => {
-            let (dsts, accs_off) = codec::decode_hub_dsts(&payload, &name, A::SIZE)?;
+            let (dsts, accs_off) = codec::decode_hub_dsts(&payload, name, A::SIZE)?;
             let accs = A::decode_slice(&payload[accs_off..]);
             (dsts, accs)
         }
@@ -161,6 +214,8 @@ pub struct ViewLoader {
     /// Transient-failure retry policy applied to every blob read this
     /// loader issues (sync path and prefetch workers alike).
     retry: RetryPolicy,
+    /// Scratch-file naming (hubs) for the graph this loader came from.
+    scratch: ScratchTag,
 }
 
 impl ViewLoader {
@@ -259,7 +314,7 @@ impl ViewLoader {
     /// written during ToHub and removed only after their column's fold),
     /// so a plan-time existence check agrees with decode time.
     pub fn hub_part_name(&self, i: u32, j: u32) -> Option<String> {
-        let name = GraphManifest::hub_file(i, j);
+        let name = self.scratch.hub_file(i, j);
         self.disk.exists(&name).then_some(name)
     }
 
@@ -307,7 +362,7 @@ impl ViewLoader {
     /// iteration* under the same name, so the verify-once rationale does
     /// not apply — every hub read verifies (unless the policy is `Never`).
     pub fn read_hub<A: Attr>(&self, i: u32, j: u32) -> EngineResult<Option<HubView<A>>> {
-        let name = GraphManifest::hub_file(i, j);
+        let name = self.scratch.hub_file(i, j);
         if !self.disk.exists(&name) {
             return Ok(None);
         }
@@ -361,6 +416,11 @@ pub struct PreparedGraph {
     /// Transient-failure retry policy handed to every [`ViewLoader`]
     /// (default: 4 attempts with 1 ms doubling backoff).
     retry: RetryPolicy,
+    /// Scratch-file naming for this handle's iteration files (intervals,
+    /// hubs). Default (untagged) uses the legacy single-owner names;
+    /// serve-layer snapshots tag theirs so concurrent queries on the same
+    /// disk never clobber each other's scratch.
+    scratch: ScratchTag,
 }
 
 impl PreparedGraph {
@@ -392,6 +452,7 @@ impl PreparedGraph {
             encoding,
             chains,
             retry: RetryPolicy::default(),
+            scratch: ScratchTag::default(),
         })
     }
 
@@ -430,6 +491,7 @@ impl PreparedGraph {
             encoding,
             chains,
             retry: RetryPolicy::default(),
+            scratch: ScratchTag::default(),
         })
     }
 
@@ -466,6 +528,18 @@ impl PreparedGraph {
         self.retry = policy;
     }
 
+    /// Namespace this handle's scratch files (interval attribute arrays,
+    /// hubs) under `tag`. Serve-layer snapshots set a unique tag so
+    /// concurrent DPU/MPU queries sharing one disk never collide.
+    pub fn set_scratch_tag(&mut self, tag: ScratchTag) {
+        self.scratch = tag;
+    }
+
+    /// This handle's scratch-file naming tag.
+    pub fn scratch_tag(&self) -> &ScratchTag {
+        &self.scratch
+    }
+
     /// The encoding policy applied to blobs written during runs (hubs,
     /// dynamic sub-shard rewrites). Defaults to what the graph was
     /// prepped with, via the manifest.
@@ -488,6 +562,7 @@ impl PreparedGraph {
             checksums: Arc::clone(&self.checksums),
             chains: Arc::clone(&self.chains),
             retry: self.retry,
+            scratch: self.scratch.clone(),
         }
     }
 
@@ -582,13 +657,13 @@ impl PreparedGraph {
         format::write_blob(&mut buf, FileKind::Interval, &payload)
             .expect("vec write is infallible");
         self.disk
-            .write_all_to(&GraphManifest::interval_file(j), &buf)?;
+            .write_all_to(&self.scratch.interval_file(j), &buf)?;
         Ok(())
     }
 
     /// Read interval `j`'s attribute array.
     pub fn read_interval<A: Attr>(&self, j: u32) -> EngineResult<Vec<A>> {
-        let name = GraphManifest::interval_file(j);
+        let name = self.scratch.interval_file(j);
         let bytes = self.disk.read_all(&name)?;
         let payload = format::read_blob(&mut bytes.as_slice(), FileKind::Interval, &name)?;
         let vals = A::decode_slice(&payload);
@@ -638,19 +713,19 @@ impl PreparedGraph {
                     .expect("vec write is infallible");
             }
         }
-        self.disk.write_all_to(&GraphManifest::hub_file(i, j), &buf)?;
+        self.disk.write_all_to(&self.scratch.hub_file(i, j), &buf)?;
         Ok(())
     }
 
     /// Read hub `H(i→j)`. Returns `None` when the hub was never written
     /// (its source row was skipped as inactive).
     pub fn read_hub<A: Attr>(&self, i: u32, j: u32) -> EngineResult<Option<(Vec<VertexId>, Vec<A>)>> {
-        read_hub_from(self.disk.as_ref(), i, j)
+        read_hub_named(self.disk.as_ref(), &self.scratch.hub_file(i, j))
     }
 
     /// Remove hub `H(i→j)` if present (between iterations).
     pub fn remove_hub(&self, i: u32, j: u32) {
-        let _ = self.disk.remove(&GraphManifest::hub_file(i, j));
+        let _ = self.disk.remove(&self.scratch.hub_file(i, j));
     }
 
     /// Load the reverse mapping table (`id → original index`), sorted

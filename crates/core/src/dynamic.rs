@@ -240,8 +240,14 @@ impl DynamicGraph {
                 out_degrees: Arc::clone(graph.out_degrees()),
                 epoch: 0,
                 pending_sweep: Vec::new(),
+                // The owner's pinned snapshot is reader pin #1; serve-layer
+                // snapshots add and drop their own.
+                pins: std::collections::BTreeMap::from([(0u64, 1usize)]),
+                rebuilding: false,
             }),
             gate: Mutex::new(()),
+            pins_cv: parking_lot::Condvar::new(),
+            checksums: Mutex::new(Arc::clone(graph.checksum_policy())),
         });
         let mut dg = Self {
             shared,
@@ -283,6 +289,31 @@ impl DynamicGraph {
         self.maint.as_ref()
     }
 
+    /// The shared committed state this graph coordinates through — what a
+    /// serve-layer [`Snapshot`](crate::serve::Snapshot) pins.
+    pub(crate) fn shared(&self) -> &Arc<StoreShared> {
+        &self.shared
+    }
+
+    /// Live reader pins at `epoch` — the owner's snapshot counts as one;
+    /// every serve-layer [`Snapshot`](crate::serve::Snapshot) pinning
+    /// that epoch adds another. Tests assert the no-sweep-while-pinned
+    /// contract through this.
+    pub fn pin_count(&self, epoch: u64) -> usize {
+        self.shared.pin_count(epoch)
+    }
+
+    /// The latest committed epoch (bumps once per commit or fold).
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.state.lock().epoch
+    }
+
+    /// Superseded files still queued for reclamation — non-empty exactly
+    /// while some live pin protects an older generation.
+    pub fn pending_sweeps(&self) -> usize {
+        self.shared.state.lock().pending_sweep.len()
+    }
+
     /// Dense id of an original index, if known.
     pub fn id_of(&self, index: u64) -> Option<VertexId> {
         self.mapping.binary_search(&index).ok().map(|i| i as VertexId)
@@ -303,28 +334,24 @@ impl DynamicGraph {
         Ok(out)
     }
 
-    /// Catch the pinned snapshot up to the latest committed state and
-    /// sweep files that background folds superseded (safe now: the old
-    /// snapshot that could still read them is being replaced, and `&mut
-    /// self` excludes concurrent readers). Returns whether anything
+    /// Catch the pinned snapshot up to the latest committed state, then
+    /// reclaim queued files whose protecting pins are gone (moving the
+    /// owner's pin forward is usually what frees them — unless a
+    /// serve-layer snapshot still pins an older epoch, in which case its
+    /// drop performs the sweep instead). Returns whether anything
     /// changed. Cheap no-op when the epoch is current.
     pub fn refresh(&mut self) -> EngineResult<bool> {
-        let (manifest, out_degrees, epoch, sweep) = {
-            let mut st = self.shared.state.lock();
+        let (manifest, out_degrees, epoch) = {
+            let st = self.shared.state.lock();
             if st.epoch == self.seen_epoch && st.pending_sweep.is_empty() {
                 return Ok(false);
             }
-            (
-                st.manifest.clone(),
-                Arc::clone(&st.out_degrees),
-                st.epoch,
-                std::mem::take(&mut st.pending_sweep),
-            )
+            (st.manifest.clone(), Arc::clone(&st.out_degrees), st.epoch)
         };
         if epoch != self.seen_epoch {
             self.install(manifest, out_degrees, epoch)?;
         }
-        self.sweep_files(&sweep);
+        self.shared.reclaim();
         Ok(true)
     }
 
@@ -332,22 +359,38 @@ impl DynamicGraph {
     /// checksum policy and buffer pool (commits are frequent on streaming
     /// workloads; re-verifying every unchanged file per commit would
     /// defeat the verify-once policy).
+    ///
+    /// Pin accounting: the new epoch is pinned *before* the old one is
+    /// released, so the pinned-epoch set never goes empty mid-transition
+    /// (an empty set would make every queued sweep "safe" while this very
+    /// method still reads the old snapshot's files).
     fn install(
         &mut self,
         manifest: GraphManifest,
         out_degrees: Arc<Vec<u32>>,
         epoch: u64,
     ) -> EngineResult<()> {
+        self.shared.pin(epoch);
         let retry = self.graph.retry_policy();
-        self.graph = PreparedGraph::from_parts_reusing(
+        let graph = PreparedGraph::from_parts_reusing(
             Arc::clone(&self.shared.disk),
             manifest,
             out_degrees,
             Arc::clone(self.graph.checksum_policy()),
             Arc::clone(self.graph.buffer_pool()),
-        )?;
+        );
+        let graph = match graph {
+            Ok(g) => g,
+            Err(e) => {
+                self.shared.unpin(epoch);
+                return Err(e);
+            }
+        };
+        self.graph = graph;
         self.graph.set_retry_policy(retry);
+        let old = self.seen_epoch;
         self.seen_epoch = epoch;
+        self.shared.unpin(old);
         Ok(())
     }
 
@@ -585,12 +628,14 @@ impl DynamicGraph {
         st.out_degrees = Arc::clone(&out_degrees);
         st.epoch += 1;
         let epoch = st.epoch;
-        let mut sweep = std::mem::take(&mut st.pending_sweep);
+        // Files this commit superseded join the refcounted queue; the
+        // install below moves the owner's pin forward and its reclaim
+        // removes whatever no snapshot still protects.
+        st.queue_superseded(stale);
         drop(st);
 
-        sweep.extend(stale);
         self.install(manifest, out_degrees, epoch)?;
-        self.sweep_files(&sweep);
+        self.shared.reclaim();
         if let (Some(maint), false) = (&self.maint, due_cells.is_empty()) {
             maint.signal_cells(&due_cells);
         }
@@ -613,7 +658,8 @@ impl DynamicGraph {
     pub fn compact(&mut self) -> EngineResult<CompactReport> {
         let report;
         {
-            let _gate = self.shared.gate.lock();
+            let shared = Arc::clone(&self.shared);
+            let _gate = shared.gate.lock();
             let mut manifest = self.shared.state.lock().manifest.clone();
             let chained: Vec<(u32, u32, bool, ChainInfo)> = manifest
                 .chains()?
@@ -623,6 +669,7 @@ impl DynamicGraph {
             let disk = self.shared.disk.as_ref();
             let encoding = self.graph.encoding_policy();
             let (mut raw_delta, mut disk_delta) = (0i64, 0i64);
+            let mut stale: Vec<String> = Vec::new();
             for &(i, j, reverse, chain) in &chained {
                 let parts = dsss::load_chain_parts(disk, i, j, reverse, chain)?;
                 let old_raw: u64 = parts.iter().map(|p| p.encoded_len()).sum();
@@ -643,6 +690,7 @@ impl DynamicGraph {
                         ..ChainInfo::default()
                     },
                 );
+                stale.extend(chain_files(i, j, reverse, chain));
             }
             if !chained.is_empty() {
                 apply_byte_totals(&mut manifest, raw_delta, disk_delta);
@@ -650,6 +698,17 @@ impl DynamicGraph {
                 let mut st = self.shared.state.lock();
                 st.manifest = manifest;
                 st.epoch += 1;
+                st.queue_superseded(stale);
+            }
+            // Catch the owner's pin up to the folds just committed, so
+            // their superseded chains are sweep-safe below unless another
+            // snapshot still pins them.
+            let (cur_manifest, cur_degrees, cur_epoch) = {
+                let st = self.shared.state.lock();
+                (st.manifest.clone(), Arc::clone(&st.out_degrees), st.epoch)
+            };
+            if cur_epoch != self.seen_epoch {
+                self.install(cur_manifest, cur_degrees, cur_epoch)?;
             }
             let (files_swept, bytes_swept) = self.sweep_orphans()?;
             report = CompactReport {
@@ -667,19 +726,27 @@ impl DynamicGraph {
     /// Covers generation-tagged chain files, plain prep-time base names
     /// superseded by a folded generation, stale degree-table generations,
     /// quarantine copies the scrubber parked, and a manifest tmp stranded
-    /// mid-save. Caller holds the `gate` (no concurrent maintenance) and
-    /// `&mut self` (no concurrent readers of the pinned snapshot).
+    /// mid-save. Files a still-pinned snapshot protects — queued for sweep
+    /// but tagged newer than the oldest pin — are skipped; the last
+    /// protecting snapshot's drop reclaims them. Caller holds the `gate`
+    /// (no concurrent maintenance) and `&mut self`.
     fn sweep_orphans(&self) -> EngineResult<(usize, u64)> {
-        let manifest = {
-            let mut st = self.shared.state.lock();
-            // The deferred-sweep queue lists unreferenced chain files; the
-            // scan below reclaims them by name, so the queue is redundant.
-            st.pending_sweep.clear();
-            st.manifest.clone()
+        // Reclaim the refcount-safe part of the queue first (counted),
+        // then shield whatever remains queued from the name scan: those
+        // files are unreferenced by the *current* manifest but still read
+        // through manifests older pins hold.
+        let (mut files, mut bytes) = self.shared.reclaim();
+        let (manifest, protected) = {
+            let st = self.shared.state.lock();
+            let protected: std::collections::HashSet<String> =
+                st.pending_sweep.iter().map(|(_, n)| n.clone()).collect();
+            (st.manifest.clone(), protected)
         };
         let disk = &self.shared.disk;
-        let (mut files, mut bytes) = (0usize, 0u64);
         for name in disk.list() {
+            if protected.contains(&name) {
+                continue;
+            }
             let stale = if name.starts_with(maintain::QUARANTINE_PREFIX)
                 || name == nxgraph_storage::manifest::MANIFEST_TMP_FILE
             {
@@ -751,42 +818,69 @@ impl DynamicGraph {
         // place, as every rebuild has done; mid-prep crash atomicity for
         // those is out of scope.)
         self.compact()?;
-        let mut raw = self.raw_edges()?;
-        raw.extend_from_slice(new_raw);
-        // The folded bases (and any gen-tagged degree table), swept only
-        // after the new manifest is saved.
-        let mut stale = Vec::new();
-        for (i, j, reverse, chain) in self.graph.manifest().chains()? {
-            stale.extend(chain_files(i, j, reverse, chain));
-        }
-        let degrees_gen = self.graph.manifest().degrees_gen()?;
-        if degrees_gen != 0 {
-            stale.push(GraphManifest::degree_file_at(degrees_gen));
-        }
-        let cfg = PrepConfig {
-            name: self.graph.manifest().name.clone(),
-            num_intervals: self.graph.num_intervals(),
-            build_reverse: self.graph.has_reverse(),
-            encoding: self.graph.encoding_policy(),
-        };
-        let disk = Arc::clone(&self.shared.disk);
-        self.graph = prep::preprocess(&raw, &cfg, disk)?;
-        self.sweep_files(&stale);
-        self.mapping = self.graph.load_reverse_mapping()?;
-        {
-            let mut st = self.shared.state.lock();
-            st.manifest = self.graph.manifest().clone();
-            st.out_degrees = Arc::clone(self.graph.out_degrees());
-            st.epoch += 1;
-            st.pending_sweep.clear();
-            self.seen_epoch = st.epoch;
-        }
-        self.spawn_maintenance();
-        Ok(CommitStats {
-            edges_added: new_raw.len(),
-            rebuilt: true,
-            ..CommitStats::default()
-        })
+        // A rebuild overwrites prep-time (generation-0) names in place —
+        // the one commit that cannot coexist with older readers. Wait for
+        // every serve-layer snapshot to drop, with the rebuild flag up so
+        // no new pin slips in while preprocessing rewrites the store.
+        self.shared.begin_exclusive(self.seen_epoch);
+        let res = (|| -> EngineResult<CommitStats> {
+            let mut raw = self.raw_edges()?;
+            raw.extend_from_slice(new_raw);
+            // The folded bases (and any gen-tagged degree table), swept only
+            // after the new manifest is saved.
+            let mut stale = Vec::new();
+            for (i, j, reverse, chain) in self.graph.manifest().chains()? {
+                stale.extend(chain_files(i, j, reverse, chain));
+            }
+            let degrees_gen = self.graph.manifest().degrees_gen()?;
+            if degrees_gen != 0 {
+                stale.push(GraphManifest::degree_file_at(degrees_gen));
+            }
+            let cfg = PrepConfig {
+                name: self.graph.manifest().name.clone(),
+                num_intervals: self.graph.num_intervals(),
+                build_reverse: self.graph.has_reverse(),
+                encoding: self.graph.encoding_policy(),
+            };
+            let disk = Arc::clone(&self.shared.disk);
+            self.graph = prep::preprocess(&raw, &cfg, disk)?;
+            // The rebuilt graph starts a fresh verify-once cache; future
+            // snapshot-drop sweeps must invalidate through it.
+            *self.shared.checksums.lock() = Arc::clone(self.graph.checksum_policy());
+            self.sweep_files(&stale);
+            self.mapping = self.graph.load_reverse_mapping()?;
+            {
+                let mut st = self.shared.state.lock();
+                st.manifest = self.graph.manifest().clone();
+                st.out_degrees = Arc::clone(self.graph.out_degrees());
+                st.epoch += 1;
+                st.pending_sweep.clear();
+                // Move the owner's (sole, exclusive) pin to the new epoch.
+                st.pins.remove(&self.seen_epoch);
+                let epoch = st.epoch;
+                st.pins.insert(epoch, 1);
+                self.seen_epoch = epoch;
+            }
+            self.spawn_maintenance();
+            Ok(CommitStats {
+                edges_added: new_raw.len(),
+                rebuilt: true,
+                ..CommitStats::default()
+            })
+        })();
+        self.shared.end_exclusive();
+        res
+    }
+}
+
+impl Drop for DynamicGraph {
+    fn drop(&mut self) {
+        // Join maintenance first (it may still be committing folds), then
+        // release the owner's reader pin so any snapshot outliving this
+        // graph reclaims superseded files when it drops.
+        self.maint = None;
+        self.shared.unpin(self.seen_epoch);
+        self.shared.reclaim();
     }
 }
 

@@ -39,6 +39,7 @@ pub mod parallel;
 pub mod prep;
 pub mod program;
 pub mod reference;
+pub mod serve;
 pub mod types;
 
 pub use dsss::PreparedGraph;
@@ -48,6 +49,9 @@ pub use error::{EngineError, EngineResult};
 pub use maintain::{MaintStats, MaintenanceThread, ScrubReport};
 pub use prep::{preprocess, PrepConfig};
 pub use program::VertexProgram;
+pub use serve::{
+    GraphService, Query, QueryOutput, ServeConfig, ServeError, ServeStats, SlotHold, Snapshot,
+};
 pub use types::{Attr, VertexId};
 
 /// The example graph of Fig 1 in the paper (7 vertices, 14 edges), used

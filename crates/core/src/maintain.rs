@@ -26,9 +26,13 @@
 //! crash story is unchanged from inline compaction: at any cut the
 //! manifest references either the old chain or the new base, never a
 //! half-state. Files a fold supersedes are *not* removed by the thread —
-//! the owner's pinned [`PreparedGraph`](crate::dsss::PreparedGraph) may
-//! still be reading them — but queued on `pending_sweep` for the owner to
-//! reclaim at its next refresh.
+//! a pinned [`PreparedGraph`](crate::dsss::PreparedGraph) (the owner's or
+//! any serve-layer [`Snapshot`](crate::serve::Snapshot)) may still be
+//! reading them — but queued on `pending_sweep`, tagged with the epoch
+//! whose manifest first stopped referencing them. Reclamation is
+//! generation-refcounted: `pins` counts live readers per epoch, and a
+//! queued file is removed only once every pin at an epoch older than its
+//! tag has dropped (see [`StoreState::drain_safe_sweeps`]).
 //!
 //! ## Scrubbing
 //!
@@ -45,7 +49,7 @@
 //! swept; clean orphans are only counted (reclaiming them is the owner's
 //! sweep).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -72,9 +76,50 @@ pub(crate) struct StoreState {
     pub manifest: GraphManifest,
     pub out_degrees: Arc<Vec<u32>>,
     pub epoch: u64,
-    /// Files superseded by background folds, awaiting the owner's sweep
-    /// (the owner's pinned reader may still reference them).
-    pub pending_sweep: Vec<String>,
+    /// Superseded files awaiting reclamation, each tagged with the first
+    /// epoch whose manifest no longer references it. A pin at an older
+    /// epoch may still read the file; `drain_safe_sweeps` releases an
+    /// entry only once no such pin remains.
+    pub pending_sweep: Vec<(u64, String)>,
+    /// Live reader pins per epoch: the owner's pinned snapshot plus every
+    /// serve-layer [`Snapshot`](crate::serve::Snapshot). The refcount is
+    /// what converts "owner refreshes, then sweep" into
+    /// generation-refcounted reclamation.
+    pub pins: BTreeMap<u64, usize>,
+    /// Set while a full re-preprocessing is rewriting prep-time file names
+    /// in place; new pins wait it out (`StoreShared::pin_latest`).
+    pub rebuilding: bool,
+}
+
+impl StoreState {
+    /// The oldest epoch any live pin still reads (`u64::MAX` when there
+    /// are no pins at all).
+    pub fn min_pinned(&self) -> u64 {
+        self.pins.keys().next().copied().unwrap_or(u64::MAX)
+    }
+
+    /// Queue files superseded by the commit that just bumped `epoch`.
+    pub fn queue_superseded(&mut self, names: impl IntoIterator<Item = String>) {
+        let epoch = self.epoch;
+        self.pending_sweep.extend(names.into_iter().map(|n| (epoch, n)));
+    }
+
+    /// Take every queued file no pin can still read: an entry tagged `e`
+    /// is needed by manifests *older* than `e`, so it is safe once the
+    /// minimum pinned epoch has reached `e`.
+    pub fn drain_safe_sweeps(&mut self) -> Vec<String> {
+        let min = self.min_pinned();
+        let mut safe = Vec::new();
+        self.pending_sweep.retain(|(e, name)| {
+            if *e <= min {
+                safe.push(name.clone());
+                false
+            } else {
+                true
+            }
+        });
+        safe
+    }
 }
 
 /// The disk plus the two shared locks. Lock order: `gate` → `state`.
@@ -85,6 +130,87 @@ pub(crate) struct StoreShared {
     /// owner to quiesce maintenance around rebuilds and explicit
     /// compaction.
     pub gate: Mutex<()>,
+    /// Signalled on every pin release and rebuild-flag change.
+    pub pins_cv: Condvar,
+    /// The verify-once policy shared by every reader of this store, so
+    /// sweeps triggered by a snapshot drop invalidate the same cache the
+    /// owner's loads go through. Replaced wholesale on rebuild.
+    pub checksums: Mutex<Arc<ChecksumPolicy>>,
+}
+
+impl StoreShared {
+    /// Add a reader pin at `epoch`.
+    pub fn pin(&self, epoch: u64) {
+        *self.state.lock().pins.entry(epoch).or_insert(0) += 1;
+    }
+
+    /// Pin the latest committed state, returning the parts a snapshot
+    /// needs. Blocks while a rebuild is rewriting prep-time names in
+    /// place (the one commit that cannot coexist with older readers).
+    pub fn pin_latest(&self) -> (GraphManifest, Arc<Vec<u32>>, u64) {
+        let mut st = self.state.lock();
+        while st.rebuilding {
+            self.pins_cv.wait(&mut st);
+        }
+        let epoch = st.epoch;
+        *st.pins.entry(epoch).or_insert(0) += 1;
+        (st.manifest.clone(), Arc::clone(&st.out_degrees), epoch)
+    }
+
+    /// Drop a reader pin. The caller should follow with [`reclaim`]
+    /// (outside any other lock) so newly-safe files are actually removed.
+    pub fn unpin(&self, epoch: u64) {
+        let mut st = self.state.lock();
+        match st.pins.get_mut(&epoch) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                st.pins.remove(&epoch);
+            }
+            None => debug_assert!(false, "unpin of unpinned epoch {epoch}"),
+        }
+        drop(st);
+        self.pins_cv.notify_all();
+    }
+
+    /// Remove every queued file whose protecting pins are gone, returning
+    /// `(files, bytes)` reclaimed. Removal happens outside the state lock;
+    /// each name leaves the verify-once cache with it.
+    pub fn reclaim(&self) -> (usize, u64) {
+        let safe = self.state.lock().drain_safe_sweeps();
+        let checksums = Arc::clone(&self.checksums.lock());
+        let (mut files, mut bytes) = (0usize, 0u64);
+        for name in &safe {
+            bytes += self.disk.len_of(name).unwrap_or(0);
+            if self.disk.remove(name).is_ok() {
+                files += 1;
+            }
+            checksums.note_invalidated(name);
+        }
+        (files, bytes)
+    }
+
+    /// Live pin count at `epoch` (tests assert the no-sweep-while-pinned
+    /// contract through this).
+    pub fn pin_count(&self, epoch: u64) -> usize {
+        self.state.lock().pins.get(&epoch).copied().unwrap_or(0)
+    }
+
+    /// Block until the caller's pin at `epoch` is the only pin left, with
+    /// the rebuild flag raised so no new pin can slip in afterwards.
+    /// Pair with [`end_exclusive`].
+    pub fn begin_exclusive(&self, epoch: u64) {
+        let mut st = self.state.lock();
+        st.rebuilding = true;
+        while !(st.pins.len() == 1 && st.pins.get(&epoch) == Some(&1)) {
+            self.pins_cv.wait(&mut st);
+        }
+    }
+
+    /// Lower the rebuild flag and wake waiting pinners.
+    pub fn end_exclusive(&self) {
+        self.state.lock().rebuilding = false;
+        self.pins_cv.notify_all();
+    }
 }
 
 /// Result of one scrub pass over every file on the disk.
@@ -502,8 +628,7 @@ pub(crate) fn fold_cell(
         manifest.save(disk)?;
         st.manifest = manifest;
         st.epoch += 1;
-        st.pending_sweep
-            .extend(crate::dynamic::chain_files(i, j, reverse, chain));
+        st.queue_superseded(crate::dynamic::chain_files(i, j, reverse, chain));
         return Ok(FoldOutcome {
             folded: true,
             races,

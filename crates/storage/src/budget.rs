@@ -8,8 +8,19 @@
 //! runnable on any host.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::{StorageError, StorageResult};
+
+/// Process-wide count of unbalanced [`MemoryBudget::release`] calls, across
+/// every budget instance. Surfaced by `nxgraph-cli info` so accounting leaks
+/// show up in the field, not just under `debug_assertions`.
+static GLOBAL_OVER_RELEASES: AtomicU64 = AtomicU64::new(0);
+
+/// Unbalanced release count accumulated by every budget in this process.
+pub fn global_over_releases() -> u64 {
+    GLOBAL_OVER_RELEASES.load(Ordering::Relaxed)
+}
 
 /// A fixed byte budget with live allocation tracking.
 ///
@@ -21,6 +32,8 @@ use crate::error::{StorageError, StorageResult};
 pub struct MemoryBudget {
     total: u64,
     used: AtomicU64,
+    /// Releases that exceeded the tracked reservation (accounting leaks).
+    over_releases: AtomicU64,
 }
 
 impl MemoryBudget {
@@ -29,6 +42,7 @@ impl MemoryBudget {
         Self {
             total,
             used: AtomicU64::new(0),
+            over_releases: AtomicU64::new(0),
         }
     }
 
@@ -68,9 +82,12 @@ impl MemoryBudget {
         loop {
             let new = cur.saturating_add(bytes);
             if new > self.total {
+                // `cur` is the failing iteration's observation, but a racing
+                // over-reserve can still leave `used > total`; saturate so
+                // the error report never debug-panics on the subtraction.
                 return Err(StorageError::BudgetExceeded {
                     requested: bytes,
-                    available: self.total - cur,
+                    available: self.total.saturating_sub(cur),
                 });
             }
             match self
@@ -84,6 +101,11 @@ impl MemoryBudget {
     }
 
     /// Release a previous reservation.
+    ///
+    /// An unbalanced release (more bytes than are currently reserved) is an
+    /// accounting bug in the caller: it saturates to zero rather than
+    /// underflowing, but it is counted — per instance and process-wide —
+    /// and panics under `debug_assertions` so tests catch the leak.
     pub fn release(&self, bytes: u64) {
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
@@ -92,10 +114,58 @@ impl MemoryBudget {
                 .used
                 .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
             {
-                Ok(_) => return,
+                Ok(_) => {
+                    if bytes > cur {
+                        self.over_releases.fetch_add(1, Ordering::Relaxed);
+                        GLOBAL_OVER_RELEASES.fetch_add(1, Ordering::Relaxed);
+                        debug_assert!(
+                            false,
+                            "unbalanced release: released {bytes} bytes with only {cur} reserved"
+                        );
+                    }
+                    return;
+                }
                 Err(actual) => cur = actual,
             }
         }
+    }
+
+    /// Unbalanced releases recorded against this budget.
+    pub fn over_releases(&self) -> u64 {
+        self.over_releases.load(Ordering::Relaxed)
+    }
+
+    /// Carve `bytes` out of this budget as an RAII lease: the reservation is
+    /// released (balanced, exactly once) when the lease drops. The serving
+    /// layer hands one lease to each admitted query so a query's working
+    /// memory comes out of the shared budget and returns on completion —
+    /// even on a panic unwound across the query.
+    pub fn carve(self: &Arc<Self>, bytes: u64) -> StorageResult<BudgetLease> {
+        self.reserve(bytes)?;
+        Ok(BudgetLease {
+            parent: Arc::clone(self),
+            bytes,
+        })
+    }
+}
+
+/// An RAII child reservation carved from a shared [`MemoryBudget`].
+#[derive(Debug)]
+pub struct BudgetLease {
+    parent: Arc<MemoryBudget>,
+    bytes: u64,
+}
+
+impl BudgetLease {
+    /// Bytes held by this lease.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        self.parent.release(self.bytes);
     }
 }
 
@@ -180,10 +250,50 @@ mod tests {
     }
 
     #[test]
-    fn release_never_underflows() {
+    #[cfg_attr(debug_assertions, should_panic(expected = "unbalanced release"))]
+    fn release_never_underflows_and_counts_the_leak() {
         let b = MemoryBudget::new(10);
-        b.release(999);
+        b.release(999); // panics under debug_assertions
         assert_eq!(b.used(), 0);
+        assert_eq!(b.over_releases(), 1);
+        assert!(global_over_releases() >= 1);
+    }
+
+    #[test]
+    fn balanced_release_never_counts() {
+        let b = MemoryBudget::new(10);
+        b.reserve(10).unwrap();
+        b.release(10);
+        b.release(0);
+        assert_eq!(b.over_releases(), 0);
+    }
+
+    #[test]
+    fn reserve_error_reports_saturated_available() {
+        let b = MemoryBudget::new(100);
+        b.reserve(60).unwrap();
+        match b.reserve(50) {
+            Err(StorageError::BudgetExceeded {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 50);
+                assert_eq!(available, 40);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn carve_releases_on_drop() {
+        let b = Arc::new(MemoryBudget::new(100));
+        let lease = b.carve(64).unwrap();
+        assert_eq!(lease.bytes(), 64);
+        assert_eq!(b.used(), 64);
+        assert!(b.carve(64).is_err());
+        drop(lease);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.over_releases(), 0);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod profile;
 pub mod retry;
 pub mod varint;
 
-pub use budget::MemoryBudget;
+pub use budget::{global_over_releases, BudgetLease, MemoryBudget};
 pub use counter::{IoCounters, IoSnapshot};
 pub use disk::{
     CrashDisk, CrashOp, CutPoint, Disk, DiskConfig, DiskRead, DiskWrite, FaultyDisk, MemDisk,
